@@ -1,0 +1,204 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	experiments -table2            Table II  (testcase statistics)
+//	experiments -table4            Table IV  (post-placement, 5 flows)
+//	experiments -table5            Table V   (post-route, 4 flows)
+//	experiments -fig4a             Fig. 4(a) (clustering resolution sweep)
+//	experiments -fig4b             Fig. 4(b) (alpha sweep)
+//	experiments -fig5              Fig. 5    (ILP runtime scaling)
+//	experiments -ablation          §IV-B.4   (clustering impact)
+//	experiments -profile           §IV-B.3   (runtime profile)
+//	experiments -overhead          §IV-B.6   (overhead vs unconstrained)
+//	experiments -all               everything above
+//
+// -scale shrinks every testcase proportionally (1.0 = paper-size designs);
+// the output records the scale used. -only restricts to testcases whose name
+// contains the given substring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mthplace/internal/exp"
+	"mthplace/internal/synth"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		only     = flag.String("only", "", "restrict to testcases whose name contains this substring")
+		verbose  = flag.Bool("v", false, "log per-testcase progress to stderr")
+		table2   = flag.Bool("table2", false, "regenerate Table II")
+		table4   = flag.Bool("table4", false, "regenerate Table IV")
+		table5   = flag.Bool("table5", false, "regenerate Table V")
+		fig4a    = flag.Bool("fig4a", false, "regenerate Fig. 4(a)")
+		fig4b    = flag.Bool("fig4b", false, "regenerate Fig. 4(b)")
+		fig5     = flag.Bool("fig5", false, "regenerate Fig. 5")
+		ablation = flag.Bool("ablation", false, "clustering ablation (§IV-B.4)")
+		profile  = flag.Bool("profile", false, "runtime profile (§IV-B.3)")
+		overhead = flag.Bool("overhead", false, "overhead vs Flow 1 (§IV-B.6)")
+		finflex  = flag.Bool("finflex", false, "customised rows vs pre-determined pattern (future work)")
+		swap     = flag.Bool("swap", false, "track-height swapping study (future work)")
+		all      = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	if *only != "" {
+		var specs []synth.Spec
+		for _, s := range synth.TableII() {
+			if strings.Contains(s.Name(), *only) {
+				specs = append(specs, s)
+			}
+		}
+		if len(specs) == 0 {
+			fatal(fmt.Errorf("no testcase matches %q", *only))
+		}
+		cfg.Specs = specs
+	}
+
+	any := false
+	run := func(enabled bool, f func() error) {
+		if !(*all || enabled) {
+			return
+		}
+		any = true
+		if err := f(); err != nil {
+			fatal(err)
+		}
+	}
+
+	run(*table2, func() error {
+		r, err := exp.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	var t4 *exp.Table4Result
+	var t5 *exp.Table5Result
+	run(*table4, func() error {
+		r, err := exp.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		t4 = r
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*table5 || *overhead, func() error {
+		r, err := exp.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		t5 = r
+		if *table5 || *all {
+			r.Table().Render(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	})
+	run(*fig4a, func() error {
+		r, err := exp.Fig4a(cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*fig4b, func() error {
+		r, err := exp.Fig4b(cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*fig5, func() error {
+		r, err := exp.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*ablation, func() error {
+		r, err := exp.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*profile, func() error {
+		r, err := exp.Profile(cfg)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*finflex, func() error {
+		r, err := exp.FinFlexStudy(cfg)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*swap, func() error {
+		r, err := exp.SwapStudy(cfg)
+		if err != nil {
+			return err
+		}
+		r.Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+	run(*overhead, func() error {
+		if t4 == nil {
+			r, err := exp.Table4(cfg)
+			if err != nil {
+				return err
+			}
+			t4 = r
+		}
+		if t5 == nil {
+			r, err := exp.Table5(cfg)
+			if err != nil {
+				return err
+			}
+			t5 = r
+		}
+		exp.Overhead(t4, t5).Table().Render(os.Stdout)
+		fmt.Println()
+		return nil
+	})
+
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

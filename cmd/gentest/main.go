@@ -1,0 +1,81 @@
+// Command gentest generates the Table II testcases and writes them out as
+// LEF/DEF so they can be inspected or consumed by other tools.
+//
+//	gentest -out testcases -scale 0.1           # all 26 testcases
+//	gentest -only des3 -scale 1.0 -out tc       # just the des3 variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "testcases", "output directory")
+		scale = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		only  = flag.String("only", "", "restrict to testcases whose name contains this substring")
+	)
+	flag.Parse()
+
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// One shared LEF for the library.
+	lefPath := filepath.Join(*out, "cells.lef")
+	lf, err := os.Create(lefPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := lefdef.WriteLEF(lf, tc, lib.Masters()); err != nil {
+		fatal(err)
+	}
+	if err := lf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d masters)\n", lefPath, len(lib.Masters()))
+
+	opt := synth.DefaultOptions()
+	opt.Scale = *scale
+	opt.Seed = *seed
+	for _, spec := range synth.TableII() {
+		if *only != "" && !strings.Contains(spec.Name(), *only) {
+			continue
+		}
+		d, err := synth.Generate(tc, lib, spec, opt)
+		if err != nil {
+			fatal(err)
+		}
+		defPath := filepath.Join(*out, spec.Name()+".def")
+		f, err := os.Create(defPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lefdef.WriteDEF(f, d); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := d.ComputeStats()
+		fmt.Printf("wrote %s: %d cells, %.2f%% 7.5T, %d nets\n",
+			defPath, st.Cells, st.MinorityPct, st.Nets)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gentest:", err)
+	os.Exit(1)
+}

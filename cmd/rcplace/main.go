@@ -1,0 +1,129 @@
+// Command rcplace runs one of the five placement flows on one testcase and
+// reports its post-placement (and optionally post-route) metrics. It can
+// also dump the final placement as DEF and the cell library as LEF.
+//
+//	rcplace -testcase aes_360 -flow 5 -route
+//	rcplace -testcase des3_210 -flow 2 -scale 0.2 -def out.def -lef out.lef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mthplace/internal/flow"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/synth"
+	"mthplace/internal/viz"
+)
+
+func main() {
+	var (
+		testcase = flag.String("testcase", "aes_360", "Table II testcase name (e.g. aes_300, nova_500)")
+		flowNum  = flag.Int("flow", 5, "flow to run (1-5, Table III)")
+		scale    = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		doRoute  = flag.Bool("route", false, "route the result and report WL/power/WNS/TNS")
+		defOut   = flag.String("def", "", "write the final placement to this DEF file")
+		lefOut   = flag.String("lef", "", "write the cell library to this LEF file")
+		svgOut   = flag.String("svg", "", "render the final placement to this SVG file")
+	)
+	flag.Parse()
+
+	var spec *synth.Spec
+	for _, s := range synth.TableII() {
+		if s.Name() == *testcase {
+			sc := s
+			spec = &sc
+			break
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "rcplace: unknown testcase %q; available:\n", *testcase)
+		for _, s := range synth.TableII() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name())
+		}
+		os.Exit(2)
+	}
+	if *flowNum < 1 || *flowNum > 5 {
+		fatal(fmt.Errorf("flow %d out of range 1-5", *flowNum))
+	}
+
+	fcfg := flow.DefaultConfig()
+	fcfg.Synth.Scale = *scale
+	fcfg.Synth.Seed = *seed
+	runner, err := flow.NewRunner(*spec, fcfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("testcase %s: %d cells, %d minority (%.1f%%), %d nets, N_minR=%d\n",
+		spec.Name(), len(runner.Base.Insts), len(runner.Base.MinorityInstances()),
+		100*runner.Base.MinorityFraction(), len(runner.Base.Nets), runner.NminR)
+
+	res, err := runner.Run(flow.ID(*flowNum), *doRoute)
+	if err != nil {
+		fatal(err)
+	}
+	m := res.Metrics
+	fmt.Printf("%v results:\n", m.Flow)
+	fmt.Printf("  displacement: %d DBU\n", m.Displacement)
+	fmt.Printf("  HPWL:         %d DBU\n", m.HPWL)
+	fmt.Printf("  RAP time:     %v\n", m.RAPTime)
+	fmt.Printf("  legal time:   %v\n", m.LegalTime)
+	fmt.Printf("  total time:   %v\n", m.TotalTime)
+	if m.NumClusters > 0 {
+		fmt.Printf("  clusters:     %d (ILP vars %d)\n", m.NumClusters, m.ILPVars)
+	}
+	if m.Routed {
+		fmt.Printf("  routed WL:    %d DBU (overflow %d)\n", m.RoutedWL, m.Overflow)
+		fmt.Printf("  total power:  %.3f mW\n", m.PowerMW)
+		fmt.Printf("  WNS:          %.3f ns\n", m.WNSps/1000)
+		fmt.Printf("  TNS:          %.3f ns\n", m.TNSps/1000)
+	}
+
+	if *defOut != "" {
+		f, err := os.Create(*defOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lefdef.WriteDEF(f, res.Design); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *defOut)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("%s %v (blue=6T red=7.5T yellow=fence)", spec.Name(), m.Flow)
+		if err := viz.WriteSVG(f, res.Design, viz.Options{Stack: res.Stack, ShowRows: true, Title: title}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *lefOut != "" {
+		f, err := os.Create(*lefOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lefdef.WriteLEF(f, runner.Tech, runner.Lib.Masters()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *lefOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcplace:", err)
+	os.Exit(1)
+}

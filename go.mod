@@ -1,0 +1,3 @@
+module mthplace
+
+go 1.22

@@ -1,0 +1,265 @@
+// Package cluster implements the k-means clustering used by the row
+// assignment flow. Section III-B of the paper clusters minority cells with
+// 2-D k-means before building the ILP: the cluster count is N_C = s · N_minC
+// for clustering resolution s in (0,1), and the initial centroids are the
+// inner points of a p×p grid over the placement area with p = ceil(sqrt(N_C))
+// (the (p² − N_C) outermost grid points are excluded).
+//
+// The 1-D variant is used by the reimplemented prior work [10], which
+// k-means-clusters minority cell y-coordinates to pick minority rows.
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Point2 is a 2-D sample.
+type Point2 struct {
+	X, Y float64
+}
+
+// Result is a k-means clustering of 2-D samples.
+type Result struct {
+	// Assign maps sample index to cluster index in [0, K).
+	Assign []int
+	// Centroids are the final cluster centers.
+	Centroids []Point2
+	// Sizes counts samples per cluster.
+	Sizes []int
+	// Iterations actually performed.
+	Iterations int
+}
+
+// K returns the cluster count.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Members returns the sample indices of each cluster.
+func (r *Result) Members() [][]int {
+	out := make([][]int, r.K())
+	for i, c := range r.Assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// GridSeeds returns the paper's initial centroids: a p×p grid of cell
+// centers over the bounding box of the samples, p = ceil(sqrt(k)), with the
+// (p²−k) points most distant from the grid center (in grid index space)
+// excluded — i.e. pruned "from the outer region of the grid".
+func GridSeeds(pts []Point2, k int) []Point2 {
+	if k <= 0 || len(pts) == 0 {
+		return nil
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	p := int(math.Ceil(math.Sqrt(float64(k))))
+	type cand struct {
+		pt   Point2
+		ring float64 // distance from grid center in index space
+		idx  int
+	}
+	cands := make([]cand, 0, p*p)
+	c := float64(p-1) / 2
+	for gy := 0; gy < p; gy++ {
+		for gx := 0; gx < p; gx++ {
+			x := minX + (maxX-minX)*(float64(gx)+0.5)/float64(p)
+			y := minY + (maxY-minY)*(float64(gy)+0.5)/float64(p)
+			dx, dy := float64(gx)-c, float64(gy)-c
+			cands = append(cands, cand{Point2{x, y}, math.Max(math.Abs(dx), math.Abs(dy))*1e6 + dx*dx + dy*dy, gy*p + gx})
+		}
+	}
+	// Keep the k innermost points; stable order for determinism.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].ring != cands[j].ring {
+			return cands[i].ring < cands[j].ring
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	out := make([]Point2, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].pt
+	}
+	return out
+}
+
+// KMeans2D clusters the samples into k clusters starting from the paper's
+// grid seeds, running standard Lloyd iterations until assignments are stable
+// or maxIter is reached. k is clamped to [1, len(pts)]. The algorithm is
+// fully deterministic.
+func KMeans2D(pts []Point2, k, maxIter int) *Result {
+	if len(pts) == 0 {
+		return &Result{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	cent := GridSeeds(pts, k)
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, q := range cent {
+				d := sq(p.X-q.X) + sq(p.Y-q.Y)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		sx := make([]float64, k)
+		sy := make([]float64, k)
+		for i, p := range pts {
+			sx[assign[i]] += p.X
+			sy[assign[i]] += p.Y
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] > 0 {
+				cent[c] = Point2{sx[c] / float64(sizes[c]), sy[c] / float64(sizes[c])}
+			}
+		}
+		reseedEmpty(pts, cent, assign, sizes)
+	}
+	return &Result{Assign: assign, Centroids: cent, Sizes: sizes, Iterations: iters}
+}
+
+// reseedEmpty moves each empty cluster's centroid onto the sample farthest
+// from its current centroid, taken from the largest cluster, so every
+// cluster ends non-empty (required: cluster widths feed the row capacity
+// constraint and empty clusters would create degenerate ILP rows).
+func reseedEmpty(pts []Point2, cent []Point2, assign []int, sizes []int) {
+	for c := range cent {
+		if sizes[c] > 0 {
+			continue
+		}
+		// Largest cluster donates its farthest member.
+		big := 0
+		for j := range sizes {
+			if sizes[j] > sizes[big] {
+				big = j
+			}
+		}
+		if sizes[big] <= 1 {
+			continue
+		}
+		far, farD := -1, -1.0
+		for i, p := range pts {
+			if assign[i] != big {
+				continue
+			}
+			d := sq(p.X-cent[big].X) + sq(p.Y-cent[big].Y)
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		if far >= 0 {
+			assign[far] = c
+			sizes[big]--
+			sizes[c]++
+			cent[c] = pts[far]
+		}
+	}
+}
+
+func sq(v float64) float64 { return v * v }
+
+// SSE returns the sum of squared distances of samples to their centroids —
+// the k-means objective, used by tests to check convergence behaviour.
+func SSE(pts []Point2, r *Result) float64 {
+	var s float64
+	for i, p := range pts {
+		c := r.Centroids[r.Assign[i]]
+		s += sq(p.X-c.X) + sq(p.Y-c.Y)
+	}
+	return s
+}
+
+// Result1D is a clustering of scalar samples.
+type Result1D struct {
+	Assign    []int
+	Centroids []float64
+	Sizes     []int
+}
+
+// KMeans1D clusters scalar samples into k clusters with Lloyd iterations,
+// seeding centroids at evenly spaced quantiles. Used by the [10] baseline on
+// minority-cell y-coordinates.
+func KMeans1D(vals []float64, k, maxIter int) *Result1D {
+	if len(vals) == 0 {
+		return &Result1D{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	cent := make([]float64, k)
+	for c := 0; c < k; c++ {
+		q := (float64(c) + 0.5) / float64(k)
+		cent[c] = sorted[int(q*float64(len(sorted)))]
+	}
+	assign := make([]int, len(vals))
+	sizes := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, v := range vals {
+			best, bestD := 0, math.Inf(1)
+			for c, q := range cent {
+				d := sq(v - q)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+		}
+		sum := make([]float64, k)
+		for i, v := range vals {
+			sum[assign[i]] += v
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] > 0 {
+				cent[c] = sum[c] / float64(sizes[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return &Result1D{Assign: assign, Centroids: cent, Sizes: sizes}
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridSeedsCountAndBounds(t *testing.T) {
+	pts := []Point2{{0, 0}, {100, 0}, {0, 100}, {100, 100}, {50, 50}}
+	for k := 1; k <= 5; k++ {
+		seeds := GridSeeds(pts, k)
+		if len(seeds) != k {
+			t.Fatalf("k=%d: got %d seeds", k, len(seeds))
+		}
+		for _, s := range seeds {
+			if s.X < 0 || s.X > 100 || s.Y < 0 || s.Y > 100 {
+				t.Fatalf("seed %v outside bbox", s)
+			}
+		}
+	}
+	if GridSeeds(nil, 3) != nil {
+		t.Error("no points must give no seeds")
+	}
+	if GridSeeds(pts, 0) != nil {
+		t.Error("k=0 must give no seeds")
+	}
+}
+
+func TestGridSeedsPruneOuter(t *testing.T) {
+	// k=5, p=3: 9 grid points, 4 dropped. The survivors must include the
+	// exact grid center and be the innermost ones.
+	pts := []Point2{{0, 0}, {90, 90}}
+	seeds := GridSeeds(pts, 5)
+	center := Point2{45, 45}
+	found := false
+	for _, s := range seeds {
+		if math.Abs(s.X-center.X) < 1e-9 && math.Abs(s.Y-center.Y) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("grid center missing from seeds %v", seeds)
+	}
+	// No corner (ring-1 Chebyshev corners are pruned last among ring 1, but
+	// with k=5 the four corners are exactly the dropped ones).
+	for _, s := range seeds {
+		isCorner := (math.Abs(s.X-15) < 1e-9 || math.Abs(s.X-75) < 1e-9) &&
+			(math.Abs(s.Y-15) < 1e-9 || math.Abs(s.Y-75) < 1e-9)
+		if isCorner {
+			t.Errorf("corner seed %v should have been pruned", s)
+		}
+	}
+}
+
+func TestKMeans2DSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts []Point2
+	centers := []Point2{{0, 0}, {1000, 0}, {0, 1000}, {1000, 1000}}
+	for _, c := range centers {
+		for i := 0; i < 50; i++ {
+			pts = append(pts, Point2{c.X + rng.Float64()*50, c.Y + rng.Float64()*50})
+		}
+	}
+	r := KMeans2D(pts, 4, 50)
+	if r.K() != 4 {
+		t.Fatalf("K = %d", r.K())
+	}
+	// Every true group must map to a single k-means cluster.
+	for g := 0; g < 4; g++ {
+		first := r.Assign[g*50]
+		for i := 1; i < 50; i++ {
+			if r.Assign[g*50+i] != first {
+				t.Fatalf("group %d split across clusters", g)
+			}
+		}
+	}
+	// Sizes sum to sample count and are all positive.
+	total := 0
+	for _, s := range r.Sizes {
+		if s <= 0 {
+			t.Error("empty cluster survived")
+		}
+		total += s
+	}
+	if total != len(pts) {
+		t.Errorf("sizes sum %d != %d", total, len(pts))
+	}
+}
+
+func TestKMeans2DClamping(t *testing.T) {
+	pts := []Point2{{1, 1}, {2, 2}, {3, 3}}
+	r := KMeans2D(pts, 10, 10)
+	if r.K() != 3 {
+		t.Errorf("k clamped to %d, want 3", r.K())
+	}
+	r = KMeans2D(pts, 0, 10)
+	if r.K() != 1 {
+		t.Errorf("k=0 clamped to %d, want 1", r.K())
+	}
+	if KMeans2D(nil, 3, 10).K() != 0 {
+		t.Error("empty input must give empty result")
+	}
+}
+
+func TestKMeans2DDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point2, 300)
+	for i := range pts {
+		pts[i] = Point2{rng.Float64() * 1e5, rng.Float64() * 1e5}
+	}
+	a := KMeans2D(pts, 30, 40)
+	b := KMeans2D(pts, 30, 40)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("k-means not deterministic")
+		}
+	}
+}
+
+func TestKMeans2DMembersConsistent(t *testing.T) {
+	pts := []Point2{{0, 0}, {1, 0}, {100, 100}, {101, 100}}
+	r := KMeans2D(pts, 2, 20)
+	mem := r.Members()
+	count := 0
+	for c, ms := range mem {
+		for _, i := range ms {
+			if r.Assign[i] != c {
+				t.Fatalf("member list inconsistent at cluster %d sample %d", c, i)
+			}
+			count++
+		}
+	}
+	if count != len(pts) {
+		t.Errorf("members cover %d of %d samples", count, len(pts))
+	}
+}
+
+// Property: k-means never leaves an empty cluster and SSE of the final
+// result is no worse than assigning everything to seed clusters would allow
+// growing over iterations (monotonic non-increase is the classic Lloyd
+// property; we check final <= first-iteration SSE).
+func TestKMeansSSEProperty(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		pts := make([]Point2, len(raw))
+		for i, v := range raw {
+			pts[i] = Point2{float64(v % 997), float64(v / 61)}
+		}
+		k := int(kRaw)%8 + 1
+		one := KMeans2D(pts, k, 1)
+		full := KMeans2D(pts, k, 60)
+		for _, s := range full.Sizes {
+			if s <= 0 {
+				return false
+			}
+		}
+		return SSE(pts, full) <= SSE(pts, one)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	vals := []float64{0, 1, 2, 100, 101, 102, 200, 201}
+	r := KMeans1D(vals, 3, 50)
+	if len(r.Centroids) != 3 {
+		t.Fatalf("centroids = %d", len(r.Centroids))
+	}
+	// The three natural groups separate.
+	if r.Assign[0] != r.Assign[1] || r.Assign[1] != r.Assign[2] {
+		t.Error("low group split")
+	}
+	if r.Assign[3] != r.Assign[4] || r.Assign[4] != r.Assign[5] {
+		t.Error("mid group split")
+	}
+	if r.Assign[6] != r.Assign[7] {
+		t.Error("high group split")
+	}
+	if r.Assign[0] == r.Assign[3] || r.Assign[3] == r.Assign[6] {
+		t.Error("groups merged")
+	}
+}
+
+func TestKMeans1DEdges(t *testing.T) {
+	if KMeans1D(nil, 2, 10).Assign != nil {
+		t.Error("empty input")
+	}
+	r := KMeans1D([]float64{5}, 4, 10)
+	if len(r.Centroids) != 1 || r.Assign[0] != 0 {
+		t.Error("single value must form one cluster")
+	}
+	// Identical values collapse gracefully.
+	r = KMeans1D([]float64{7, 7, 7, 7}, 2, 10)
+	for _, a := range r.Assign {
+		if a != r.Assign[0] {
+			t.Error("identical values should share a cluster")
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mthplace/internal/lp"
+	"mthplace/internal/milp"
+	"mthplace/internal/netlist"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/tech"
+)
+
+// Assignment is a RAP solution on the uniform pair grid.
+type Assignment struct {
+	// ClusterPair maps cluster index to its assigned pair index.
+	ClusterPair []int
+	// MinorityPairs is the sorted set of pairs chosen as minority rows.
+	MinorityPairs []int
+	// Objective is Σ f_cr over the assignment.
+	Objective float64
+	// Stats describe the solve.
+	Stats SolveStats
+}
+
+// SolveStats report how a solution was obtained.
+type SolveStats struct {
+	Method     string // "ilp" or "greedy"
+	NumVars    int
+	NumBinary  int
+	Nodes      int
+	LPIters    int
+	MILPStatus milp.Status
+	Runtime    time.Duration
+	// Optimal is true when the ILP proved optimality.
+	Optimal bool
+}
+
+// SolveOptions tune the RAP solver.
+type SolveOptions struct {
+	// CandidateRows prunes each cluster's x_cr variables to its K cheapest
+	// pairs (0 = keep all N_R). The union always keeps enough capacity;
+	// pruning is a runtime/optimality trade documented in DESIGN.md.
+	CandidateRows int
+	// MILP passes through to the branch-and-bound solver.
+	MILP milp.Options
+	// RootCuts bounds the number of x_cr ≤ y_r strengthening cuts generated
+	// at the root (0 = default 600; negative disables cutting).
+	RootCuts int
+	// ForceGreedy skips the ILP entirely (used by ablations).
+	ForceGreedy bool
+}
+
+// SolveILP solves the RAP model exactly (Eqs. (1)–(5)) via the internal
+// MILP solver, warm-started with the greedy solution. Eq. (5)'s max-based
+// row-usage indicator is linearised with binaries y_r:
+//
+//	Σ_r x_cr = 1                    ∀c        (Eq. 3)
+//	Σ_c w(c)·x_cr ≤ w(r)·y_r        ∀r        (Eq. 4 + linking)
+//	Σ_r y_r = N_minR                          (Eq. 5)
+func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
+	start := time.Now()
+	greedy, err := SolveGreedy(m)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ForceGreedy {
+		greedy.Stats.Runtime = time.Since(start)
+		return greedy, nil
+	}
+	nC, nR := m.Clusters.N(), m.NR
+	if nC == 0 {
+		greedy.Stats.Runtime = time.Since(start)
+		return greedy, nil
+	}
+
+	// Candidate pruning: per cluster keep the K cheapest pairs plus the
+	// greedy-chosen pair (keeps the warm start representable).
+	cand := make([][]int, nC)
+	for c := 0; c < nC; c++ {
+		if opt.CandidateRows <= 0 || opt.CandidateRows >= nR {
+			cand[c] = allRows(nR)
+			continue
+		}
+		idx := allRows(nR)
+		costs := m.Cost[c]
+		sort.Slice(idx, func(a, b int) bool {
+			if costs[idx[a]] != costs[idx[b]] {
+				return costs[idx[a]] < costs[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		keep := append([]int(nil), idx[:opt.CandidateRows]...)
+		if !containsInt(keep, greedy.ClusterPair[c]) {
+			keep = append(keep, greedy.ClusterPair[c])
+		}
+		sort.Ints(keep)
+		cand[c] = keep
+	}
+
+	prob := lp.NewProblem()
+	xVar := make([]map[int]int, nC) // cluster -> row -> var
+	for c := 0; c < nC; c++ {
+		xVar[c] = make(map[int]int, len(cand[c]))
+		for _, r := range cand[c] {
+			xVar[c][r] = prob.AddVar(m.Cost[c][r], 0, 1)
+		}
+	}
+	yVar := make([]int, nR)
+	for r := 0; r < nR; r++ {
+		yVar[r] = prob.AddVar(0, 0, 1)
+	}
+	// Eq. 3.
+	for c := 0; c < nC; c++ {
+		row := prob.AddConstraint(lp.EQ, 1)
+		for _, r := range cand[c] {
+			prob.AddTerm(row, xVar[c][r], 1)
+		}
+	}
+	// Eq. 4 with linking.
+	for r := 0; r < nR; r++ {
+		row := prob.AddConstraint(lp.LE, 0)
+		used := false
+		for c := 0; c < nC; c++ {
+			if v, ok := xVar[c][r]; ok {
+				prob.AddTerm(row, v, float64(m.Clusters.Width[c]))
+				used = true
+			}
+		}
+		prob.AddTerm(row, yVar[r], -float64(m.Cap))
+		if !used {
+			// Row unreachable after pruning; its indicator may still count
+			// toward Eq. 5 (an empty minority row is legal).
+			continue
+		}
+	}
+	// Eq. 5.
+	card := prob.AddConstraint(lp.EQ, float64(m.NminR))
+	for r := 0; r < nR; r++ {
+		prob.AddTerm(card, yVar[r], 1)
+	}
+
+	// Root cut generation: the aggregated capacity linking (Eq. 4) leaves a
+	// weak LP relaxation — fractional y_r can spread thinly across all rows
+	// while every cluster sits wholly on its cheapest row. The classic
+	// facility-location strengthening x_cr ≤ y_r closes most of that gap;
+	// adding all N_C·N_R of them up front would blow up the basis, so we
+	// generate only the violated ones from successive LP relaxations.
+	maxCuts := opt.RootCuts
+	if maxCuts == 0 {
+		maxCuts = 400
+	}
+	if maxCuts > 0 {
+		totalCuts := 0
+		for round := 0; round < 6 && totalCuts < maxCuts; round++ {
+			// The cut loop shares the MILP time budget: at most half of it
+			// may go into root strengthening so the search still gets time.
+			if opt.MILP.TimeLimit > 0 && time.Since(start) > opt.MILP.TimeLimit/2 {
+				break
+			}
+			rel := prob.Solve(lp.Options{})
+			if rel.Status != lp.Optimal {
+				break
+			}
+			// The LP relaxation is a lower bound on the ILP optimum: once
+			// the greedy incumbent matches it (within the MILP gap), the
+			// greedy solution is proven optimal and the search is skipped.
+			gap := opt.MILP.RelGap
+			if gap < 1e-5 {
+				gap = 1e-5 // absorb LP numerical slop on ~1e6-scale costs
+			}
+			if greedy.Objective <= rel.Obj+gap*math.Max(1, math.Abs(greedy.Objective)) {
+				greedy.Stats.Method = "ilp"
+				greedy.Stats.NumVars = prob.NumVars()
+				greedy.Stats.Optimal = true
+				greedy.Stats.MILPStatus = milp.Optimal
+				greedy.Stats.Runtime = time.Since(start)
+				return greedy, nil
+			}
+			type viol struct {
+				c, r int
+				v    float64
+			}
+			var vs []viol
+			for c := 0; c < nC; c++ {
+				for _, r := range cand[c] {
+					if d := rel.X[xVar[c][r]] - rel.X[yVar[r]]; d > 0.01 {
+						vs = append(vs, viol{c, r, d})
+					}
+				}
+			}
+			if len(vs) == 0 {
+				break
+			}
+			sort.Slice(vs, func(a, b int) bool {
+				if vs[a].v != vs[b].v {
+					return vs[a].v > vs[b].v
+				}
+				return vs[a].c*nR+vs[a].r < vs[b].c*nR+vs[b].r
+			})
+			room := maxCuts - totalCuts
+			if len(vs) > room {
+				vs = vs[:room]
+			}
+			for _, vv := range vs {
+				row := prob.AddConstraint(lp.LE, 0)
+				prob.AddTerm(row, xVar[vv.c][vv.r], 1)
+				prob.AddTerm(row, yVar[vv.r], -1)
+			}
+			totalCuts += len(vs)
+		}
+	}
+
+	bins := make([]int, 0, prob.NumVars())
+	pri := make([]float64, prob.NumVars())
+	for c := 0; c < nC; c++ {
+		for _, r := range cand[c] {
+			bins = append(bins, xVar[c][r])
+		}
+	}
+	for r := 0; r < nR; r++ {
+		bins = append(bins, yVar[r])
+		pri[yVar[r]] = 4 // branch row indicators first
+	}
+
+	// Warm start from greedy.
+	warm := make([]float64, prob.NumVars())
+	for c := 0; c < nC; c++ {
+		warm[xVar[c][greedy.ClusterPair[c]]] = 1
+	}
+	for _, r := range greedy.MinorityPairs {
+		warm[yVar[r]] = 1
+	}
+
+	milpOpt := opt.MILP
+	if milpOpt.TimeLimit > 0 {
+		milpOpt.TimeLimit -= time.Since(start)
+		if milpOpt.TimeLimit < time.Second {
+			milpOpt.TimeLimit = time.Second
+		}
+	}
+	res := milp.Solve(&milp.Problem{LP: prob, Binary: bins, Priority: pri}, warm, milpOpt)
+	if res.Status == milp.Infeasible || res.Status == milp.Limit {
+		// Fall back to greedy (pruning can in principle make the ILP
+		// infeasible; the greedy solution is always feasible).
+		greedy.Stats.Runtime = time.Since(start)
+		greedy.Stats.MILPStatus = res.Status
+		return greedy, nil
+	}
+
+	out := &Assignment{ClusterPair: make([]int, nC)}
+	for c := 0; c < nC; c++ {
+		best, bestV := greedy.ClusterPair[c], 0.5
+		for _, r := range cand[c] {
+			if v := res.X[xVar[c][r]]; v > bestV {
+				best, bestV = r, v
+			}
+		}
+		out.ClusterPair[c] = best
+	}
+	chosen := map[int]bool{}
+	for r := 0; r < nR; r++ {
+		if res.X[yVar[r]] > 0.5 {
+			chosen[r] = true
+		}
+	}
+	for _, r := range out.ClusterPair {
+		chosen[r] = true
+	}
+	out.MinorityPairs = sortedKeys(chosen)
+	out.Objective = objectiveOf(m, out.ClusterPair)
+	out.Stats = SolveStats{
+		Method:     "ilp",
+		NumVars:    prob.NumVars(),
+		NumBinary:  len(bins),
+		Nodes:      res.Nodes,
+		LPIters:    res.LPIters,
+		MILPStatus: res.Status,
+		Runtime:    time.Since(start),
+		Optimal:    res.Status == milp.Optimal,
+	}
+	if len(out.MinorityPairs) > m.NminR {
+		return nil, fmt.Errorf("core: ILP produced %d minority pairs, budget %d", len(out.MinorityPairs), m.NminR)
+	}
+	padMinorityPairs(m, out)
+	return out, nil
+}
+
+// padMinorityPairs tops the chosen set up to exactly N_minR pairs (empty
+// minority rows are legal and keep the fairness rule N_minR = Flow (2)'s).
+func padMinorityPairs(m *Model, a *Assignment) {
+	have := map[int]bool{}
+	for _, r := range a.MinorityPairs {
+		have[r] = true
+	}
+	for r := 0; len(a.MinorityPairs) < m.NminR && r < m.NR; r++ {
+		if !have[r] {
+			a.MinorityPairs = append(a.MinorityPairs, r)
+			have[r] = true
+		}
+	}
+	sort.Ints(a.MinorityPairs)
+}
+
+// SolveGreedy builds a feasible RAP solution: choose N_minR pairs at the
+// weighted quantiles of the cluster y-distribution, assign clusters
+// cheapest-first under capacity, then improve with relocation passes. It is
+// both the ILP warm start and the large-instance fallback.
+func SolveGreedy(m *Model) (*Assignment, error) {
+	start := time.Now()
+	nC, nR := m.Clusters.N(), m.NR
+	out := &Assignment{ClusterPair: make([]int, nC)}
+	if nC == 0 {
+		for r := 0; r < m.NminR; r++ {
+			out.MinorityPairs = append(out.MinorityPairs, r)
+		}
+		out.Stats = SolveStats{Method: "greedy", Runtime: time.Since(start)}
+		return out, nil
+	}
+
+	// Quantile seeding over cluster centers weighted by width.
+	type cw struct {
+		y float64
+		w int64
+	}
+	cws := make([]cw, nC)
+	var totalW int64
+	for c := 0; c < nC; c++ {
+		cws[c] = cw{m.Clusters.CenterY[c], m.Clusters.Width[c]}
+		totalW += m.Clusters.Width[c]
+	}
+	sort.Slice(cws, func(a, b int) bool { return cws[a].y < cws[b].y })
+	chosen := make([]bool, nR)
+	var pairs []int
+	var acc int64
+	k := 0
+	for _, e := range cws {
+		acc += e.w
+		for k < m.NminR && acc*int64(m.NminR) >= totalW*int64(k)+totalW/2 {
+			r := nearestFreePair(m, e.y, chosen)
+			if r >= 0 {
+				chosen[r] = true
+				pairs = append(pairs, r)
+			}
+			k++
+		}
+	}
+	for len(pairs) < m.NminR {
+		for r := 0; r < nR; r++ {
+			if !chosen[r] {
+				chosen[r] = true
+				pairs = append(pairs, r)
+				break
+			}
+		}
+	}
+	sort.Ints(pairs)
+
+	// Cheapest-feasible assignment, widest clusters first.
+	order := allRows(nC)
+	sort.Slice(order, func(a, b int) bool {
+		if m.Clusters.Width[order[a]] != m.Clusters.Width[order[b]] {
+			return m.Clusters.Width[order[a]] > m.Clusters.Width[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int64, nR)
+	for _, c := range order {
+		best, bestCost := -1, math.Inf(1)
+		for _, r := range pairs {
+			if load[r]+m.Clusters.Width[c] > m.Cap {
+				continue
+			}
+			if m.Cost[c][r] < bestCost {
+				best, bestCost = r, m.Cost[c][r]
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("core: greedy could not host cluster %d (width %d)", c, m.Clusters.Width[c])
+		}
+		out.ClusterPair[c] = best
+		load[best] += m.Clusters.Width[c]
+	}
+
+	// Relocation improvement passes.
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for c := 0; c < nC; c++ {
+			cur := out.ClusterPair[c]
+			for _, r := range pairs {
+				if r == cur || load[r]+m.Clusters.Width[c] > m.Cap {
+					continue
+				}
+				if m.Cost[c][r]+1e-9 < m.Cost[c][cur] {
+					load[cur] -= m.Clusters.Width[c]
+					load[r] += m.Clusters.Width[c]
+					out.ClusterPair[c] = r
+					cur = r
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	out.MinorityPairs = pairs
+	out.Objective = objectiveOf(m, out.ClusterPair)
+	out.Stats = SolveStats{Method: "greedy", Runtime: time.Since(start)}
+	return out, nil
+}
+
+func nearestFreePair(m *Model, y float64, chosen []bool) int {
+	best, bestD := -1, math.Inf(1)
+	for r := 0; r < m.NR; r++ {
+		if chosen[r] {
+			continue
+		}
+		d := math.Abs(float64(m.PairCenterY[r]) - y)
+		if d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+func objectiveOf(m *Model, clusterPair []int) float64 {
+	var obj float64
+	for c, r := range clusterPair {
+		obj += m.Cost[c][r]
+	}
+	return obj
+}
+
+func allRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RowAssignment is the complete outcome of AssignRows: the restacked die and
+// the minority-cell seeding derived from the cluster assignment.
+type RowAssignment struct {
+	// Heights is the per-pair track-height vector (uniform-grid order).
+	Heights []tech.TrackHeight
+	// Stack is the restacked die.
+	Stack *rowgrid.MixedStack
+	// CellPair maps each minority instance to its assigned pair index.
+	CellPair map[int32]int
+	// SeedY maps each minority instance to the bottom y of its pair in the
+	// restacked die (input to the fence-aware legalizer).
+	SeedY map[int32]int64
+	// Assignment is the underlying RAP solution.
+	Assignment *Assignment
+	// Clusters used by the solve.
+	Clusters *Clusters
+}
+
+// Options bundle the full row-assignment configuration (§III).
+type Options struct {
+	// S is the clustering resolution (paper: 0.2).
+	S float64
+	// Cost holds α and the capacity derating.
+	Cost CostParams
+	// Solve tunes the ILP.
+	Solve SolveOptions
+	// KMeansIters bounds the Lloyd iterations (default 30).
+	KMeansIters int
+}
+
+// DefaultOptions mirror the paper's final parameter choices (s = 0.2,
+// α = 0.75). The MILP budgets differ from CPLEX's pure optimality run: the
+// branch and bound stops at a 0.2% optimality gap or 400 nodes (documented
+// substitution in DESIGN.md — the root cuts almost always prove optimality
+// at the root anyway, and a 0.2% objective slack is far below the
+// flow-to-flow differences the experiments measure).
+func DefaultOptions() Options {
+	return Options{
+		S:    0.2,
+		Cost: DefaultCostParams(),
+		Solve: SolveOptions{
+			CandidateRows: 12,
+			MILP:          milp.Options{MaxNodes: 40, RelGap: 0.002, TimeLimit: 12 * time.Second},
+		},
+	}
+}
+
+// AssignRows runs the full proposed row assignment on a design in mLEF form
+// placed on the uniform grid g: cluster, build the ILP cost model, solve,
+// restack the die, and derive the per-cell seeding.
+func AssignRows(d *netlist.Design, g rowgrid.PairGrid, nMinR int, opt Options) (*RowAssignment, error) {
+	cl, err := BuildClusters(d, opt.S, opt.KMeansIters)
+	if err != nil {
+		return nil, err
+	}
+	model, err := BuildModel(d, g, cl, nMinR, opt.Cost)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := SolveILP(model, opt.Solve)
+	if err != nil {
+		return nil, err
+	}
+	return Finalize(d, g, model, cl, sol)
+}
+
+// Finalize converts a RAP solution into the restacked die and cell seeding.
+func Finalize(d *netlist.Design, g rowgrid.PairGrid, m *Model, cl *Clusters, sol *Assignment) (*RowAssignment, error) {
+	hs := m.Heights(sol.MinorityPairs)
+	ms, err := rowgrid.Stack(d.Die, hs, d.Tech)
+	if err != nil {
+		return nil, err
+	}
+	ra := &RowAssignment{
+		Heights:    hs,
+		Stack:      ms,
+		CellPair:   make(map[int32]int),
+		SeedY:      make(map[int32]int64),
+		Assignment: sol,
+		Clusters:   cl,
+	}
+	for c, r := range sol.ClusterPair {
+		for _, i := range cl.Members[c] {
+			ra.CellPair[i] = r
+			ra.SeedY[i] = ms.Y[r]
+		}
+	}
+	return ra, nil
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"fmt"
+
+	"mthplace/internal/flow"
+	"mthplace/internal/metrics"
+	"mthplace/internal/synth"
+)
+
+// AblationResult is the clustering-impact study of §IV-B.4: the unclustered
+// ILP (s = 1) against s = 0.5 (two cells per cluster on average) and the
+// chosen s = 0.2, under the same legalization (Flow 4 pipeline).
+type AblationResult struct {
+	Scale float64
+	// Per sweep point (s = 1.0, 0.5, 0.2): mean ILP runtime reduction vs
+	// unclustered (%), displacement overhead (%), HPWL overhead (%).
+	SValues       []float64
+	RuntimeCut    []float64
+	DispOverhead  []float64
+	HPWLOverhead  []float64
+	TestcaseCount int
+}
+
+// Ablation quantifies how clustering trades ILP runtime against QoR.
+func Ablation(cfg Config) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Specs) == 26 {
+		// The full suite at s=1 is slow; the paper's conclusion needs only
+		// representative coverage.
+		cfg.Specs = synth.ParameterSweepSpecs()
+	}
+	sValues := []float64{1.0, 0.5, 0.2}
+	out := &AblationResult{
+		Scale:        cfg.Scale,
+		SValues:      sValues,
+		RuntimeCut:   make([]float64, len(sValues)),
+		DispOverhead: make([]float64, len(sValues)),
+		HPWLOverhead: make([]float64, len(sValues)),
+	}
+	for _, spec := range cfg.Specs {
+		r, err := cfg.runner(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		rts := make([]float64, len(sValues))
+		disp := make([]float64, len(sValues))
+		hpwl := make([]float64, len(sValues))
+		for vi, s := range sValues {
+			r.Cfg.Core.S = s
+			res, err := r.Run(flow.Flow4, false)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
+			}
+			rts[vi] = res.Metrics.RAPTime.Seconds()
+			disp[vi] = float64(res.Metrics.Displacement)
+			hpwl[vi] = float64(res.Metrics.HPWL)
+		}
+		for vi := range sValues {
+			if rts[0] > 0 {
+				out.RuntimeCut[vi] += 100 * (1 - rts[vi]/rts[0])
+			}
+			if disp[0] > 0 {
+				out.DispOverhead[vi] += 100 * (disp[vi]/disp[0] - 1)
+			}
+			if hpwl[0] > 0 {
+				out.HPWLOverhead[vi] += 100 * (hpwl[vi]/hpwl[0] - 1)
+			}
+		}
+		out.TestcaseCount++
+		cfg.logf("ablation: %s rt=%v", spec.Name(), rts)
+	}
+	for vi := range sValues {
+		out.RuntimeCut[vi] /= float64(out.TestcaseCount)
+		out.DispOverhead[vi] /= float64(out.TestcaseCount)
+		out.HPWLOverhead[vi] /= float64(out.TestcaseCount)
+	}
+	return out, nil
+}
+
+// Table renders the ablation.
+func (r *AblationResult) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Clustering ablation (§IV-B.4, scale %.2f, %d testcases; vs unclustered ILP)", r.Scale, r.TestcaseCount),
+		Headers: []string{"s", "ILP runtime cut (%)", "disp overhead (%)", "HPWL overhead (%)"},
+	}
+	for i, s := range r.SValues {
+		t.Add(metrics.F(s, 2), metrics.F(r.RuntimeCut[i], 1),
+			metrics.F(r.DispOverhead[i], 1), metrics.F(r.HPWLOverhead[i], 2))
+	}
+	return t
+}
+
+// ProfileResult is the runtime share study of §IV-B.3: the fraction of
+// placement time spent solving the RAP vs legalizing, by testcase size
+// class.
+type ProfileResult struct {
+	Scale float64
+	// Size class thresholds scale with the experiment scale (the paper's
+	// 3000/5000 minority instances at scale 1.0).
+	SmallMax, MediumMax int
+	// Per class: testcase count, mean RAP share (%), mean legalization
+	// share (%).
+	Count      [3]int
+	RAPShare   [3]float64
+	LegalShare [3]float64
+}
+
+// Profile measures Flow (5) stage runtimes by size class.
+func Profile(cfg Config) (*ProfileResult, error) {
+	cfg = cfg.withDefaults()
+	out := &ProfileResult{
+		Scale:     cfg.Scale,
+		SmallMax:  int(3000 * cfg.Scale),
+		MediumMax: int(5000 * cfg.Scale),
+	}
+	for _, spec := range cfg.Specs {
+		r, err := cfg.runner(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		res, err := r.Run(flow.Flow5, false)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		m := res.Metrics
+		total := m.RAPTime.Seconds() + m.LegalTime.Seconds()
+		if total <= 0 {
+			continue
+		}
+		class := 2
+		if m.NumMinority < out.SmallMax {
+			class = 0
+		} else if m.NumMinority <= out.MediumMax {
+			class = 1
+		}
+		out.Count[class]++
+		out.RAPShare[class] += 100 * m.RAPTime.Seconds() / total
+		out.LegalShare[class] += 100 * m.LegalTime.Seconds() / total
+		cfg.logf("profile: %s class=%d rap=%.2fs legal=%.2fs", spec.Name(), class,
+			m.RAPTime.Seconds(), m.LegalTime.Seconds())
+	}
+	for c := 0; c < 3; c++ {
+		if out.Count[c] > 0 {
+			out.RAPShare[c] /= float64(out.Count[c])
+			out.LegalShare[c] /= float64(out.Count[c])
+		}
+	}
+	return out, nil
+}
+
+// Table renders the profile.
+func (r *ProfileResult) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Runtime profile (§IV-B.3, scale %.2f; size classes <%d / %d-%d / >%d minority)",
+			r.Scale, r.SmallMax, r.SmallMax, r.MediumMax, r.MediumMax),
+		Headers: []string{"class", "#cases", "RAP share (%)", "legalization share (%)"},
+	}
+	names := []string{"small", "medium", "large"}
+	for c := 0; c < 3; c++ {
+		t.Add(names[c], fmt.Sprint(r.Count[c]), metrics.F(r.RAPShare[c], 2), metrics.F(r.LegalShare[c], 2))
+	}
+	return t
+}
+
+// OverheadResult is §IV-B.6: the cost of the row-constraint relative to the
+// unconstrained Flow (1), for the prior work and the proposed flow.
+type OverheadResult struct {
+	Scale float64
+	// Percent overheads vs Flow (1).
+	HPWLFlow2, HPWLFlow5   float64
+	WLFlow2, WLFlow5       float64
+	PowerFlow2, PowerFlow5 float64
+}
+
+// Overhead derives the §IV-B.6 comparison from already-computed Table IV
+// and Table V results.
+func Overhead(t4 *Table4Result, t5 *Table5Result) *OverheadResult {
+	out := &OverheadResult{Scale: t4.Scale}
+	var n4 float64
+	for _, row := range t4.Rows {
+		if row.HPWL[0] == 0 {
+			continue
+		}
+		out.HPWLFlow2 += 100 * (float64(row.HPWL[1])/float64(row.HPWL[0]) - 1)
+		out.HPWLFlow5 += 100 * (float64(row.HPWL[4])/float64(row.HPWL[0]) - 1)
+		n4++
+	}
+	if n4 > 0 {
+		out.HPWLFlow2 /= n4
+		out.HPWLFlow5 /= n4
+	}
+	var n5 float64
+	for _, row := range t5.Rows {
+		if row.WL[0] == 0 || row.Power[0] == 0 {
+			continue
+		}
+		out.WLFlow2 += 100 * (float64(row.WL[1])/float64(row.WL[0]) - 1)
+		out.WLFlow5 += 100 * (float64(row.WL[3])/float64(row.WL[0]) - 1)
+		out.PowerFlow2 += 100 * (row.Power[1]/row.Power[0] - 1)
+		out.PowerFlow5 += 100 * (row.Power[3]/row.Power[0] - 1)
+		n5++
+	}
+	if n5 > 0 {
+		out.WLFlow2 /= n5
+		out.WLFlow5 /= n5
+		out.PowerFlow2 /= n5
+		out.PowerFlow5 /= n5
+	}
+	return out
+}
+
+// Table renders the overhead study.
+func (r *OverheadResult) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Row-constraint overhead vs unconstrained Flow (1) (§IV-B.6, scale %.2f)", r.Scale),
+		Headers: []string{"metric", "Flow(2) [10] (%)", "Flow(5) ours (%)"},
+	}
+	t.Add("post-place HPWL", metrics.F(r.HPWLFlow2, 1), metrics.F(r.HPWLFlow5, 1))
+	t.Add("routed wirelength", metrics.F(r.WLFlow2, 1), metrics.F(r.WLFlow5, 1))
+	t.Add("total power", metrics.F(r.PowerFlow2, 1), metrics.F(r.PowerFlow5, 1))
+	return t
+}

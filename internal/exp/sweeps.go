@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+
+	"mthplace/internal/flow"
+	"mthplace/internal/metrics"
+	"mthplace/internal/synth"
+)
+
+// DefaultSValues are the clustering-resolution sweep points of Fig. 4(a).
+var DefaultSValues = []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0}
+
+// DefaultAlphaValues are the α sweep points of Fig. 4(b).
+var DefaultAlphaValues = []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+// SweepResult holds one parameter sweep: per sweep point, the 0–1
+// normalised-and-averaged metrics, as plotted in Fig. 4.
+type SweepResult struct {
+	Scale  float64
+	Param  string
+	Values []float64
+	// NormDisp/NormHPWL/NormRuntime are averaged 0–1 normalised series
+	// (runtime only for the s sweep).
+	NormDisp    []float64
+	NormHPWL    []float64
+	NormRuntime []float64
+	// Best is the recommended value (minimising disp+HPWL, runtime as
+	// tiebreak) — the paper's red arrow.
+	Best float64
+}
+
+// Fig4a sweeps the clustering resolution s on the 14 representative
+// testcases, measuring post-placement displacement, HPWL and ILP runtime of
+// the proposed flow under the prior work's legalization (Flow 4 pipeline),
+// exactly the quantities of Fig. 4(a).
+func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Specs == nil || len(cfg.Specs) == 26 {
+		cfg.Specs = synth.ParameterSweepSpecs()
+	}
+	if values == nil {
+		values = DefaultSValues
+	}
+	out := &SweepResult{Scale: cfg.Scale, Param: "s", Values: values}
+	var dispSeries, hpwlSeries, timeSeries [][]float64
+	for _, spec := range cfg.Specs {
+		r, err := cfg.runner(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		disp := make([]float64, len(values))
+		hpwl := make([]float64, len(values))
+		rt := make([]float64, len(values))
+		for vi, s := range values {
+			r.Cfg.Core.S = s
+			res, err := r.Run(flow.Flow4, false)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
+			}
+			disp[vi] = float64(res.Metrics.Displacement)
+			hpwl[vi] = float64(res.Metrics.HPWL)
+			rt[vi] = res.Metrics.RAPTime.Seconds()
+			cfg.logf("fig4a: %s s=%.2f disp=%.0f hpwl=%.0f rap=%.2fs",
+				spec.Name(), s, disp[vi], hpwl[vi], rt[vi])
+		}
+		dispSeries = append(dispSeries, metrics.ZeroOne(disp))
+		hpwlSeries = append(hpwlSeries, metrics.ZeroOne(hpwl))
+		timeSeries = append(timeSeries, metrics.ZeroOne(rt))
+	}
+	out.NormDisp = metrics.MeanColumns(dispSeries)
+	out.NormHPWL = metrics.MeanColumns(hpwlSeries)
+	out.NormRuntime = metrics.MeanColumns(timeSeries)
+	out.Best = pickBest(values, out.NormDisp, out.NormHPWL, out.NormRuntime)
+	return out, nil
+}
+
+// Fig4b sweeps α at fixed s, measuring displacement and HPWL (Fig. 4(b)).
+func Fig4b(cfg Config, values []float64) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Specs == nil || len(cfg.Specs) == 26 {
+		cfg.Specs = synth.ParameterSweepSpecs()
+	}
+	if values == nil {
+		values = DefaultAlphaValues
+	}
+	out := &SweepResult{Scale: cfg.Scale, Param: "alpha", Values: values}
+	var dispSeries, hpwlSeries [][]float64
+	for _, spec := range cfg.Specs {
+		r, err := cfg.runner(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		disp := make([]float64, len(values))
+		hpwl := make([]float64, len(values))
+		for vi, a := range values {
+			r.Cfg.Core.Cost.Alpha = a
+			res, err := r.Run(flow.Flow4, false)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s alpha=%.2f: %w", spec.Name(), a, err)
+			}
+			disp[vi] = float64(res.Metrics.Displacement)
+			hpwl[vi] = float64(res.Metrics.HPWL)
+			cfg.logf("fig4b: %s alpha=%.2f disp=%.0f hpwl=%.0f", spec.Name(), a, disp[vi], hpwl[vi])
+		}
+		dispSeries = append(dispSeries, metrics.ZeroOne(disp))
+		hpwlSeries = append(hpwlSeries, metrics.ZeroOne(hpwl))
+	}
+	out.NormDisp = metrics.MeanColumns(dispSeries)
+	out.NormHPWL = metrics.MeanColumns(hpwlSeries)
+	out.Best = pickBest(values, out.NormDisp, out.NormHPWL, nil)
+	return out, nil
+}
+
+// pickBest selects the sweep value minimising disp+HPWL with runtime as a
+// mild tiebreaker (×0.25), mirroring the paper's manual "red arrow" choice.
+func pickBest(values, disp, hpwl, rt []float64) float64 {
+	best, bestCost := values[0], 1e18
+	for i := range values {
+		c := disp[i] + hpwl[i]
+		if rt != nil {
+			c += 0.25 * rt[i]
+		}
+		if c < bestCost {
+			best, bestCost = values[i], c
+		}
+	}
+	return best
+}
+
+// Table renders a sweep.
+func (r *SweepResult) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Fig. 4 sweep of %s (scale %.2f; 0-1 normalised, averaged over testcases)", r.Param, r.Scale),
+		Headers: []string{r.Param, "norm disp", "norm HPWL", "norm ILP time"},
+	}
+	for i, v := range r.Values {
+		rt := "-"
+		if r.NormRuntime != nil {
+			rt = metrics.F(r.NormRuntime[i], 3)
+		}
+		mark := ""
+		if v == r.Best {
+			mark = "  <== chosen"
+		}
+		t.Add(metrics.F(v, 2), metrics.F(r.NormDisp[i], 3), metrics.F(r.NormHPWL[i], 3), rt+mark)
+	}
+	return t
+}
+
+// Fig5Point is one testcase's ILP scaling sample.
+type Fig5Point struct {
+	Name        string
+	NumMinority int
+	ILPSeconds  float64
+}
+
+// Fig5Result is the ILP-runtime-vs-minority-count scaling study.
+type Fig5Result struct {
+	Scale  float64
+	Points []Fig5Point
+	// Slope/Intercept/R of the least-squares line (paper: strong linear
+	// correlation).
+	Slope, Intercept, R float64
+}
+
+// Fig5 runs Flow (5)'s row assignment on every testcase and fits ILP
+// runtime against the number of minority instances.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	out := &Fig5Result{Scale: cfg.Scale}
+	var xs, ys []float64
+	for _, spec := range cfg.Specs {
+		r, err := cfg.runner(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		res, err := r.Run(flow.Flow5, false)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+		}
+		p := Fig5Point{
+			Name:        spec.Name(),
+			NumMinority: res.Metrics.NumMinority,
+			ILPSeconds:  res.Metrics.RAPTime.Seconds(),
+		}
+		out.Points = append(out.Points, p)
+		xs = append(xs, float64(p.NumMinority))
+		ys = append(ys, p.ILPSeconds)
+		cfg.logf("fig5: %s minority=%d ilp=%.2fs", p.Name, p.NumMinority, p.ILPSeconds)
+	}
+	out.Slope, out.Intercept, out.R = metrics.LinearFit(xs, ys)
+	return out, nil
+}
+
+// Table renders the scaling study.
+func (r *Fig5Result) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Fig. 5 — ILP runtime vs minority instances (scale %.2f; fit: t = %.3g·n %+.3g, r = %.3f)",
+			r.Scale, r.Slope, r.Intercept, r.R),
+		Headers: []string{"testcase", "#minority", "ILP time (s)"},
+	}
+	for _, p := range r.Points {
+		t.Add(p.Name, fmt.Sprint(p.NumMinority), metrics.F(p.ILPSeconds, 3))
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package flow
+
+import (
+	"testing"
+
+	"mthplace/internal/finflex"
+	"mthplace/internal/legalize"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+func TestRunFinFlexAutoPattern(t *testing.T) {
+	r := newRunner(t, 0.02)
+	res, err := r.RunFinFlex(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Flow != FlowFinFlex {
+		t.Errorf("flow tag = %v", res.Metrics.Flow)
+	}
+	if err := legalize.VerifyMixed(res.Design, res.Stack); err != nil {
+		t.Fatalf("finflex placement illegal: %v", err)
+	}
+	if res.Metrics.HPWL <= 0 || res.Metrics.Displacement <= 0 {
+		t.Errorf("missing metrics: %+v", res.Metrics)
+	}
+	// Pattern structure: tall pairs appear at a fixed stride.
+	tall := res.Stack.PairsOf(tech.Tall7p5T)
+	if len(tall) < 2 {
+		t.Fatalf("pattern produced %d tall pairs", len(tall))
+	}
+	stride := tall[1] - tall[0]
+	for k := 1; k < len(tall); k++ {
+		if tall[k]-tall[k-1] != stride {
+			t.Fatalf("tall pairs not periodic: %v", tall)
+		}
+	}
+}
+
+func TestRunFinFlexExplicitPatternTooDense(t *testing.T) {
+	r := newRunner(t, 0.015)
+	// A pattern with no tall rows cannot host minority cells.
+	_, err := r.RunFinFlex(finflex.Pattern{tech.Short6T}, false)
+	if err == nil {
+		t.Fatal("all-short pattern must fail")
+	}
+}
+
+func TestRunFinFlexVsFlow5(t *testing.T) {
+	r := newRunner(t, 0.02)
+	f5, err := r.Run(Flow5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := r.RunFinFlex(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-determined pattern is more constrained; it should not beat
+	// the customised rows by much (allow 10% noise on tiny designs).
+	if float64(ff.Metrics.HPWL) < 0.9*float64(f5.Metrics.HPWL) {
+		t.Errorf("finflex HPWL %d improbably beats flow5 %d", ff.Metrics.HPWL, f5.Metrics.HPWL)
+	}
+	_ = synth.TableII
+}

@@ -1,0 +1,320 @@
+// Package flow wires the substrates into the five placement flows compared
+// in Table III of the paper:
+//
+//	Flow (1): unconstrained mLEF placement (no row assignment, no
+//	          row-constraint legalization) — the baseline reference.
+//	Flow (2): row assignment of the prior work [10] (y k-means) + the prior
+//	          work's row-constraint Abacus legalization.
+//	Flow (3): row assignment of [10] + the proposed fence-aware
+//	          legalization.
+//	Flow (4): the proposed ILP row assignment + [10]'s legalization.
+//	Flow (5): the proposed ILP row assignment + the proposed fence-aware
+//	          legalization (the paper's final flow).
+//
+// All five start from the same unconstrained initial placement; flows
+// (2)–(5) revert the mLEF transform and legalize onto the restacked
+// mixed-height die. For fairness, N_minR for the ILP flows is taken from
+// Flow (2)'s result, as in the paper.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"mthplace/internal/baseline"
+	"mthplace/internal/celllib"
+	"mthplace/internal/core"
+	"mthplace/internal/geom"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/legalize"
+	"mthplace/internal/netlist"
+	"mthplace/internal/placer"
+	"mthplace/internal/power"
+	"mthplace/internal/route"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/sta"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+// ID names a flow.
+type ID int
+
+// The five flows of Table III.
+const (
+	Flow1 ID = iota + 1
+	Flow2
+	Flow3
+	Flow4
+	Flow5
+)
+
+// String implements fmt.Stringer.
+func (id ID) String() string { return fmt.Sprintf("Flow(%d)", int(id)) }
+
+// UsesILP reports whether the flow runs the proposed row assignment.
+func (id ID) UsesILP() bool { return id == Flow4 || id == Flow5 }
+
+// UsesFenceLegalization reports whether the flow runs the proposed
+// legalization.
+func (id ID) UsesFenceLegalization() bool { return id == Flow3 || id == Flow5 }
+
+// Config bundles all stage options.
+type Config struct {
+	Synth    synth.Options
+	Placer   placer.Options
+	Core     core.Options
+	Baseline baseline.Options
+	// FencePasses is the median-improvement pass count of the proposed
+	// legalization (default 3).
+	FencePasses int
+	Route       route.Options
+	STA         sta.Options
+	Power       power.Options
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		Synth:       synth.DefaultOptions(),
+		Core:        core.DefaultOptions(),
+		Baseline:    baseline.DefaultOptions(),
+		FencePasses: 3,
+	}
+}
+
+// Metrics are the per-flow measurements of Tables IV and V.
+type Metrics struct {
+	Flow ID
+	// Post-placement (Table IV).
+	Displacement int64
+	HPWL         int64
+	RAPTime      time.Duration
+	LegalTime    time.Duration
+	TotalTime    time.Duration
+	// Solver statistics (Fig. 5, §IV-B.3/4).
+	NumClusters int
+	NumMinority int
+	NminR       int
+	ILPVars     int
+	// Post-route (Table V); populated when routing was requested.
+	Routed   bool
+	RoutedWL int64
+	PowerMW  float64
+	WNSps    float64
+	TNSps    float64
+	Overflow int
+}
+
+// Result is a completed flow: the final design and its metrics.
+type Result struct {
+	Design  *netlist.Design
+	Stack   *rowgrid.MixedStack
+	Metrics Metrics
+}
+
+// Runner prepares a testcase once (synthesis, mLEF, initial placement) and
+// runs any of the five flows from that shared starting point.
+type Runner struct {
+	Spec synth.Spec
+	Cfg  Config
+
+	Tech *tech.Tech
+	Lib  *celllib.Library
+
+	// Base is the Flow (1) design: mLEF form, globally placed, uniformly
+	// legalized. Flows clone it; never mutate it.
+	Base *netlist.Design
+	// Grid is the uniform mLEF pair grid.
+	Grid rowgrid.PairGrid
+	// RefPos are Flow (1) positions (displacement reference).
+	RefPos []geom.Point
+	// NminR is Flow (2)'s minority row count (the fairness budget).
+	NminR int
+	// InitTime is the shared synthesis+placement preparation time.
+	InitTime time.Duration
+
+	baseAssign *baseline.Result
+}
+
+// NewRunner generates the testcase and the unconstrained initial placement.
+func NewRunner(spec synth.Spec, cfg Config) (*Runner, error) {
+	start := time.Now()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	d, err := synth.Generate(tc, lib, spec, cfg.Synth)
+	if err != nil {
+		return nil, err
+	}
+	m, err := lefdef.ApplyMLEF(d)
+	if err != nil {
+		return nil, err
+	}
+	placer.Global(d, cfg.Placer)
+	g := rowgrid.Uniform(d.Die, m.PairH)
+	if err := legalize.Uniform(d, g); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		Spec: spec, Cfg: cfg, Tech: tc, Lib: lib,
+		Base: d, Grid: g, RefPos: d.Positions(),
+	}
+	// Flow (2)'s assignment fixes N_minR for every row-constraint flow.
+	ba, err := baseline.AssignRows(d, g, cfg.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("flow: baseline row assignment: %w", err)
+	}
+	r.baseAssign = ba
+	r.NminR = ba.NminR
+	r.InitTime = time.Since(start)
+	return r, nil
+}
+
+// Run executes one flow. withRoute additionally routes the result and
+// fills the post-route metrics.
+func (r *Runner) Run(id ID, withRoute bool) (*Result, error) {
+	switch id {
+	case Flow1:
+		return r.runFlow1(withRoute)
+	case Flow2, Flow3, Flow4, Flow5:
+		return r.runConstraint(id, withRoute)
+	default:
+		return nil, fmt.Errorf("flow: unknown flow %d", int(id))
+	}
+}
+
+// RunAll executes every flow (Flow 3 is post-placement only in the paper's
+// Table V; we still route it when asked).
+func (r *Runner) RunAll(withRoute bool) (map[ID]*Result, error) {
+	out := make(map[ID]*Result, 5)
+	for _, id := range []ID{Flow1, Flow2, Flow3, Flow4, Flow5} {
+		res, err := r.Run(id, withRoute)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %v: %w", id, err)
+		}
+		out[id] = res
+	}
+	return out, nil
+}
+
+func (r *Runner) runFlow1(withRoute bool) (*Result, error) {
+	d := r.Base.Clone()
+	res := &Result{Design: d}
+	res.Metrics = Metrics{
+		Flow:         Flow1,
+		Displacement: 0,
+		HPWL:         d.TotalHPWL(),
+		TotalTime:    r.InitTime,
+		NumMinority:  len(d.MinorityInstances()),
+		NminR:        r.NminR,
+	}
+	if withRoute {
+		if err := r.routeAndSign(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
+	d := r.Base.Clone()
+	met := Metrics{Flow: id, NumMinority: len(d.MinorityInstances()), NminR: r.NminR}
+	start := time.Now()
+
+	// Row assignment.
+	var stack *rowgrid.MixedStack
+	var seedY map[int32]int64
+	var cellPair map[int32]int
+	if id.UsesILP() {
+		rapStart := time.Now()
+		ra, err := core.AssignRows(d, r.Grid, r.NminR, r.Cfg.Core)
+		if err != nil {
+			return nil, fmt.Errorf("row assignment: %w", err)
+		}
+		met.RAPTime = time.Since(rapStart)
+		met.NumClusters = ra.Clusters.N()
+		met.ILPVars = ra.Assignment.Stats.NumVars
+		stack = ra.Stack
+		seedY = ra.SeedY
+		cellPair = ra.CellPair
+	} else {
+		// Flows (2)/(3): the baseline assignment (already computed once for
+		// N_minR; recompute against this clone's identical placement to
+		// charge its runtime).
+		rapStart := time.Now()
+		ba, err := baseline.AssignRows(d, r.Grid, r.Cfg.Baseline)
+		if err != nil {
+			return nil, fmt.Errorf("baseline assignment: %w", err)
+		}
+		met.RAPTime = time.Since(rapStart)
+		met.NumClusters = ba.NminR
+		stack = ba.Stack
+		seedY = ba.SeedY
+		cellPair = ba.CellPair
+	}
+
+	// Back to true mixed-height cells, then legalize under row-constraint.
+	if err := lefdef.Revert(d); err != nil {
+		return nil, err
+	}
+	legalStart := time.Now()
+	if id.UsesFenceLegalization() {
+		if err := legalize.FenceAware(d, stack, seedY, r.Cfg.FencePasses); err != nil {
+			return nil, err
+		}
+	} else {
+		// [10]-style: move minority cells to their assigned rows, then
+		// displacement-minimising Abacus with each cell bound to its
+		// assigned pair (overflow spills, at a price).
+		for i, y := range seedY {
+			if !d.Insts[i].Fixed {
+				d.Insts[i].Pos.Y = y
+			}
+		}
+		if err := legalize.RowConstraintAssigned(d, stack, cellPair); err != nil {
+			return nil, err
+		}
+	}
+	met.LegalTime = time.Since(legalStart)
+	if err := legalize.VerifyMixed(d, stack); err != nil {
+		return nil, fmt.Errorf("flow %v produced illegal placement: %w", id, err)
+	}
+	met.TotalTime = time.Since(start)
+	met.Displacement = d.Displacement(r.RefPos)
+	met.HPWL = d.TotalHPWL()
+
+	res := &Result{Design: d, Stack: stack, Metrics: met}
+	if withRoute {
+		if err := r.routeAndSign(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// routeAndSign routes the result and fills post-route WL, power and timing.
+func (r *Runner) routeAndSign(res *Result) error {
+	rt, err := route.Route(res.Design, r.Cfg.Route)
+	if err != nil {
+		return err
+	}
+	staOpt := r.Cfg.STA
+	staOpt.NetLength = rt.NetLength
+	timing, err := sta.Analyze(res.Design, staOpt)
+	if err != nil {
+		return err
+	}
+	pwrOpt := r.Cfg.Power
+	pwrOpt.NetLength = rt.NetLength
+	pwr, err := power.Analyze(res.Design, pwrOpt)
+	if err != nil {
+		return err
+	}
+	res.Metrics.Routed = true
+	res.Metrics.RoutedWL = rt.WirelengthDBU
+	res.Metrics.Overflow = rt.Overflow
+	res.Metrics.WNSps = timing.WNSps
+	res.Metrics.TNSps = timing.TNSps
+	res.Metrics.PowerMW = pwr.TotalMW()
+	return nil
+}

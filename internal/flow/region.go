@@ -1,0 +1,56 @@
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"mthplace/internal/lefdef"
+	"mthplace/internal/legalize"
+	"mthplace/internal/regions"
+)
+
+// FlowRegion tags results of the region-based comparator flow (Fig. 1(a)
+// style; not part of Table III).
+const FlowRegion ID = 7
+
+// RunRegion places the testcase with the region-based strategy of Fig. 1(a)
+// (Dobre et al. [4]): one contiguous subregion per track-height with
+// breaker overhead between them, then fence-aware legalization restricted
+// accordingly. The paper's motivation — row-based beats region-based — can
+// be checked by comparing this against Flow (5).
+func (r *Runner) RunRegion(withRoute bool) (*Result, error) {
+	d := r.Base.Clone()
+	met := Metrics{Flow: FlowRegion, NumMinority: len(d.MinorityInstances())}
+	start := time.Now()
+
+	rapStart := time.Now()
+	part, err := regions.Build(d, r.Grid, regions.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("region partition: %w", err)
+	}
+	met.RAPTime = time.Since(rapStart)
+	met.NminR = len(part.MinorityPairs)
+
+	if err := lefdef.Revert(d); err != nil {
+		return nil, err
+	}
+	legalStart := time.Now()
+	if err := legalize.FenceAwareExcluding(d, part.Stack, part.SeedY, r.Cfg.FencePasses, part.BreakerSet()); err != nil {
+		return nil, fmt.Errorf("region legalization: %w", err)
+	}
+	met.LegalTime = time.Since(legalStart)
+	if err := legalize.VerifyMixed(d, part.Stack); err != nil {
+		return nil, fmt.Errorf("region flow produced illegal placement: %w", err)
+	}
+	met.TotalTime = time.Since(start)
+	met.Displacement = d.Displacement(r.RefPos)
+	met.HPWL = d.TotalHPWL()
+
+	res := &Result{Design: d, Stack: part.Stack, Metrics: met}
+	if withRoute {
+		if err := r.routeAndSign(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,286 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/geom"
+	"mthplace/internal/tech"
+)
+
+// WriteLEF serialises a set of masters in the compact LEF subset used by
+// this project. All distances are in DBU (nanometres). Timing and power
+// parameters are carried as PROPERTY records so the round trip is lossless.
+func WriteLEF(w io.Writer, t *tech.Tech, masters []*celllib.Master) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nUNITS DATABASE NANOMETERS 1 ;\n")
+	fmt.Fprintf(bw, "SITE coreSite SIZE %d BY %d ;\n", t.SiteWidth, t.RowHeight6T)
+	sorted := append([]*celllib.Master(nil), masters...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, m := range sorted {
+		fmt.Fprintf(bw, "MACRO %s\n", m.Name)
+		fmt.Fprintf(bw, "  CLASS CORE ;\n")
+		fmt.Fprintf(bw, "  SIZE %d BY %d ;\n", m.Width, m.RowH)
+		fmt.Fprintf(bw, "  PROPERTY kind %d drive %d height %d vt %d seq %d ;\n",
+			m.Kind, m.Drive, m.Height, m.VT, boolInt(m.Sequential))
+		fmt.Fprintf(bw, "  PROPERTY delay %s res %s energy %s leak %s ;\n",
+			ftoa(m.IntrinsicDelay), ftoa(m.DriveRes), ftoa(m.InternalEnergy), ftoa(m.Leakage))
+		for _, p := range m.Pins {
+			dir := "INPUT"
+			if p.Dir == celllib.Output {
+				dir = "OUTPUT"
+			}
+			fmt.Fprintf(bw, "  PIN %s DIRECTION %s CAP %s ORIGIN %d %d ;\n",
+				p.Name, dir, ftoa(p.Cap), p.Offset.X, p.Offset.Y)
+		}
+		fmt.Fprintf(bw, "END %s\n", m.Name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ReadLEF parses the compact LEF subset back into masters.
+func ReadLEF(r io.Reader) ([]*celllib.Master, error) {
+	tok := newTokenizer(r)
+	var masters []*celllib.Master
+	for {
+		t, ok := tok.next()
+		if !ok {
+			break
+		}
+		switch t {
+		case "MACRO":
+			m, err := readMacro(tok)
+			if err != nil {
+				return nil, err
+			}
+			masters = append(masters, m)
+		case "END":
+			nxt, _ := tok.next()
+			if nxt == "LIBRARY" {
+				return masters, nil
+			}
+		default:
+			// VERSION/UNITS/SITE headers: skip to end of statement.
+			tok.skipStatement()
+		}
+	}
+	return masters, nil
+}
+
+func readMacro(tok *tokenizer) (*celllib.Master, error) {
+	name, ok := tok.next()
+	if !ok {
+		return nil, fmt.Errorf("lefdef: MACRO without name")
+	}
+	m := &celllib.Master{Name: name}
+	for {
+		t, ok := tok.next()
+		if !ok {
+			return nil, fmt.Errorf("lefdef: MACRO %s not terminated", name)
+		}
+		switch t {
+		case "END":
+			endName, _ := tok.next()
+			if endName != name {
+				return nil, fmt.Errorf("lefdef: MACRO %s terminated by END %s", name, endName)
+			}
+			return m, nil
+		case "CLASS":
+			tok.skipStatement()
+		case "SIZE":
+			w, err1 := tok.nextInt()
+			by, _ := tok.next()
+			h, err2 := tok.nextInt()
+			if err1 != nil || err2 != nil || by != "BY" {
+				return nil, fmt.Errorf("lefdef: MACRO %s: bad SIZE", name)
+			}
+			m.Width, m.RowH = w, h
+			tok.skipStatement()
+		case "PROPERTY":
+			if err := readProperty(tok, m); err != nil {
+				return nil, fmt.Errorf("lefdef: MACRO %s: %w", name, err)
+			}
+		case "PIN":
+			p, err := readPin(tok)
+			if err != nil {
+				return nil, fmt.Errorf("lefdef: MACRO %s: %w", name, err)
+			}
+			m.Pins = append(m.Pins, p)
+		default:
+			tok.skipStatement()
+		}
+	}
+}
+
+func readProperty(tok *tokenizer, m *celllib.Master) error {
+	for {
+		key, ok := tok.next()
+		if !ok {
+			return fmt.Errorf("unterminated PROPERTY")
+		}
+		if key == ";" {
+			return nil
+		}
+		val, ok := tok.next()
+		if !ok {
+			return fmt.Errorf("PROPERTY %s without value", key)
+		}
+		switch key {
+		case "kind":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return err
+			}
+			m.Kind = celllib.Kind(v)
+		case "drive":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return err
+			}
+			m.Drive = v
+		case "height":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return err
+			}
+			m.Height = tech.TrackHeight(v)
+		case "vt":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return err
+			}
+			m.VT = celllib.VT(v)
+		case "seq":
+			m.Sequential = val == "1"
+		case "delay":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return err
+			}
+			m.IntrinsicDelay = f
+		case "res":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return err
+			}
+			m.DriveRes = f
+		case "energy":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return err
+			}
+			m.InternalEnergy = f
+		case "leak":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return err
+			}
+			m.Leakage = f
+		}
+	}
+}
+
+func readPin(tok *tokenizer) (celllib.PinDef, error) {
+	var p celllib.PinDef
+	name, ok := tok.next()
+	if !ok {
+		return p, fmt.Errorf("PIN without name")
+	}
+	p.Name = name
+	for {
+		t, ok := tok.next()
+		if !ok {
+			return p, fmt.Errorf("PIN %s unterminated", name)
+		}
+		switch t {
+		case ";":
+			return p, nil
+		case "DIRECTION":
+			dir, _ := tok.next()
+			if dir == "OUTPUT" {
+				p.Dir = celllib.Output
+			} else {
+				p.Dir = celllib.Input
+			}
+		case "CAP":
+			v, _ := tok.next()
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return p, fmt.Errorf("PIN %s: bad CAP %q", name, v)
+			}
+			p.Cap = f
+		case "ORIGIN":
+			x, err1 := tok.nextInt()
+			y, err2 := tok.nextInt()
+			if err1 != nil || err2 != nil {
+				return p, fmt.Errorf("PIN %s: bad ORIGIN", name)
+			}
+			p.Offset = geom.Point{X: x, Y: y}
+		}
+	}
+}
+
+// tokenizer splits the LEF/DEF text into whitespace-delimited tokens,
+// treating parentheses and semicolons as standalone tokens.
+type tokenizer struct {
+	sc  *bufio.Scanner
+	buf []string
+}
+
+func newTokenizer(r io.Reader) *tokenizer {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	return &tokenizer{sc: sc}
+}
+
+func (t *tokenizer) next() (string, bool) {
+	for len(t.buf) == 0 {
+		if !t.sc.Scan() {
+			return "", false
+		}
+		line := t.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "(", " ( ")
+		line = strings.ReplaceAll(line, ")", " ) ")
+		line = strings.ReplaceAll(line, ";", " ; ")
+		t.buf = strings.Fields(line)
+	}
+	tokn := t.buf[0]
+	t.buf = t.buf[1:]
+	return tokn, true
+}
+
+func (t *tokenizer) nextInt() (int64, error) {
+	s, ok := t.next()
+	if !ok {
+		return 0, fmt.Errorf("lefdef: unexpected end of input")
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// skipStatement consumes tokens up to and including the next semicolon.
+func (t *tokenizer) skipStatement() {
+	for {
+		tk, ok := t.next()
+		if !ok || tk == ";" {
+			return
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package legalize
+
+import "math/rand"
+
+// newRand returns a deterministic PRNG for property tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,716 @@
+// Package lp implements a linear-programming solver: a bounded-variable
+// two-phase revised simplex with a dense explicitly-maintained basis inverse
+// and sparse constraint columns. It is the LP engine underneath the
+// branch-and-bound MILP solver that stands in for CPLEX in this
+// reproduction.
+//
+// Problems are stated as
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ       for each constraint i
+//	            lⱼ ≤ xⱼ ≤ uⱼ          for each variable j
+//
+// Variable bounds are handled inside the simplex (nonbasic variables rest at
+// either bound), so binary variables cost nothing extra; the MILP layer
+// fixes binaries by collapsing their bounds.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int8
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Sense = iota
+	// GE is aᵀx ≥ b.
+	GE
+	// EQ is aᵀx = b.
+	EQ
+)
+
+// Status reports the outcome of a solve.
+type Status int8
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without limit.
+	Unbounded
+	// IterLimit: the iteration budget was exhausted.
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int8(s))
+	}
+}
+
+type nz struct {
+	row int32
+	val float64
+}
+
+// Problem is a mutable LP under construction. Create variables with AddVar,
+// constraints with AddConstraint/AddTerm, then call Solve. A Problem may be
+// solved repeatedly with different variable bounds (SetBounds); this is how
+// the MILP layer explores branch-and-bound nodes.
+type Problem struct {
+	cost  []float64
+	lower []float64
+	upper []float64
+	cols  [][]nz
+
+	rhs   []float64
+	sense []Sense
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return len(p.cost) }
+
+// NumConstraints returns the constraint count.
+func (p *Problem) NumConstraints() int { return len(p.rhs) }
+
+// AddVar adds a variable with the given objective cost and bounds, returning
+// its index.
+func (p *Problem) AddVar(cost, lower, upper float64) int {
+	p.cost = append(p.cost, cost)
+	p.lower = append(p.lower, lower)
+	p.upper = append(p.upper, upper)
+	p.cols = append(p.cols, nil)
+	return len(p.cost) - 1
+}
+
+// AddConstraint adds an empty constraint aᵀx sense rhs and returns its
+// index; populate it with AddTerm.
+func (p *Problem) AddConstraint(s Sense, rhs float64) int {
+	p.rhs = append(p.rhs, rhs)
+	p.sense = append(p.sense, s)
+	return len(p.rhs) - 1
+}
+
+// AddTerm sets the coefficient of variable v in constraint row to coef
+// (accumulating when called twice for the same pair).
+func (p *Problem) AddTerm(row, v int, coef float64) {
+	if coef == 0 {
+		return
+	}
+	col := p.cols[v]
+	for i := range col {
+		if col[i].row == int32(row) {
+			col[i].val += coef
+			return
+		}
+	}
+	p.cols[v] = append(col, nz{int32(row), coef})
+}
+
+// SetBounds changes the bounds of a variable (used by branch and bound).
+func (p *Problem) SetBounds(v int, lower, upper float64) {
+	p.lower[v] = lower
+	p.upper[v] = upper
+}
+
+// Bounds returns the current bounds of a variable.
+func (p *Problem) Bounds(v int) (lower, upper float64) {
+	return p.lower[v], p.upper[v]
+}
+
+// CheckFeasible reports whether x satisfies all constraints and bounds
+// within tol. Used by MILP rounding heuristics.
+func (p *Problem) CheckFeasible(x []float64, tol float64) bool {
+	if len(x) != len(p.cost) {
+		return false
+	}
+	for v := range p.cost {
+		if x[v] < p.lower[v]-tol || x[v] > p.upper[v]+tol {
+			return false
+		}
+	}
+	lhs := make([]float64, len(p.rhs))
+	for v, col := range p.cols {
+		if x[v] == 0 {
+			continue
+		}
+		for _, e := range col {
+			lhs[e.row] += e.val * x[v]
+		}
+	}
+	for i := range p.rhs {
+		switch p.sense[i] {
+		case LE:
+			if lhs[i] > p.rhs[i]+tol {
+				return false
+			}
+		case GE:
+			if lhs[i] < p.rhs[i]-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs[i]-p.rhs[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Objective evaluates cᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	var obj float64
+	for v := range p.cost {
+		obj += p.cost[v] * x[v]
+	}
+	return obj
+}
+
+// Options tune the solver.
+type Options struct {
+	// MaxIters bounds total simplex pivots (both phases); 0 means
+	// automatic (50·(m+n)+1000).
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+	// RefactorEvery rebuilds the basis inverse after this many pivots
+	// (default 400).
+	RefactorEvery int
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50*(m+n) + 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.RefactorEvery <= 0 {
+		o.RefactorEvery = 400
+	}
+	return o
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X holds the structural variable values (valid for Optimal and
+	// IterLimit).
+	X []float64
+	// Obj is the objective value cᵀX.
+	Obj float64
+	// Iters is the total pivot count across both phases.
+	Iters int
+}
+
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	basic
+)
+
+// simplex is one solver instance over the expanded (structural + slack +
+// artificial) variable set.
+type simplex struct {
+	m, n      int // constraints, total columns
+	nStruct   int
+	nReal     int // structural + slack (everything but artificials)
+	cols      [][]nz
+	cost      []float64 // phase-2 costs
+	lower     []float64
+	upper     []float64
+	b         []float64
+	binv      [][]float64
+	basis     []int
+	status    []varStatus
+	xB        []float64
+	opt       Options
+	iters     int
+	sincePiv  int
+	blandLeft int // pivots remaining in Bland mode (anti-cycling)
+	degenRun  int // consecutive degenerate pivots
+
+	// scratch buffers reused across iterations to avoid per-pivot
+	// allocations (the hot loops are O(m) and O(m²)).
+	yBuf, wBuf []float64
+}
+
+// Solve optimises the problem. The problem itself is not modified.
+func (p *Problem) Solve(opt Options) *Solution {
+	m := len(p.rhs)
+	nStruct := len(p.cost)
+	s := &simplex{m: m, nStruct: nStruct}
+	s.opt = opt.withDefaults(m, nStruct)
+
+	// Copy structural columns and bounds; sanity-check bounds.
+	s.cols = make([][]nz, 0, nStruct+2*m)
+	s.cost = append([]float64(nil), p.cost...)
+	s.lower = append([]float64(nil), p.lower...)
+	s.upper = append([]float64(nil), p.upper...)
+	for v := 0; v < nStruct; v++ {
+		s.cols = append(s.cols, p.cols[v])
+		if s.lower[v] > s.upper[v]+1e-12 {
+			return &Solution{Status: Infeasible, X: make([]float64, nStruct)}
+		}
+	}
+	s.b = append([]float64(nil), p.rhs...)
+
+	// Slack variables.
+	slack := make([]int, m)
+	for i := 0; i < m; i++ {
+		switch p.sense[i] {
+		case LE:
+			slack[i] = s.addCol(i, 1, 0, math.Inf(1), 0)
+		case GE:
+			slack[i] = s.addCol(i, -1, 0, math.Inf(1), 0)
+		case EQ:
+			slack[i] = -1
+		}
+	}
+	s.nReal = len(s.cols)
+
+	// Residual of the all-at-lower-bound point decides the crash basis.
+	resid := append([]float64(nil), s.b...)
+	for v := 0; v < s.nReal; v++ {
+		x := s.startValue(v)
+		if x == 0 {
+			continue
+		}
+		for _, e := range s.cols[v] {
+			resid[e.row] -= e.val * x
+		}
+	}
+
+	// Crash basis: a row whose slack can absorb the residual (LE with
+	// resid ≥ 0, GE with resid ≤ 0) starts with its slack basic — no
+	// artificial, no phase-1 work. Remaining rows get a signed artificial;
+	// the resulting basis is ±1 diagonal and its inverse is the same
+	// diagonal.
+	signs := make([]float64, m)
+	s.basis = make([]int, m)
+	for i := 0; i < m; i++ {
+		if slack[i] >= 0 {
+			coef := s.cols[slack[i]][0].val // +1 (LE) or -1 (GE)
+			if coef*resid[i] >= 0 {
+				signs[i] = coef
+				s.basis[i] = slack[i]
+				continue
+			}
+		}
+		signs[i] = 1
+		if resid[i] < 0 {
+			signs[i] = -1
+		}
+		s.basis[i] = s.addCol(i, signs[i], 0, math.Inf(1), 0)
+	}
+	s.n = len(s.cols)
+	phase1 := make([]float64, s.n)
+	for v := s.nReal; v < s.n; v++ {
+		phase1[v] = 1
+	}
+
+	s.status = make([]varStatus, s.n)
+	for v := 0; v < s.n; v++ {
+		s.status[v] = atLower
+		if !math.IsInf(s.upper[v], 1) && s.lower[v] == math.Inf(-1) {
+			s.status[v] = atUpper
+		}
+	}
+	for _, v := range s.basis {
+		s.status[v] = basic
+	}
+	s.binv = identity(m)
+	s.xB = make([]float64, m)
+	for i := 0; i < m; i++ {
+		s.binv[i][i] = signs[i]
+		s.xB[i] = math.Abs(resid[i])
+	}
+
+	// Phase 1: drive artificial infeasibility to zero.
+	st := s.run(phase1)
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, X: s.extract(), Obj: s.objective(), Iters: s.iters}
+	}
+	if s.phaseObjective(phase1) > s.opt.Tol*10 {
+		return &Solution{Status: Infeasible, X: s.extract(), Iters: s.iters}
+	}
+	// Freeze artificials at zero for phase 2.
+	for v := s.nReal; v < s.n; v++ {
+		s.lower[v], s.upper[v] = 0, 0
+	}
+
+	// Phase 2: original objective (artificials cost zero).
+	full := make([]float64, s.n)
+	copy(full, s.cost)
+	st = s.run(full)
+	return &Solution{Status: st, X: s.extract(), Obj: s.objective(), Iters: s.iters}
+}
+
+// addCol appends a single-entry column and returns its index.
+func (s *simplex) addCol(row int, coef, lower, upper, cost float64) int {
+	s.cols = append(s.cols, []nz{{int32(row), coef}})
+	s.lower = append(s.lower, lower)
+	s.upper = append(s.upper, upper)
+	s.cost = append(s.cost, cost)
+	return len(s.cols) - 1
+}
+
+// startValue is the resting value of a nonbasic variable before phase 1.
+func (s *simplex) startValue(v int) float64 {
+	if math.IsInf(s.lower[v], -1) {
+		if math.IsInf(s.upper[v], 1) {
+			return 0
+		}
+		return s.upper[v]
+	}
+	return s.lower[v]
+}
+
+// nonbasicValue is the value of nonbasic variable v under its status.
+func (s *simplex) nonbasicValue(v int) float64 {
+	if s.status[v] == atUpper {
+		return s.upper[v]
+	}
+	if math.IsInf(s.lower[v], -1) {
+		return 0
+	}
+	return s.lower[v]
+}
+
+func identity(m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		out[i][i] = 1
+	}
+	return out
+}
+
+// run performs simplex pivots with the supplied cost vector until optimal,
+// unbounded, or out of iterations.
+func (s *simplex) run(cost []float64) Status {
+	for s.iters < s.opt.MaxIters {
+		s.iters++
+		if s.sincePiv >= s.opt.RefactorEvery {
+			if !s.refactor() {
+				return Infeasible // numerically singular basis; treat as failure
+			}
+		}
+		// Simplex multipliers y = c_B B⁻¹.
+		if s.yBuf == nil {
+			s.yBuf = make([]float64, s.m)
+		}
+		y := s.yBuf
+		for i := range y {
+			y[i] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			cb := cost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for j := 0; j < s.m; j++ {
+				y[j] += cb * row[j]
+			}
+		}
+		entering, dir := s.price(cost, y)
+		if entering < 0 {
+			return Optimal
+		}
+		st := s.pivot(entering, dir)
+		if st != Optimal {
+			return st
+		}
+	}
+	return IterLimit
+}
+
+// price selects the entering variable and its direction (+1 moving up from
+// lower bound, −1 moving down from upper bound); returns (-1, 0) at
+// optimality. Uses Dantzig pricing with a Bland fallback for anti-cycling.
+func (s *simplex) price(cost, y []float64) (int, float64) {
+	bland := s.blandLeft > 0
+	if bland {
+		s.blandLeft--
+	}
+	best, bestScore, bestDir := -1, s.opt.Tol, 0.0
+	for v := 0; v < s.n; v++ {
+		if s.status[v] == basic || s.lower[v] == s.upper[v] {
+			continue
+		}
+		d := cost[v]
+		for _, e := range s.cols[v] {
+			d -= y[e.row] * e.val
+		}
+		var score, dir float64
+		if s.status[v] == atLower && d < -s.opt.Tol {
+			score, dir = -d, 1
+		} else if s.status[v] == atUpper && d > s.opt.Tol {
+			score, dir = d, -1
+		} else {
+			continue
+		}
+		if bland {
+			return v, dir
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = v, score, dir
+		}
+	}
+	return best, bestDir
+}
+
+// pivot moves entering variable q in direction dir, performing a bound flip
+// or a basis change.
+func (s *simplex) pivot(q int, dir float64) Status {
+	// w = B⁻¹ a_q.
+	if s.wBuf == nil {
+		s.wBuf = make([]float64, s.m)
+	}
+	w := s.wBuf
+	for i := range w {
+		w[i] = 0
+	}
+	for _, e := range s.cols[q] {
+		v := e.val
+		for i := 0; i < s.m; i++ {
+			w[i] += s.binv[i][int(e.row)] * v
+		}
+	}
+	// Basic variables change as x_B -= t·dir·w.
+	tBest := math.Inf(1)
+	leave := -1
+	var leaveTo varStatus
+	for i := 0; i < s.m; i++ {
+		delta := dir * w[i]
+		bv := s.basis[i]
+		if delta > s.opt.Tol*1e-2 {
+			if math.IsInf(s.lower[bv], -1) {
+				continue
+			}
+			t := (s.xB[i] - s.lower[bv]) / delta
+			if t < tBest-1e-12 {
+				tBest, leave, leaveTo = t, i, atLower
+			}
+		} else if delta < -s.opt.Tol*1e-2 {
+			if math.IsInf(s.upper[bv], 1) {
+				continue
+			}
+			t := (s.upper[bv] - s.xB[i]) / -delta
+			if t < tBest-1e-12 {
+				tBest, leave, leaveTo = t, i, atUpper
+			}
+		}
+	}
+	// The entering variable's own range limits the step too.
+	span := s.upper[q] - s.lower[q]
+	if span < tBest {
+		// Bound flip: no basis change.
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= span * dir * w[i]
+		}
+		if s.status[q] == atLower {
+			s.status[q] = atUpper
+		} else {
+			s.status[q] = atLower
+		}
+		return Optimal // not terminal; just continue iterating
+	}
+	if math.IsInf(tBest, 1) {
+		return Unbounded
+	}
+	// Anti-cycling: assignment-structured LPs pivot degenerately all the
+	// time, so Bland's (slow) rule only arms after a long run of degenerate
+	// pivots — long enough to suggest an actual cycle — and only briefly.
+	if tBest < 1e-12 {
+		s.degenRun++
+		if s.degenRun > 4*s.m {
+			s.blandLeft = s.m + 16
+			s.degenRun = 0
+		}
+	} else {
+		s.degenRun = 0
+	}
+	// A numerically tiny pivot element would corrupt the basis inverse;
+	// refactorize and let the next iteration re-price instead.
+	piv := w[leave]
+	if math.Abs(piv) < 1e-11 {
+		if !s.refactor() {
+			return Infeasible
+		}
+		return Optimal
+	}
+	// Apply the step.
+	for i := 0; i < s.m; i++ {
+		s.xB[i] -= tBest * dir * w[i]
+	}
+	entVal := s.nonbasicValue(q) + tBest*dir
+	lv := s.basis[leave]
+	s.status[lv] = leaveTo
+	s.basis[leave] = q
+	s.status[q] = basic
+	s.xB[leave] = entVal
+	rowL := s.binv[leave]
+	inv := 1 / piv
+	for j := 0; j < s.m; j++ {
+		rowL[j] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		ri := s.binv[i]
+		for j := 0; j < s.m; j++ {
+			ri[j] -= f * rowL[j]
+		}
+	}
+	s.sincePiv++
+	return Optimal
+}
+
+// refactor rebuilds B⁻¹ from scratch (Gauss-Jordan with partial pivoting)
+// and recomputes x_B; returns false when the basis is singular.
+func (s *simplex) refactor() bool {
+	s.sincePiv = 0
+	m := s.m
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, 2*m)
+		a[i][m+i] = 1
+	}
+	for pos, v := range s.basis {
+		for _, e := range s.cols[v] {
+			a[e.row][pos] = e.val
+		}
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv, pivAbs := -1, 1e-11
+		for r := col; r < m; r++ {
+			if av := math.Abs(a[r][col]); av > pivAbs {
+				piv, pivAbs = r, av
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv := 1 / a[col][col]
+		for j := col; j < 2*m; j++ {
+			a[col][j] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < 2*m; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	// B⁻¹ maps: column order of basis positions. a now holds [I | P⁻¹]
+	// where P has basis columns in position order; we need row i of B⁻¹ such
+	// that x_B[pos] = Σ binvRow(pos)·b. P[r][pos] = B column entry at row r,
+	// so P⁻¹ rows are indexed by position.
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], a[i][m:])
+	}
+	// Recompute x_B = B⁻¹ (b − N x_N).
+	rhs := append([]float64(nil), s.b...)
+	for v := 0; v < s.n; v++ {
+		if s.status[v] == basic {
+			continue
+		}
+		x := s.nonbasicValue(v)
+		if x == 0 {
+			continue
+		}
+		for _, e := range s.cols[v] {
+			rhs[e.row] -= e.val * x
+		}
+	}
+	for i := 0; i < m; i++ {
+		var sum float64
+		row := s.binv[i]
+		for j := 0; j < m; j++ {
+			sum += row[j] * rhs[j]
+		}
+		s.xB[i] = sum
+	}
+	return true
+}
+
+// extract returns the structural variable values.
+func (s *simplex) extract() []float64 {
+	x := make([]float64, s.nStruct)
+	for v := 0; v < s.nStruct; v++ {
+		if s.status[v] == basic {
+			continue
+		}
+		x[v] = s.nonbasicValue(v)
+	}
+	for pos, v := range s.basis {
+		if v < s.nStruct {
+			x[v] = s.xB[pos]
+		}
+	}
+	return x
+}
+
+func (s *simplex) objective() float64 {
+	var obj float64
+	x := s.extract()
+	for v := 0; v < s.nStruct; v++ {
+		obj += s.cost[v] * x[v]
+	}
+	return obj
+}
+
+// phaseObjective evaluates an arbitrary cost vector at the current point
+// over all columns (used for the phase-1 artificial sum).
+func (s *simplex) phaseObjective(cost []float64) float64 {
+	var obj float64
+	for v := 0; v < s.n; v++ {
+		if cost[v] == 0 {
+			continue
+		}
+		if s.status[v] == basic {
+			continue
+		}
+		obj += cost[v] * s.nonbasicValue(v)
+	}
+	for pos, v := range s.basis {
+		if cost[v] != 0 {
+			obj += cost[v] * s.xB[pos]
+		}
+	}
+	return obj
+}

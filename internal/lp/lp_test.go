@@ -1,0 +1,378 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-6
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(b)) }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max x+y s.t. x+y<=4, x<=2, y<=3  ==  min -x-y.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, math.Inf(1))
+	y := p.AddVar(-1, 0, math.Inf(1))
+	c := p.AddConstraint(LE, 4)
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, y, 1)
+	c = p.AddConstraint(LE, 2)
+	p.AddTerm(c, x, 1)
+	c = p.AddConstraint(LE, 3)
+	p.AddTerm(c, y, 1)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Obj, -4) {
+		t.Errorf("obj = %f, want -4", sol.Obj)
+	}
+	if !approx(sol.X[x]+sol.X[y], 4) {
+		t.Errorf("x+y = %f", sol.X[x]+sol.X[y])
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+2y s.t. x+y=3, 0<=x<=2 -> x=2, y=1, obj 4.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 2)
+	y := p.AddVar(2, 0, math.Inf(1))
+	c := p.AddConstraint(EQ, 3)
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, y, 1)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Obj, 4) || !approx(sol.X[x], 2) || !approx(sol.X[y], 1) {
+		t.Errorf("sol = %+v", sol)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min x s.t. x >= 2.5.
+	p := NewProblem()
+	x := p.AddVar(1, 0, math.Inf(1))
+	c := p.AddConstraint(GE, 2.5)
+	p.AddTerm(c, x, 1)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.X[x], 2.5) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, math.Inf(1))
+	c := p.AddConstraint(GE, 2)
+	p.AddTerm(c, x, 1)
+	c = p.AddConstraint(LE, 1)
+	p.AddTerm(c, x, 1)
+	if sol := p.Solve(Options{}); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+	// Crossed bounds are infeasible too.
+	p = NewProblem()
+	p.AddVar(1, 3, 2)
+	if sol := p.Solve(Options{}); sol.Status != Infeasible {
+		t.Fatalf("crossed bounds: status = %v", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, 0, math.Inf(1))
+	y := p.AddVar(0, 0, 1)
+	c := p.AddConstraint(GE, 0) // x - y >= 0: does not bound x above
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, y, -1)
+	if sol := p.Solve(Options{}); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNoConstraintsBoundFlip(t *testing.T) {
+	// min -x with 0<=x<=5: pure bound flip, no pivots on constraints.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 5)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.X[x], 5) || !approx(sol.Obj, -5) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(5, 1, 1) // fixed at 1
+	y := p.AddVar(1, 0, math.Inf(1))
+	c := p.AddConstraint(GE, 3)
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, y, 1)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.X[x], 1) || !approx(sol.X[y], 2) || !approx(sol.Obj, 7) {
+		t.Errorf("sol = %+v", sol)
+	}
+}
+
+func TestResolveWithChangedBounds(t *testing.T) {
+	// The MILP layer re-solves after collapsing bounds; the Problem must be
+	// reusable.
+	p := NewProblem()
+	x := p.AddVar(-2, 0, 1)
+	y := p.AddVar(-1, 0, 1)
+	c := p.AddConstraint(LE, 1)
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, y, 1)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.Obj, -2) {
+		t.Fatalf("first solve: %+v", sol)
+	}
+	p.SetBounds(x, 0, 0) // branch x=0
+	sol = p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.Obj, -1) || !approx(sol.X[y], 1) {
+		t.Fatalf("second solve: %+v", sol)
+	}
+	p.SetBounds(x, 1, 1) // branch x=1
+	sol = p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.Obj, -2) || !approx(sol.X[y], 0) {
+		t.Fatalf("third solve: %+v", sol)
+	}
+	if lo, hi := p.Bounds(x); lo != 1 || hi != 1 {
+		t.Error("Bounds getter wrong")
+	}
+}
+
+// assignment LP: min-cost 3x3 assignment must be integral and match brute
+// force.
+func TestAssignmentLPIntegral(t *testing.T) {
+	cost := [3][3]float64{{4, 2, 8}, {4, 3, 7}, {3, 1, 6}}
+	p := NewProblem()
+	var v [3][3]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = p.AddVar(cost[i][j], 0, 1)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		c := p.AddConstraint(EQ, 1)
+		for j := 0; j < 3; j++ {
+			p.AddTerm(c, v[i][j], 1)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		c := p.AddConstraint(EQ, 1)
+		for i := 0; i < 3; i++ {
+			p.AddTerm(c, v[i][j], 1)
+		}
+	}
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Brute force.
+	best := math.Inf(1)
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, pm := range perms {
+		c := cost[0][pm[0]] + cost[1][pm[1]] + cost[2][pm[2]]
+		best = math.Min(best, c)
+	}
+	if !approx(sol.Obj, best) {
+		t.Errorf("obj = %f, want %f", sol.Obj, best)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x := sol.X[v[i][j]]
+			if math.Abs(x) > eps && math.Abs(x-1) > eps {
+				t.Errorf("x[%d][%d] = %f not integral", i, j, x)
+			}
+		}
+	}
+}
+
+func TestTransportation(t *testing.T) {
+	// 2 supplies (10, 20), 3 demands (5, 15, 10); known optimum.
+	supply := []float64{10, 20}
+	demand := []float64{5, 15, 10}
+	cost := [2][3]float64{{2, 4, 5}, {3, 1, 7}}
+	p := NewProblem()
+	var v [2][3]int
+	for i := range supply {
+		for j := range demand {
+			v[i][j] = p.AddVar(cost[i][j], 0, math.Inf(1))
+		}
+	}
+	for i := range supply {
+		c := p.AddConstraint(LE, supply[i])
+		for j := range demand {
+			p.AddTerm(c, v[i][j], 1)
+		}
+	}
+	for j := range demand {
+		c := p.AddConstraint(EQ, demand[j])
+		for i := range supply {
+			p.AddTerm(c, v[i][j], 1)
+		}
+	}
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Optimal: s1 -> d1 (15@1), s1 -> d0 (5@3), s0 -> d2 (10@5)
+	// = 15+15+50 = 80.
+	if !approx(sol.Obj, 80) {
+		t.Errorf("obj = %f, want 80", sol.Obj)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Multiple redundant constraints at the optimum vertex.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, math.Inf(1))
+	y := p.AddVar(-1, 0, math.Inf(1))
+	for i := 0; i < 5; i++ {
+		c := p.AddConstraint(LE, 2)
+		p.AddTerm(c, x, 1)
+		p.AddTerm(c, y, 1)
+	}
+	c := p.AddConstraint(LE, 1)
+	p.AddTerm(c, x, 1)
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.Obj, -2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, IterLimit} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status string")
+	}
+}
+
+// feasibility checker used by the property test.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for v := range p.cost {
+		if x[v] < p.lower[v]-tol || x[v] > p.upper[v]+tol {
+			return false
+		}
+	}
+	lhs := make([]float64, len(p.rhs))
+	for v, col := range p.cols {
+		for _, e := range col {
+			lhs[e.row] += e.val * x[v]
+		}
+	}
+	for i := range p.rhs {
+		switch p.sense[i] {
+		case LE:
+			if lhs[i] > p.rhs[i]+tol {
+				return false
+			}
+		case GE:
+			if lhs[i] < p.rhs[i]-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs[i]-p.rhs[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: on random feasible box-constrained problems, the solver returns
+// a feasible point whose objective is no worse than a sample of random
+// feasible points.
+func TestRandomLPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		p := NewProblem()
+		for v := 0; v < n; v++ {
+			p.AddVar(rng.NormFloat64(), 0, 1+rng.Float64()*4)
+		}
+		// Constraints built to keep x = lower (0) feasible: a·x <= b, b >= 0.
+		for i := 0; i < m; i++ {
+			c := p.AddConstraint(LE, rng.Float64()*float64(n))
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.7 {
+					p.AddTerm(c, v, rng.Float64()*2-0.5)
+				}
+			}
+		}
+		sol := p.Solve(Options{})
+		if sol.Status != Optimal {
+			return false // x=0 is feasible, boxes bound everything: must be optimal
+		}
+		if !feasible(p, sol.X, 1e-5) {
+			return false
+		}
+		// Sample random feasible points; none may beat the optimum.
+		for trial := 0; trial < 60; trial++ {
+			x := make([]float64, n)
+			for v := range x {
+				x[v] = rng.Float64() * p.upper[v]
+			}
+			if !feasible(p, x, 0) {
+				continue
+			}
+			var obj float64
+			for v := range x {
+				obj += p.cost[v] * x[v]
+			}
+			if obj < sol.Obj-1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddTermAccumulates(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 10)
+	c := p.AddConstraint(GE, 4)
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, x, 1) // coefficient becomes 2
+	sol := p.Solve(Options{})
+	if sol.Status != Optimal || !approx(sol.X[x], 2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+	if p.NumVars() != 1 || p.NumConstraints() != 1 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewProblem()
+	n := 30
+	for v := 0; v < n; v++ {
+		p.AddVar(rng.NormFloat64(), 0, 10)
+	}
+	for i := 0; i < 20; i++ {
+		c := p.AddConstraint(LE, 5+rng.Float64()*10)
+		for v := 0; v < n; v++ {
+			p.AddTerm(c, v, rng.Float64())
+		}
+	}
+	sol := p.Solve(Options{MaxIters: 2})
+	if sol.Status != IterLimit && sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}

@@ -1,0 +1,176 @@
+// Package metrics provides the normalisation and table-rendering helpers
+// used to report the experiments exactly the way the paper does: per-flow
+// "Normalized" rows are the mean over testcases of each flow's value divided
+// by the reference flow's value, and the Fig. 4 parameter sweeps are 0–1
+// normalised per testcase before averaging.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// NormalizedMean computes, per column, the mean over rows of
+// value/row[baseCol] — the paper's "Normalized" summary. Rows whose base is
+// zero are skipped.
+func NormalizedMean(rows [][]float64, baseCol int) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	nCols := len(rows[0])
+	sums := make([]float64, nCols)
+	count := 0
+	for _, row := range rows {
+		if baseCol >= len(row) || row[baseCol] == 0 {
+			continue
+		}
+		count++
+		for c := 0; c < nCols && c < len(row); c++ {
+			sums[c] += row[c] / row[baseCol]
+		}
+	}
+	if count == 0 {
+		return make([]float64, nCols)
+	}
+	for c := range sums {
+		sums[c] /= float64(count)
+	}
+	return sums
+}
+
+// ZeroOne rescales a series to [0,1]; a constant series maps to all zeros.
+func ZeroOne(vals []float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]float64, len(vals))
+	if hi == lo {
+		return out
+	}
+	for i, v := range vals {
+		out[i] = (v - lo) / (hi - lo)
+	}
+	return out
+}
+
+// MeanColumns averages a set of equal-length series element-wise.
+func MeanColumns(series [][]float64) []float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	out := make([]float64, n)
+	for _, s := range series {
+		for i := 0; i < n && i < len(s); i++ {
+			out[i] += s[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(series))
+	}
+	return out
+}
+
+// LinearFit returns slope, intercept and Pearson correlation of y on x.
+func LinearFit(x, y []float64) (slope, intercept, r float64) {
+	n := float64(len(x))
+	if n == 0 || len(x) != len(y) {
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	vy := n*syy - sy*sy
+	if vy <= 0 {
+		return slope, intercept, 0
+	}
+	r = (n*sxy - sx*sy) / math.Sqrt(den*vy)
+	return slope, intercept, r
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

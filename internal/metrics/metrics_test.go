@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.Add("a", "1")
+	tb.Add("longer-name", "2.5")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longer-name") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines", len(lines))
+	}
+	// All table lines equal width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("ragged table line: %q", l)
+		}
+	}
+}
+
+func TestNormalizedMean(t *testing.T) {
+	rows := [][]float64{
+		{2, 4, 8},
+		{1, 2, 4},
+	}
+	got := NormalizedMean(rows, 1)
+	want := []float64{0.5, 1, 2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("col %d = %f, want %f", i, got[i], want[i])
+		}
+	}
+	// Zero base rows are skipped.
+	rows = append(rows, []float64{5, 0, 5})
+	got = NormalizedMean(rows, 1)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("after zero row: col %d = %f, want %f", i, got[i], want[i])
+		}
+	}
+	if NormalizedMean(nil, 0) != nil {
+		t.Error("empty input must be nil")
+	}
+}
+
+func TestZeroOne(t *testing.T) {
+	got := ZeroOne([]float64{10, 20, 15})
+	want := []float64{0, 1, 0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("idx %d = %f", i, got[i])
+		}
+	}
+	for _, v := range ZeroOne([]float64{7, 7, 7}) {
+		if v != 0 {
+			t.Error("constant series must map to zeros")
+		}
+	}
+}
+
+func TestMeanColumns(t *testing.T) {
+	got := MeanColumns([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("got %v", got)
+	}
+	if MeanColumns(nil) != nil {
+		t.Error("empty input must be nil")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 {
+		t.Errorf("fit = %f x + %f", slope, intercept)
+	}
+	if math.Abs(r-1) > 1e-9 {
+		t.Errorf("r = %f, want 1", r)
+	}
+	// Degenerate inputs.
+	if s, _, _ := LinearFit(nil, nil); s != 0 {
+		t.Error("empty fit must be zero")
+	}
+	if s, i, _ := LinearFit([]float64{2, 2}, []float64{1, 5}); s != 0 || i != 3 {
+		t.Errorf("vertical data: slope %f intercept %f", s, i)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Error("F formatting wrong")
+	}
+}

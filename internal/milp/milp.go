@@ -1,0 +1,340 @@
+// Package milp implements a branch-and-bound solver for mixed
+// binary-integer linear programs on top of the internal/lp simplex. It is
+// the CPLEX stand-in used to solve the paper's row assignment ILP
+// (Eqs. (1)–(5)) exactly.
+//
+// The solver does best-first search ordered by LP relaxation bound, branches
+// on the most fractional binary (optionally weighted by caller-supplied
+// priorities — the RAP model prioritises the row indicator variables y_r),
+// accepts a warm-start incumbent, and runs a rounding heuristic at every
+// node so good feasible solutions appear early and prune aggressively.
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"mthplace/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int8
+
+const (
+	// Optimal: proven optimal within the gap tolerance.
+	Optimal Status = iota
+	// Feasible: search limit hit with an incumbent in hand.
+	Feasible
+	// Infeasible: no integer-feasible solution exists.
+	Infeasible
+	// Limit: search limit hit with no incumbent.
+	Limit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Limit:
+		return "limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem couples an LP with the set of variables required to be binary.
+type Problem struct {
+	// LP is the relaxation; the solver mutates its variable bounds during
+	// the search and restores them before returning.
+	LP *lp.Problem
+	// Binary lists variable indices constrained to {0,1}.
+	Binary []int
+	// Priority optionally biases branching: higher values branch first.
+	// Indexed like LP variables; nil means uniform.
+	Priority []float64
+}
+
+// Options tune the search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes (0 = 200000).
+	MaxNodes int
+	// TimeLimit bounds wall-clock time (0 = none). The result remains
+	// deterministic unless the limit triggers.
+	TimeLimit time.Duration
+	// RelGap stops when (incumbent − bound)/max(1,|incumbent|) is below
+	// this (0 = 1e-6).
+	RelGap float64
+	// IntTol is the integrality tolerance (0 = 1e-6).
+	IntTol float64
+	// LP tunes the inner simplex.
+	LP lp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.RelGap <= 0 {
+		o.RelGap = 1e-6
+	}
+	if o.IntTol <= 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Result of a solve.
+type Result struct {
+	Status Status
+	// X is the incumbent solution (valid for Optimal/Feasible).
+	X []float64
+	// Obj is the incumbent objective.
+	Obj float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Nodes explored.
+	Nodes int
+	// LPIters totals simplex pivots across all node solves.
+	LPIters int
+}
+
+// Gap returns the relative optimality gap of the result.
+func (r *Result) Gap() float64 {
+	if len(r.X) == 0 {
+		return math.Inf(1)
+	}
+	return (r.Obj - r.Bound) / math.Max(1, math.Abs(r.Obj))
+}
+
+type fix struct {
+	v   int
+	val float64
+}
+
+type node struct {
+	bound float64
+	fixes []fix
+	depth int
+	seq   int // tiebreak for determinism
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth // deeper first: plunge toward integrality
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any     { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+
+// Solve runs branch and bound. warmX, if non-nil, must be an
+// integer-feasible solution used as the initial incumbent.
+func Solve(p *Problem, warmX []float64, opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{Status: Limit, Bound: math.Inf(-1), Obj: math.Inf(1)}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	// Save original bounds to restore at the end.
+	savedLo := make([]float64, len(p.Binary))
+	savedHi := make([]float64, len(p.Binary))
+	binIdx := make(map[int]int, len(p.Binary))
+	for i, v := range p.Binary {
+		savedLo[i], savedHi[i] = p.LP.Bounds(v)
+		binIdx[v] = i
+	}
+	defer func() {
+		for i, v := range p.Binary {
+			p.LP.SetBounds(v, savedLo[i], savedHi[i])
+		}
+	}()
+
+	if warmX != nil && p.LP.CheckFeasible(warmX, 1e-6) && integral(p, warmX, opt.IntTol) {
+		res.X = append([]float64(nil), warmX...)
+		res.Obj = p.LP.Objective(warmX)
+		res.Status = Feasible
+	}
+
+	h := &nodeHeap{{bound: math.Inf(-1)}}
+	seq := 1
+	bestBound := math.Inf(1) // min over open nodes tracked lazily via heap top
+
+	for h.Len() > 0 {
+		if res.Nodes >= opt.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := heap.Pop(h).(*node)
+		bestBound = nd.bound
+		if len(res.X) > 0 && nd.bound >= res.Obj-gapAbs(opt, res.Obj) {
+			// Bound-dominated; since the heap is bound-ordered, all
+			// remaining nodes are dominated too.
+			res.Status = Optimal
+			res.Bound = res.Obj
+			return res
+		}
+		res.Nodes++
+
+		// Apply node fixes.
+		for _, f := range nd.fixes {
+			p.LP.SetBounds(f.v, f.val, f.val)
+		}
+		sol := p.LP.Solve(opt.LP)
+		res.LPIters += sol.Iters
+		// Restore fixes.
+		for _, f := range nd.fixes {
+			i := binIdx[f.v]
+			p.LP.SetBounds(f.v, savedLo[i], savedHi[i])
+		}
+
+		if sol.Status == lp.Infeasible {
+			continue
+		}
+		if sol.Status == lp.Unbounded {
+			// A bounded-binary MILP relaxation can only be unbounded through
+			// continuous vars; treat as no useful bound and branch blindly.
+			sol.Obj = math.Inf(-1)
+		}
+		if len(res.X) > 0 && sol.Obj >= res.Obj-gapAbs(opt, res.Obj) {
+			continue // dominated
+		}
+
+		br := pickBranch(p, sol.X, opt.IntTol)
+		if br < 0 {
+			// Integer feasible.
+			if sol.Obj < res.Obj {
+				res.X = append(res.X[:0], sol.X...)
+				res.Obj = sol.Obj
+				res.Status = Feasible
+			}
+			continue
+		}
+
+		// Rounding heuristic: snap binaries, keep if feasible.
+		if cand := roundHeuristic(p, sol.X, opt.IntTol); cand != nil {
+			obj := p.LP.Objective(cand)
+			if obj < res.Obj {
+				res.X = append(res.X[:0], cand...)
+				res.Obj = obj
+				res.Status = Feasible
+			}
+		}
+
+		for _, val := range [2]float64{roundAway(sol.X[br]), roundToward(sol.X[br])} {
+			child := &node{
+				bound: sol.Obj,
+				fixes: append(append([]fix(nil), nd.fixes...), fix{br, val}),
+				depth: nd.depth + 1,
+				seq:   seq,
+			}
+			seq++
+			heap.Push(h, child)
+		}
+	}
+
+	if h.Len() == 0 {
+		// Search space exhausted.
+		if len(res.X) > 0 {
+			res.Status = Optimal
+			res.Bound = res.Obj
+		} else {
+			res.Status = Infeasible
+		}
+		return res
+	}
+	// Limit hit: report the tightest open bound.
+	res.Bound = bestBound
+	if len(res.X) > 0 {
+		res.Status = Feasible
+	}
+	return res
+}
+
+func gapAbs(opt Options, incumbent float64) float64 {
+	return opt.RelGap * math.Max(1, math.Abs(incumbent))
+}
+
+func integral(p *Problem, x []float64, tol float64) bool {
+	for _, v := range p.Binary {
+		if frac(x[v]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func frac(v float64) float64 {
+	return math.Abs(v - math.Round(v))
+}
+
+// pickBranch returns the binary variable to branch on: the one with the
+// most fractional value, scaled by priority; -1 if all are integral.
+func pickBranch(p *Problem, x []float64, tol float64) int {
+	best, bestScore := -1, tol
+	for _, v := range p.Binary {
+		f := frac(x[v])
+		if f <= tol {
+			continue
+		}
+		score := f
+		if p.Priority != nil && v < len(p.Priority) {
+			score *= 1 + p.Priority[v]
+		}
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}
+
+func roundAway(v float64) float64 {
+	if v >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func roundToward(v float64) float64 {
+	if v >= 0.5 {
+		return 0
+	}
+	return 1
+}
+
+// roundHeuristic snaps all binaries of x to the nearest integer and returns
+// the result when it is feasible; nil otherwise.
+func roundHeuristic(p *Problem, x []float64, tol float64) []float64 {
+	out := append([]float64(nil), x...)
+	changed := false
+	for _, v := range p.Binary {
+		r := math.Round(out[v])
+		if math.Abs(out[v]-r) > tol {
+			changed = true
+		}
+		out[v] = r
+	}
+	if !changed {
+		return nil
+	}
+	if !p.LP.CheckFeasible(out, 1e-6) {
+		return nil
+	}
+	return out
+}

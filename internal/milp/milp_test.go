@@ -1,0 +1,299 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mthplace/internal/lp"
+)
+
+const eps = 1e-5
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(b)) }
+
+// knapsack: max value s.t. weight <= cap == min -value.
+func knapsackProblem(values, weights []float64, capacity float64) *Problem {
+	p := lp.NewProblem()
+	bins := make([]int, len(values))
+	c := p.AddConstraint(lp.LE, capacity)
+	for i := range values {
+		v := p.AddVar(-values[i], 0, 1)
+		p.AddTerm(c, v, weights[i])
+		bins[i] = v
+	}
+	return &Problem{LP: p, Binary: bins}
+}
+
+func bruteKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var val, wt float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				val += values[i]
+				wt += weights[i]
+			}
+		}
+		if wt <= capacity && val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func TestKnapsackExact(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2, 6}
+	weights := []float64{3, 4, 2, 3, 1, 2}
+	capacity := 7.0
+	p := knapsackProblem(values, weights, capacity)
+	r := Solve(p, nil, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	want := bruteKnapsack(values, weights, capacity)
+	if !approx(-r.Obj, want) {
+		t.Errorf("value = %f, want %f", -r.Obj, want)
+	}
+	for _, v := range p.Binary {
+		f := math.Abs(r.X[v] - math.Round(r.X[v]))
+		if f > 1e-6 {
+			t.Errorf("x[%d] = %f not integral", v, r.X[v])
+		}
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVar(1, 0, 1)
+	y := p.AddVar(1, 0, 1)
+	c := p.AddConstraint(EQish(), 3) // x + y = 3 impossible for binaries
+	p.AddTerm(c, x, 1)
+	p.AddTerm(c, y, 1)
+	r := Solve(&Problem{LP: p, Binary: []int{x, y}}, nil, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+// EQish exists to keep the lp.EQ import obvious at the call site.
+func EQish() lp.Sense { return lp.EQ }
+
+func TestFractionalLPIntegerGap(t *testing.T) {
+	// min -(x+y) s.t. 2x + 2y <= 3: LP opt 1.5 fractional; MILP opt 1.
+	p := lp.NewProblem()
+	x := p.AddVar(-1, 0, 1)
+	y := p.AddVar(-1, 0, 1)
+	c := p.AddConstraint(lp.LE, 3)
+	p.AddTerm(c, x, 2)
+	p.AddTerm(c, y, 2)
+	r := Solve(&Problem{LP: p, Binary: []int{x, y}}, nil, Options{})
+	if r.Status != Optimal || !approx(r.Obj, -1) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestWarmStartAcceptedAndImproved(t *testing.T) {
+	values := []float64{5, 4, 3}
+	weights := []float64{2, 3, 1}
+	p := knapsackProblem(values, weights, 3)
+	// Warm start: take only item 2 (value 3).
+	warm := []float64{0, 0, 1}
+	r := Solve(p, warm, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	want := bruteKnapsack(values, weights, 3)
+	if !approx(-r.Obj, want) {
+		t.Errorf("value = %f, want %f", -r.Obj, want)
+	}
+}
+
+func TestWarmStartInfeasibleIgnored(t *testing.T) {
+	p := knapsackProblem([]float64{1}, []float64{2}, 1)
+	warm := []float64{1} // violates the knapsack
+	r := Solve(p, warm, Options{})
+	if r.Status != Optimal || !approx(r.Obj, 0) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 14
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = 1 + rng.Float64()
+		weights[i] = 1 + rng.Float64()
+	}
+	p := knapsackProblem(values, weights, 5)
+	r := Solve(p, nil, Options{MaxNodes: 1})
+	if r.Status != Feasible && r.Status != Optimal && r.Status != Limit {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Nodes > 1 {
+		t.Errorf("explored %d nodes with MaxNodes=1", r.Nodes)
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	p := knapsackProblem([]float64{3, 2}, []float64{2, 2}, 2)
+	lo0, hi0 := p.LP.Bounds(p.Binary[0])
+	Solve(p, nil, Options{})
+	lo1, hi1 := p.LP.Bounds(p.Binary[0])
+	if lo0 != lo1 || hi0 != hi1 {
+		t.Error("solver leaked bound changes")
+	}
+	// Solving twice gives identical results (determinism + clean state).
+	a := Solve(p, nil, Options{})
+	b := Solve(p, nil, Options{})
+	if a.Obj != b.Obj || a.Status != b.Status {
+		t.Error("repeat solve differs")
+	}
+}
+
+func TestAssignmentWithCardinality(t *testing.T) {
+	// Miniature of the RAP structure: 3 clusters, 4 rows, row indicators
+	// with a cardinality constraint sum(y) = 2, linking via capacity.
+	cost := [3][4]float64{
+		{1, 5, 9, 13},
+		{6, 2, 7, 12},
+		{11, 8, 3, 4},
+	}
+	w := []float64{2, 2, 2} // cluster widths
+	capRow := 4.0
+	p := lp.NewProblem()
+	var x [3][4]int
+	for c := 0; c < 3; c++ {
+		for r := 0; r < 4; r++ {
+			x[c][r] = p.AddVar(cost[c][r], 0, 1)
+		}
+	}
+	y := make([]int, 4)
+	for r := 0; r < 4; r++ {
+		y[r] = p.AddVar(0, 0, 1)
+	}
+	var bins []int
+	for c := 0; c < 3; c++ {
+		row := p.AddConstraint(lp.EQ, 1)
+		for r := 0; r < 4; r++ {
+			p.AddTerm(row, x[c][r], 1)
+			bins = append(bins, x[c][r])
+		}
+	}
+	for r := 0; r < 4; r++ {
+		row := p.AddConstraint(lp.LE, 0)
+		for c := 0; c < 3; c++ {
+			p.AddTerm(row, x[c][r], w[c])
+		}
+		p.AddTerm(row, y[r], -capRow)
+		bins = append(bins, y[r])
+	}
+	card := p.AddConstraint(lp.EQ, 2)
+	for r := 0; r < 4; r++ {
+		p.AddTerm(card, y[r], 1)
+	}
+	res := Solve(&Problem{LP: p, Binary: bins}, nil, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Brute force over row subsets of size 2 and cluster assignments,
+	// respecting capacity 4 (at most 2 clusters per row).
+	best := math.Inf(1)
+	for r1 := 0; r1 < 4; r1++ {
+		for r2 := r1 + 1; r2 < 4; r2++ {
+			rows := []int{r1, r2}
+			for a0 := 0; a0 < 2; a0++ {
+				for a1 := 0; a1 < 2; a1++ {
+					for a2 := 0; a2 < 2; a2++ {
+						cnt := [2]int{}
+						cnt[a0]++
+						cnt[a1]++
+						cnt[a2]++
+						if cnt[0] > 2 || cnt[1] > 2 {
+							continue
+						}
+						tot := cost[0][rows[a0]] + cost[1][rows[a1]] + cost[2][rows[a2]]
+						best = math.Min(best, tot)
+					}
+				}
+			}
+		}
+	}
+	if !approx(res.Obj, best) {
+		t.Errorf("obj = %f, want %f", res.Obj, best)
+	}
+	// Row indicators must be consistent: any used row has y=1.
+	for r := 0; r < 4; r++ {
+		used := false
+		for c := 0; c < 3; c++ {
+			if res.X[x[c][r]] > 0.5 {
+				used = true
+			}
+		}
+		if used && res.X[y[r]] < 0.5 {
+			t.Errorf("row %d used without indicator", r)
+		}
+	}
+}
+
+// Property: branch and bound equals brute force on random small knapsacks.
+func TestKnapsackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = math.Round(rng.Float64()*20) + 1
+			weights[i] = math.Round(rng.Float64()*9) + 1
+		}
+		capacity := math.Round(rng.Float64() * float64(n) * 3)
+		p := knapsackProblem(values, weights, capacity)
+		r := Solve(p, nil, Options{})
+		if r.Status != Optimal {
+			return false
+		}
+		return approx(-r.Obj, bruteKnapsack(values, weights, capacity))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityBranching(t *testing.T) {
+	// Same problem with and without priority must agree on the optimum.
+	values := []float64{10, 13, 7, 8}
+	weights := []float64{3, 4, 2, 3}
+	p := knapsackProblem(values, weights, 6)
+	base := Solve(p, nil, Options{})
+	pri := make([]float64, p.LP.NumVars())
+	for i := range pri {
+		pri[i] = float64(i)
+	}
+	p.Priority = pri
+	withPri := Solve(p, nil, Options{})
+	if !approx(base.Obj, withPri.Obj) {
+		t.Errorf("priority branching changed the optimum: %f vs %f", base.Obj, withPri.Obj)
+	}
+}
+
+func TestGapAndStatusString(t *testing.T) {
+	p := knapsackProblem([]float64{2}, []float64{1}, 1)
+	r := Solve(p, nil, Options{})
+	if g := r.Gap(); g > 1e-6 {
+		t.Errorf("gap = %f at optimality", g)
+	}
+	empty := &Result{}
+	if !math.IsInf(empty.Gap(), 1) {
+		t.Error("gap without incumbent must be +inf")
+	}
+	for _, s := range []Status{Optimal, Feasible, Infeasible, Limit, Status(9)} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}

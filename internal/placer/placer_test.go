@@ -1,0 +1,148 @@
+package placer
+
+import (
+	"math/rand"
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/geom"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/netlist"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+func genPlaced(t *testing.T, scale float64, opt Options) *netlist.Design {
+	t.Helper()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	so := synth.DefaultOptions()
+	so.Scale = scale
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lefdef.ApplyMLEF(d); err != nil {
+		t.Fatal(err)
+	}
+	Global(d, opt)
+	return d
+}
+
+func TestGlobalKeepsCellsInsideDie(t *testing.T) {
+	d := genPlaced(t, 0.02, Options{OuterIters: 5, SolveSweeps: 8})
+	for i, in := range d.Insts {
+		r := in.Rect()
+		if !d.Die.ContainsRect(r) {
+			t.Fatalf("inst %d at %v outside die %v", i, r, d.Die)
+		}
+	}
+}
+
+func TestGlobalBeatsRandomPlacement(t *testing.T) {
+	d := genPlaced(t, 0.03, Options{})
+	placed := d.TotalHPWL()
+	// Random placement baseline.
+	rng := rand.New(rand.NewSource(123))
+	for _, in := range d.Insts {
+		in.Pos = geom.Point{
+			X: d.Die.Lo.X + rng.Int63n(d.Die.W()-in.Width()),
+			Y: d.Die.Lo.Y + rng.Int63n(d.Die.H()-in.Height()),
+		}
+	}
+	random := d.TotalHPWL()
+	if placed >= random {
+		t.Errorf("global placement HPWL %d not better than random %d", placed, random)
+	}
+	// Expect a substantial gap (at least 2x) — the placer must actually
+	// optimise, not just centralise.
+	if placed*2 >= random {
+		t.Errorf("global placement HPWL %d less than 2x better than random %d", placed, random)
+	}
+}
+
+func TestGlobalSpreadsDensity(t *testing.T) {
+	d := genPlaced(t, 0.05, Options{})
+	// Split the die into a 4x4 grid; no bin may hold more than 40% of total
+	// cell area (perfect spread would be 6.25%).
+	const grid = 4
+	var binArea [grid][grid]float64
+	var total float64
+	for _, in := range d.Insts {
+		c := in.Rect().Center()
+		gx := int((c.X - d.Die.Lo.X) * grid / d.Die.W())
+		gy := int((c.Y - d.Die.Lo.Y) * grid / d.Die.H())
+		if gx >= grid {
+			gx = grid - 1
+		}
+		if gy >= grid {
+			gy = grid - 1
+		}
+		a := float64(in.Width()) * float64(in.Height())
+		binArea[gx][gy] += a
+		total += a
+	}
+	for x := 0; x < grid; x++ {
+		for y := 0; y < grid; y++ {
+			if binArea[x][y] > 0.40*total {
+				t.Errorf("bin (%d,%d) holds %.1f%% of cell area — not spread",
+					x, y, 100*binArea[x][y]/total)
+			}
+		}
+	}
+}
+
+func TestGlobalDeterministic(t *testing.T) {
+	a := genPlaced(t, 0.02, Options{Seed: 5})
+	b := genPlaced(t, 0.02, Options{Seed: 5})
+	for i := range a.Insts {
+		if a.Insts[i].Pos != b.Insts[i].Pos {
+			t.Fatalf("inst %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGlobalRespectsFixedCells(t *testing.T) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	so := synth.DefaultOptions()
+	so.Scale = 0.02
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedPos := geom.Point{X: 540, Y: 432}
+	d.Insts[3].Fixed = true
+	d.Insts[3].Pos = fixedPos
+	Global(d, Options{OuterIters: 3, SolveSweeps: 4})
+	if d.Insts[3].Pos != fixedPos {
+		t.Errorf("fixed cell moved to %v", d.Insts[3].Pos)
+	}
+}
+
+func TestGlobalEmptyDesign(t *testing.T) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	d := &netlist.Design{Name: "empty", Tech: tc, Lib: lib, Die: geom.NewRect(0, 0, 1000, 1000), ClockNet: netlist.NoNet}
+	Global(d, Options{}) // must not panic
+}
+
+func TestGlobalPullsConnectedCellsTogether(t *testing.T) {
+	d := genPlaced(t, 0.03, Options{})
+	// Average HPWL of 2-pin nets should be far below the die half-perimeter.
+	var sum, n int64
+	for ni := range d.Nets {
+		if int32(ni) == d.ClockNet || len(d.Nets[ni].Pins) != 2 {
+			continue
+		}
+		sum += d.NetHPWL(int32(ni))
+		n++
+	}
+	if n == 0 {
+		t.Skip("no 2-pin nets")
+	}
+	avg := sum / n
+	if avg > d.Die.HalfPerimeter()/4 {
+		t.Errorf("avg 2-pin net HPWL %d too large vs die %d", avg, d.Die.HalfPerimeter())
+	}
+}

@@ -1,0 +1,118 @@
+package power
+
+import (
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/geom"
+	"mthplace/internal/netlist"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+func smallDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	opt := synth.DefaultOptions()
+	opt.Scale = 0.02
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range d.Insts {
+		in.Pos = geom.Point{
+			X: d.Die.Lo.X + int64(i*131)%(d.Die.W()-in.Width()),
+			Y: d.Die.Lo.Y + int64(i*197)%(d.Die.H()-in.Height()),
+		}
+	}
+	return d
+}
+
+func TestPowerPositiveComponents(t *testing.T) {
+	d := smallDesign(t)
+	r, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SwitchingMW <= 0 || r.InternalMW <= 0 || r.LeakageMW <= 0 {
+		t.Fatalf("all components must be positive: %+v", r)
+	}
+	if r.TotalMW() != r.SwitchingMW+r.InternalMW+r.LeakageMW {
+		t.Error("total mismatch")
+	}
+}
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	d := smallDesign(t)
+	slow, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ClockPeriodPs /= 2 // double the frequency
+	fast, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SwitchingMW <= slow.SwitchingMW || fast.InternalMW <= slow.InternalMW {
+		t.Error("dynamic power must grow with frequency")
+	}
+	if fast.LeakageMW != slow.LeakageMW {
+		t.Error("leakage must not depend on frequency")
+	}
+}
+
+func TestPowerScalesWithWirelength(t *testing.T) {
+	d := smallDesign(t)
+	base, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens := make([]int64, len(d.Nets))
+	for ni := range d.Nets {
+		lens[ni] = d.NetHPWL(int32(ni)) * 3
+	}
+	long, err := Analyze(d, Options{NetLength: lens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.SwitchingMW <= base.SwitchingMW {
+		t.Error("longer wires must increase switching power")
+	}
+	if long.LeakageMW != base.LeakageMW || long.InternalMW != base.InternalMW {
+		t.Error("wire length must only affect switching power")
+	}
+}
+
+func TestPowerActivityKnob(t *testing.T) {
+	d := smallDesign(t)
+	lo, _ := Analyze(d, Options{Activity: 0.05})
+	hi, _ := Analyze(d, Options{Activity: 0.5})
+	if hi.SwitchingMW <= lo.SwitchingMW {
+		t.Error("higher activity must increase switching power")
+	}
+}
+
+func TestPowerRejectsNoClock(t *testing.T) {
+	d := smallDesign(t)
+	d.ClockPeriodPs = 0
+	if _, err := Analyze(d, Options{}); err == nil {
+		t.Error("missing clock period must error")
+	}
+}
+
+func TestLeakageReflectsCellMix(t *testing.T) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	mk := func(m *celllib.Master) *netlist.Design {
+		d := &netlist.Design{Name: "x", Tech: tc, Lib: lib,
+			Die: geom.NewRect(0, 0, 10000, 10000), ClockPeriodPs: 100, ClockNet: netlist.NoNet}
+		d.AddInstance("u", m)
+		return d
+	}
+	rvt, _ := Analyze(mk(lib.Find(celllib.INV, 1, tech.Short6T, celllib.RVT)), Options{})
+	lvt, _ := Analyze(mk(lib.Find(celllib.INV, 1, tech.Short6T, celllib.LVT)), Options{})
+	if lvt.LeakageMW <= rvt.LeakageMW {
+		t.Error("LVT cell must leak more")
+	}
+}

@@ -1,0 +1,128 @@
+// Package regions implements the region-based mixed track-height strategy
+// of Fig. 1(a) (Dobre et al. [4]): the die is partitioned into one
+// contiguous subregion per track-height, with breaker overhead between
+// them, instead of interleaved row islands. It serves as the third
+// comparator next to the row-based baseline [10] and the paper's
+// customised-row flow — the paper (and [10]) argue row-based placement
+// beats this region-based style on wirelength.
+package regions
+
+import (
+	"fmt"
+	"math"
+
+	"mthplace/internal/netlist"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/tech"
+)
+
+// Options tune the partitioning.
+type Options struct {
+	// Fill is the target fill of the minority region (default 0.80).
+	Fill float64
+	// BreakerPairs is the number of empty pairs inserted between the two
+	// regions to model breaker-cell overhead (default 1).
+	BreakerPairs int
+	// MinorityOnTop puts the minority region at the die top (default) or
+	// bottom.
+	MinorityOnTop bool
+}
+
+// DefaultOptions models one breaker pair and 80% region fill.
+func DefaultOptions() Options {
+	return Options{Fill: 0.80, BreakerPairs: 1, MinorityOnTop: true}
+}
+
+// Partition is the computed region structure.
+type Partition struct {
+	Stack *rowgrid.MixedStack
+	// MinorityPairs is the contiguous run of tall pairs (the minority
+	// subregion).
+	MinorityPairs []int
+	// BreakerPairs are the empty pairs between the regions (no cells may
+	// be placed there).
+	BreakerPairs []int
+	// SeedY maps minority instances to the region bottom.
+	SeedY map[int32]int64
+}
+
+// Build partitions the die for the design's minority demand: a contiguous
+// block of tall pairs sized at the given fill, breaker pairs next to it,
+// and short pairs elsewhere. It fails when the die restack cannot host the
+// region (the breaker overhead can push an already-tight die over).
+func Build(d *netlist.Design, g rowgrid.PairGrid, opt Options) (*Partition, error) {
+	if opt.Fill <= 0 || opt.Fill > 1 {
+		opt.Fill = 0.80
+	}
+	if opt.BreakerPairs < 0 {
+		opt.BreakerPairs = 1
+	}
+	minority := d.MinorityInstances()
+	var minW int64
+	for _, i := range minority {
+		minW += d.Insts[i].TrueMaster().Width
+	}
+	capacity := 2 * g.Width()
+	nTall := int(math.Ceil(float64(minW) / (float64(capacity) * opt.Fill)))
+	if nTall < 1 && len(minority) > 0 {
+		nTall = 1
+	}
+	// The restack budget may be tighter than the fill target; pack the
+	// region denser (up to 100% fill) rather than fail, and only error when
+	// the demand genuinely cannot fit.
+	if maxTall := rowgrid.MaxMinorityPairs(d.Die, g.N, d.Tech); nTall > maxTall {
+		if minW > int64(maxTall)*capacity {
+			return nil, fmt.Errorf("regions: minority width %d exceeds %d-pair budget", minW, maxTall)
+		}
+		nTall = maxTall
+	}
+	if nTall+opt.BreakerPairs > g.N {
+		return nil, fmt.Errorf("regions: %d tall + %d breaker pairs exceed %d total", nTall, opt.BreakerPairs, g.N)
+	}
+
+	hs := make([]tech.TrackHeight, g.N)
+	part := &Partition{SeedY: make(map[int32]int64, len(minority))}
+	if opt.MinorityOnTop {
+		for k := 0; k < nTall; k++ {
+			idx := g.N - 1 - k
+			hs[idx] = tech.Tall7p5T
+			part.MinorityPairs = append(part.MinorityPairs, idx)
+		}
+		for k := 0; k < opt.BreakerPairs; k++ {
+			part.BreakerPairs = append(part.BreakerPairs, g.N-nTall-1-k)
+		}
+	} else {
+		for k := 0; k < nTall; k++ {
+			hs[k] = tech.Tall7p5T
+			part.MinorityPairs = append(part.MinorityPairs, k)
+		}
+		for k := 0; k < opt.BreakerPairs; k++ {
+			part.BreakerPairs = append(part.BreakerPairs, nTall+k)
+		}
+	}
+	ms, err := rowgrid.Stack(d.Die, hs, d.Tech)
+	if err != nil {
+		return nil, fmt.Errorf("regions: %w", err)
+	}
+	part.Stack = ms
+	// Seed every minority cell at the pair of the region nearest its
+	// current y (they all live in one contiguous region anyway).
+	for _, i := range minority {
+		in := d.Insts[i]
+		cy := in.Pos.Y + in.Height()/2
+		if p, ok := ms.NearestPairOf(tech.Tall7p5T, cy); ok {
+			part.SeedY[i] = ms.Y[p]
+		}
+	}
+	return part, nil
+}
+
+// BreakerSet returns the breaker pairs as a set for legalization row
+// filtering.
+func (p *Partition) BreakerSet() map[int]bool {
+	out := make(map[int]bool, len(p.BreakerPairs))
+	for _, b := range p.BreakerPairs {
+		out[b] = true
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package regions
+
+import (
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/legalize"
+	"mthplace/internal/netlist"
+	"mthplace/internal/placer"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+func placedDesign(t *testing.T, scale float64) (*netlist.Design, rowgrid.PairGrid) {
+	t.Helper()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	opt := synth.DefaultOptions()
+	opt.Scale = scale
+	d, err := synth.Generate(tc, lib, synth.TableII()[3], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lefdef.ApplyMLEF(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer.Global(d, placer.Options{OuterIters: 4, SolveSweeps: 6})
+	g := rowgrid.Uniform(d.Die, m.PairH)
+	if err := legalize.Uniform(d, g); err != nil {
+		t.Fatal(err)
+	}
+	return d, g
+}
+
+func TestBuildContiguousRegion(t *testing.T) {
+	d, g := placedDesign(t, 0.03)
+	part, err := Build(d, g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minority pairs contiguous at the top.
+	tall := part.Stack.PairsOf(tech.Tall7p5T)
+	if len(tall) != len(part.MinorityPairs) {
+		t.Fatalf("stack tall pairs %d != partition %d", len(tall), len(part.MinorityPairs))
+	}
+	for k := 1; k < len(tall); k++ {
+		if tall[k] != tall[k-1]+1 {
+			t.Fatalf("minority region not contiguous: %v", tall)
+		}
+	}
+	if tall[len(tall)-1] != part.Stack.NumPairs()-1 {
+		t.Errorf("minority region not at the top: %v", tall)
+	}
+	// Breakers adjacent to the region, of short height.
+	for _, b := range part.BreakerPairs {
+		if part.Stack.Heights[b] != tech.Short6T {
+			t.Errorf("breaker pair %d is tall", b)
+		}
+	}
+	// Every minority cell has a seed inside the region.
+	for _, i := range d.MinorityInstances() {
+		y, ok := part.SeedY[i]
+		if !ok {
+			t.Fatalf("cell %d unseeded", i)
+		}
+		found := false
+		for _, p := range tall {
+			if part.Stack.Y[p] == y {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d not a region pair bottom", y)
+		}
+	}
+}
+
+func TestBuildBottomRegion(t *testing.T) {
+	d, g := placedDesign(t, 0.02)
+	opt := DefaultOptions()
+	opt.MinorityOnTop = false
+	part, err := Build(d, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall := part.Stack.PairsOf(tech.Tall7p5T)
+	if tall[0] != 0 {
+		t.Errorf("bottom region must start at pair 0: %v", tall)
+	}
+}
+
+func TestRegionLegalizationKeepsBreakersEmpty(t *testing.T) {
+	d, g := placedDesign(t, 0.03)
+	part, err := Build(d, g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lefdef.Revert(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := legalize.FenceAwareExcluding(d, part.Stack, part.SeedY, 2, part.BreakerSet()); err != nil {
+		t.Fatal(err)
+	}
+	if err := legalize.VerifyMixed(d, part.Stack); err != nil {
+		t.Fatalf("region placement illegal: %v", err)
+	}
+	breakers := part.BreakerSet()
+	for i, in := range d.Insts {
+		for b := range breakers {
+			lo, hi := part.Stack.RowsOfPair(b)
+			if in.Pos.Y == lo || in.Pos.Y == hi {
+				t.Fatalf("inst %d placed in breaker pair %d", i, b)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsImpossible(t *testing.T) {
+	d, g := placedDesign(t, 0.02)
+	opt := DefaultOptions()
+	opt.BreakerPairs = g.N // absurd breaker demand
+	if _, err := Build(d, g, opt); err == nil {
+		t.Error("oversized breaker demand must error")
+	}
+}

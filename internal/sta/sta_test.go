@@ -1,0 +1,188 @@
+package sta
+
+import (
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/geom"
+	"mthplace/internal/netlist"
+	"mthplace/internal/route"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+// chainDesign builds port -> inv x N -> dff -> port with known delays.
+func chainDesign(t *testing.T, nInv int, clockPs float64) *netlist.Design {
+	t.Helper()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	d := &netlist.Design{
+		Name: "chain", Tech: tc, Lib: lib,
+		Die:           geom.NewRect(0, 0, 100000, 100000),
+		ClockPeriodPs: clockPs,
+		ClockNet:      netlist.NoNet,
+	}
+	inv := lib.Find(celllib.INV, 1, tech.Short6T, celllib.RVT)
+	dff := lib.Find(celllib.DFF, 1, tech.Short6T, celllib.RVT)
+	pin := d.AddPort("in", netlist.In, geom.Point{X: 0, Y: 0})
+	pclk := d.AddPort("clk", netlist.In, geom.Point{X: 0, Y: 50})
+	pout := d.AddPort("out", netlist.Out, geom.Point{X: 99999, Y: 0})
+
+	prev := d.AddNet("n_in")
+	d.ConnectPort(pin, prev)
+	for i := 0; i < nInv; i++ {
+		id := d.AddInstance("inv", inv)
+		d.Insts[id].Pos = geom.Point{X: int64(100 * (i + 1)), Y: 0}
+		d.Connect(id, 0, prev)
+		nxt := d.AddNet("n")
+		d.Connect(id, 1, nxt)
+		prev = nxt
+	}
+	clk := d.AddNet("clk")
+	d.ConnectPort(pclk, clk)
+	d.ClockNet = clk
+	fid := d.AddInstance("ff", dff)
+	d.Insts[fid].Pos = geom.Point{X: int64(100 * (nInv + 2)), Y: 0}
+	d.Connect(fid, 0, prev) // D
+	d.Connect(fid, 1, clk)  // CK
+	q := d.AddNet("q")
+	d.Connect(fid, 2, q)
+	d.ConnectPort(pout, q)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestChainTimingMeets(t *testing.T) {
+	d := chainDesign(t, 4, 10000) // very slow clock: must meet
+	r, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WNSps != 0 || r.TNSps != 0 || r.ViolatingEndpoints != 0 {
+		t.Errorf("slow clock must meet timing: %+v", r)
+	}
+	if r.Endpoints == 0 {
+		t.Error("no endpoints analysed")
+	}
+	if r.CriticalPathPs <= 0 {
+		t.Error("critical path must be positive")
+	}
+}
+
+func TestChainTimingViolates(t *testing.T) {
+	d := chainDesign(t, 40, 30) // 40 inverters cannot fit a 30 ps clock
+	r, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WNSps >= 0 || r.TNSps >= 0 {
+		t.Errorf("tight clock must violate: %+v", r)
+	}
+	if r.TNSps > r.WNSps {
+		t.Errorf("TNS %f cannot be less negative than WNS %f", r.TNSps, r.WNSps)
+	}
+}
+
+func TestLongerChainWorseSlack(t *testing.T) {
+	short, err := Analyze(chainDesign(t, 10, 100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Analyze(chainDesign(t, 30, 100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.CriticalPathPs <= short.CriticalPathPs {
+		t.Errorf("longer chain must have longer critical path: %f vs %f",
+			long.CriticalPathPs, short.CriticalPathPs)
+	}
+}
+
+func TestWireLengthDegradesTiming(t *testing.T) {
+	d := chainDesign(t, 10, 200)
+	base, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate all net lengths 100x: delays must grow.
+	lens := make([]int64, len(d.Nets))
+	for ni := range d.Nets {
+		lens[ni] = d.NetHPWL(int32(ni)) * 100
+	}
+	worse, err := Analyze(d, Options{NetLength: lens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse.CriticalPathPs <= base.CriticalPathPs {
+		t.Errorf("longer wires must slow the path: %f vs %f",
+			worse.CriticalPathPs, base.CriticalPathPs)
+	}
+}
+
+func TestAnalyzeSyntheticDesign(t *testing.T) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	opt := synth.DefaultOptions()
+	opt.Scale = 0.02
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread cells deterministically so wires exist.
+	for i, in := range d.Insts {
+		in.Pos = geom.Point{
+			X: d.Die.Lo.X + int64(i*131)%(d.Die.W()-in.Width()),
+			Y: d.Die.Lo.Y + int64(i*197)%(d.Die.H()-in.Height()),
+		}
+	}
+	r, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Endpoints == 0 {
+		t.Fatal("synthetic design must have endpoints")
+	}
+	// With routing lengths supplied, results are still sane.
+	rt, err := route.Route(d, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(d, Options{NetLength: rt.NetLength})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CriticalPathPs <= 0 {
+		t.Error("routed critical path must be positive")
+	}
+}
+
+func TestAnalyzeRejectsNoClock(t *testing.T) {
+	d := chainDesign(t, 2, 100)
+	d.ClockPeriodPs = 0
+	if _, err := Analyze(d, Options{}); err == nil {
+		t.Error("missing clock period must error")
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	d := &netlist.Design{
+		Name: "loop", Tech: tc, Lib: lib,
+		Die: geom.NewRect(0, 0, 10000, 10000), ClockPeriodPs: 100, ClockNet: netlist.NoNet,
+	}
+	inv := lib.Find(celllib.INV, 1, tech.Short6T, celllib.RVT)
+	a := d.AddInstance("a", inv)
+	b := d.AddInstance("b", inv)
+	n1 := d.AddNet("n1")
+	n2 := d.AddNet("n2")
+	d.Connect(a, 1, n1) // a.Y -> n1
+	d.Connect(b, 0, n1) // n1 -> b.A
+	d.Connect(b, 1, n2) // b.Y -> n2
+	d.Connect(a, 0, n2) // n2 -> a.A : loop
+	if _, err := Analyze(d, Options{}); err == nil {
+		t.Error("combinational loop must be detected")
+	}
+}

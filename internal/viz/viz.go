@@ -1,0 +1,99 @@
+// Package viz renders placements as SVG: die outline, row structure,
+// fence-region islands and cells coloured by track-height — the same visual
+// language as Fig. 3 of the paper (blue majority 6T cells, red minority
+// 7.5T cells, yellow fence regions).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mthplace/internal/fence"
+	"mthplace/internal/netlist"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/tech"
+)
+
+// Options control rendering.
+type Options struct {
+	// WidthPx is the output image width in pixels (default 800; height
+	// follows the die aspect ratio).
+	WidthPx int
+	// ShowRows draws row-pair boundaries.
+	ShowRows bool
+	// Stack, when non-nil, provides the mixed row structure (and enables
+	// fence shading); nil draws the die only.
+	Stack *rowgrid.MixedStack
+	// Title is an optional caption.
+	Title string
+}
+
+const (
+	colorMajority = "#4878cf" // blue, as in Fig. 3
+	colorMinority = "#d1493e" // red
+	colorFence    = "#f2d544" // yellow
+	colorDie      = "#fafafa"
+	colorRowLine  = "#dddddd"
+)
+
+// WriteSVG renders the design's current placement.
+func WriteSVG(w io.Writer, d *netlist.Design, opt Options) error {
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 800
+	}
+	bw := bufio.NewWriter(w)
+	dieW, dieH := d.Die.W(), d.Die.H()
+	if dieW <= 0 || dieH <= 0 {
+		return fmt.Errorf("viz: empty die")
+	}
+	scale := float64(opt.WidthPx) / float64(dieW)
+	hPx := float64(dieH) * scale
+	top := 0.0
+	if opt.Title != "" {
+		top = 20
+	}
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%.0f" viewBox="0 0 %d %.0f">`+"\n",
+		opt.WidthPx, hPx+top, opt.WidthPx, hPx+top)
+	if opt.Title != "" {
+		fmt.Fprintf(bw, `<text x="4" y="14" font-family="monospace" font-size="12">%s</text>`+"\n", opt.Title)
+	}
+	// SVG y grows downward; flip so die y grows upward.
+	fy := func(y int64) float64 { return top + hPx - float64(y-d.Die.Lo.Y)*scale }
+	fx := func(x int64) float64 { return float64(x-d.Die.Lo.X) * scale }
+
+	// Die.
+	fmt.Fprintf(bw, `<rect x="0" y="%.1f" width="%d" height="%.1f" fill="%s" stroke="#333"/>`+"\n",
+		top, opt.WidthPx, hPx, colorDie)
+
+	// Fence islands.
+	if opt.Stack != nil {
+		for _, rc := range fence.FromStack(opt.Stack).Rects {
+			fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.55"/>`+"\n",
+				fx(rc.Lo.X), fy(rc.Hi.Y), float64(rc.W())*scale, float64(rc.H())*scale, colorFence)
+		}
+	}
+
+	// Row boundaries.
+	if opt.ShowRows && opt.Stack != nil {
+		for i := 0; i <= opt.Stack.NumPairs(); i++ {
+			y := fy(opt.Stack.Y[i])
+			fmt.Fprintf(bw, `<line x1="0" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="0.5"/>`+"\n",
+				y, opt.WidthPx, y, colorRowLine)
+		}
+	}
+
+	// Cells.
+	for _, in := range d.Insts {
+		color := colorMajority
+		if in.TrueHeight() == tech.Tall7p5T {
+			color = colorMinority
+		}
+		r := in.Rect()
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.85"/>`+"\n",
+			fx(r.Lo.X), fy(r.Hi.Y), float64(r.W())*scale, float64(r.H())*scale, color)
+	}
+
+	fmt.Fprintf(bw, "</svg>\n")
+	return bw.Flush()
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/geom"
+	"mthplace/internal/netlist"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/tech"
+)
+
+func vizDesign(t *testing.T) (*netlist.Design, *rowgrid.MixedStack) {
+	t.Helper()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	hs := []tech.TrackHeight{tech.Short6T, tech.Tall7p5T, tech.Short6T}
+	var h int64
+	for _, p := range hs {
+		h += tc.PairHeight(p)
+	}
+	die := geom.NewRect(0, 0, 5400, h)
+	ms, err := rowgrid.Stack(die, hs, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &netlist.Design{Name: "viz", Tech: tc, Lib: lib, Die: die, ClockNet: netlist.NoNet}
+	short := lib.Find(celllib.INV, 1, tech.Short6T, celllib.RVT)
+	tall := lib.Find(celllib.INV, 1, tech.Tall7p5T, celllib.RVT)
+	a := d.AddInstance("a", short)
+	b := d.AddInstance("b", tall)
+	d.Insts[a].Pos = geom.Point{X: 0, Y: ms.Y[0]}
+	d.Insts[b].Pos = geom.Point{X: 108, Y: ms.Y[1]}
+	return d, ms
+}
+
+func TestWriteSVGBasics(t *testing.T) {
+	d, ms := vizDesign(t)
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, d, Options{Stack: ms, ShowRows: true, Title: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", colorMajority, colorMinority, colorFence, "test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One cell of each colour plus the die rect.
+	if strings.Count(out, "<rect") < 4 {
+		t.Errorf("too few rects:\n%s", out)
+	}
+	// Row lines: NumPairs+1 boundaries.
+	if strings.Count(out, "<line") != ms.NumPairs()+1 {
+		t.Errorf("row lines = %d, want %d", strings.Count(out, "<line"), ms.NumPairs()+1)
+	}
+}
+
+func TestWriteSVGWithoutStack(t *testing.T) {
+	d, _ := vizDesign(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), colorFence) {
+		t.Error("no fences expected without a stack")
+	}
+}
+
+func TestWriteSVGEmptyDie(t *testing.T) {
+	tc := tech.Default()
+	d := &netlist.Design{Name: "x", Tech: tc, Lib: celllib.New(tc), ClockNet: netlist.NoNet}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, d, Options{}); err == nil {
+		t.Error("empty die must error")
+	}
+}
+
+func TestWriteSVGDefaultWidth(t *testing.T) {
+	d, ms := vizDesign(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, d, Options{Stack: ms}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="800"`) {
+		t.Error("default width not applied")
+	}
+}
