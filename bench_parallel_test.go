@@ -1,0 +1,113 @@
+// Parallel-layer benchmarks: each Benchmark*Parallel variant runs the same
+// workload as its serial counterpart with the worker pool opened up to 8
+// extras (results are bit-identical either way; see DESIGN.md §7). On a
+// single-core host the parallel variants measure the pool's scheduling
+// overhead rather than a speedup — cmd/benchpar records both numbers plus
+// the host core count in BENCH_parallel.json.
+package mthplace_test
+
+import (
+	"testing"
+
+	"mthplace/internal/cluster"
+	"mthplace/internal/core"
+	"mthplace/internal/exp"
+	"mthplace/internal/flow"
+	"mthplace/internal/par"
+	"mthplace/internal/synth"
+)
+
+// benchJobs is the worker bound used by the *Parallel variants.
+const benchJobs = 8
+
+func withBenchJobs(b *testing.B, jobs int) {
+	b.Helper()
+	old := par.SetJobs(jobs)
+	b.Cleanup(func() { par.SetJobs(old) })
+}
+
+// benchModelInputs builds the clustered RAP inputs once for the BuildModel
+// benchmarks.
+func benchModelInputs(b *testing.B) *benchModelEnv {
+	b.Helper()
+	run := benchRunner(b, "des3_210")
+	d := run.Base.Clone()
+	cl, err := core.BuildClusters(d, 0.2, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchModelEnv{run: run, cl: cl}
+}
+
+type benchModelEnv struct {
+	run *flow.Runner
+	cl  *core.Clusters
+}
+
+func benchBuildModel(b *testing.B, jobs int) {
+	env := benchModelInputs(b)
+	withBenchJobs(b, jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildModel(env.run.Base, env.run.Grid, env.cl, env.run.NminR, core.DefaultCostParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildModelSerial measures the RAP cost-matrix build (Eq. 3-5
+// inputs) with the pool pinned to one worker.
+func BenchmarkBuildModelSerial(b *testing.B) { benchBuildModel(b, 1) }
+
+// BenchmarkBuildModelParallel measures the same build with up to benchJobs
+// workers splitting the per-cluster outer loop.
+func BenchmarkBuildModelParallel(b *testing.B) { benchBuildModel(b, benchJobs) }
+
+func benchKMeans(b *testing.B, jobs int) {
+	pts := make([]cluster.Point2, 2000)
+	for i := range pts {
+		pts[i] = cluster.Point2{X: float64(i*131%9973) / 9973, Y: float64(i*197%9967) / 9967}
+	}
+	withBenchJobs(b, jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.KMeans2D(pts, 400, 30)
+	}
+}
+
+// BenchmarkKMeans2DSerial pins the Lloyd assignment pass to one worker.
+func BenchmarkKMeans2DSerial(b *testing.B) { benchKMeans(b, 1) }
+
+// BenchmarkKMeans2DParallel chunks the assignment pass across the pool; the
+// per-chunk partial sums merge in chunk order, so centroids are bit-identical
+// to the serial run.
+func BenchmarkKMeans2DParallel(b *testing.B) { benchKMeans(b, benchJobs) }
+
+func benchTable4(b *testing.B, jobs int) {
+	var specs []synth.Spec
+	for _, s := range synth.TableII() {
+		if s.Name() == "aes_360" || s.Name() == "fpu_4500" {
+			specs = append(specs, s)
+		}
+	}
+	cfg := exp.Config{Scale: 0.015, Specs: specs}
+	cfg.Flow = flow.DefaultConfig()
+	cfg.Flow.Jobs = jobs
+	cfg.Flow.Placer.OuterIters = 4
+	cfg.Flow.Placer.SolveSweeps = 6
+	withBenchJobs(b, jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4MatrixSerial runs the Table IV experiment matrix with one
+// worker per layer.
+func BenchmarkTable4MatrixSerial(b *testing.B) { benchTable4(b, 1) }
+
+// BenchmarkTable4MatrixParallel runs the testcases of the Table IV matrix
+// concurrently with the ordered-results collector.
+func BenchmarkTable4MatrixParallel(b *testing.B) { benchTable4(b, benchJobs) }

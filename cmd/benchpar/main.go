@@ -1,0 +1,191 @@
+// Command benchpar measures the parallel execution layer (DESIGN.md §7) and
+// writes the results to a JSON file. Each workload runs at jobs=1 and at the
+// requested worker bound; because the layer is deterministic the two runs
+// produce identical outputs, so the report is purely about wall clock.
+//
+//	benchpar                     # write BENCH_parallel.json in the cwd
+//	benchpar -jobs 8 -reps 5 -o /tmp/bench.json
+//
+// On a host with a single CPU the parallel numbers measure the pool's
+// scheduling overhead, not a speedup; the report records the host core count
+// so readers can interpret the ratios.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mthplace/internal/cluster"
+	"mthplace/internal/core"
+	"mthplace/internal/exp"
+	"mthplace/internal/flow"
+	"mthplace/internal/par"
+	"mthplace/internal/synth"
+)
+
+// Report is the schema of BENCH_parallel.json.
+type Report struct {
+	// Host records where the numbers were taken. Speedup ratios are only
+	// meaningful when NumCPU > 1.
+	Host struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Jobs      int        `json:"jobs"`
+	Reps      int        `json:"reps"`
+	Workloads []Workload `json:"workloads"`
+}
+
+// Workload is one benchmark: best-of-reps wall clock at jobs=1 and jobs=N.
+type Workload struct {
+	Name       string  `json:"name"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		jobs = flag.Int("jobs", 0, "parallel worker bound (0 = GOMAXPROCS)")
+		reps = flag.Int("reps", 3, "repetitions per workload (best is kept)")
+		out  = flag.String("o", "BENCH_parallel.json", "output file")
+	)
+	flag.Parse()
+	if *jobs <= 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
+
+	var rep Report
+	rep.Host.GoVersion = runtime.Version()
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Jobs = *jobs
+	rep.Reps = *reps
+
+	for _, w := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"BuildModel/des3_210", benchBuildModel()},
+		{"KMeans2D/2000pts_k400", benchKMeans()},
+		{"Table4Matrix/2specs", benchTable4()},
+	} {
+		serial, err := timeAt(1, *reps, w.fn)
+		if err != nil {
+			fatal(fmt.Errorf("%s (serial): %w", w.name, err))
+		}
+		parallel, err := timeAt(*jobs, *reps, w.fn)
+		if err != nil {
+			fatal(fmt.Errorf("%s (parallel): %w", w.name, err))
+		}
+		wl := Workload{
+			Name:       w.name,
+			SerialMS:   float64(serial.Microseconds()) / 1000,
+			ParallelMS: float64(parallel.Microseconds()) / 1000,
+			Speedup:    float64(serial) / float64(parallel),
+		}
+		rep.Workloads = append(rep.Workloads, wl)
+		fmt.Printf("%-24s serial %8.2f ms   jobs=%d %8.2f ms   speedup %.2fx\n",
+			wl.Name, wl.SerialMS, *jobs, wl.ParallelMS, wl.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (host: %d CPU)\n", *out, rep.Host.NumCPU)
+}
+
+// timeAt runs fn reps times with the pool bound to jobs workers and returns
+// the best wall clock.
+func timeAt(jobs, reps int, fn func() error) (time.Duration, error) {
+	old := par.SetJobs(jobs)
+	defer par.SetJobs(old)
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// benchBuildModel prepares the clustered RAP inputs once and returns a
+// closure that rebuilds the cost model.
+func benchBuildModel() func() error {
+	cfg := flow.DefaultConfig()
+	cfg.Synth.Scale = 0.02
+	cfg.Placer.OuterIters = 6
+	cfg.Placer.SolveSweeps = 10
+	r, err := flow.NewRunner(spec("des3_210"), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := core.BuildClusters(r.Base.Clone(), 0.2, 30)
+	if err != nil {
+		fatal(err)
+	}
+	return func() error {
+		_, err := core.BuildModel(r.Base, r.Grid, cl, r.NminR, core.DefaultCostParams())
+		return err
+	}
+}
+
+func benchKMeans() func() error {
+	pts := make([]cluster.Point2, 2000)
+	for i := range pts {
+		pts[i] = cluster.Point2{X: float64(i*131%9973) / 9973, Y: float64(i*197%9967) / 9967}
+	}
+	return func() error {
+		cluster.KMeans2D(pts, 400, 30)
+		return nil
+	}
+}
+
+func benchTable4() func() error {
+	var specs []synth.Spec
+	for _, s := range synth.TableII() {
+		if s.Name() == "aes_360" || s.Name() == "fpu_4500" {
+			specs = append(specs, s)
+		}
+	}
+	return func() error {
+		cfg := exp.Config{Scale: 0.015, Specs: specs}
+		cfg.Flow = flow.DefaultConfig()
+		cfg.Flow.Placer.OuterIters = 4
+		cfg.Flow.Placer.SolveSweeps = 6
+		_, err := exp.Table4(cfg)
+		return err
+	}
+}
+
+func spec(name string) synth.Spec {
+	for _, s := range synth.TableII() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	fatal(fmt.Errorf("unknown spec %s", name))
+	panic("unreachable")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpar:", err)
+	os.Exit(1)
+}

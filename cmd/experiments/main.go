@@ -31,6 +31,7 @@ func main() {
 	var (
 		scale    = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		jobs     = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		only     = flag.String("only", "", "restrict to testcases whose name contains this substring")
 		verbose  = flag.Bool("v", false, "log per-testcase progress to stderr")
 		table2   = flag.Bool("table2", false, "regenerate Table II")
@@ -49,6 +50,7 @@ func main() {
 	flag.Parse()
 
 	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	cfg.Flow.Jobs = *jobs
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

@@ -23,6 +23,7 @@ func main() {
 		flowNum  = flag.Int("flow", 5, "flow to run (1-5, Table III)")
 		scale    = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		jobs     = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		doRoute  = flag.Bool("route", false, "route the result and report WL/power/WNS/TNS")
 		defOut   = flag.String("def", "", "write the final placement to this DEF file")
 		lefOut   = flag.String("lef", "", "write the cell library to this LEF file")
@@ -52,6 +53,7 @@ func main() {
 	fcfg := flow.DefaultConfig()
 	fcfg.Synth.Scale = *scale
 	fcfg.Synth.Seed = *seed
+	fcfg.Jobs = *jobs
 	runner, err := flow.NewRunner(*spec, fcfg)
 	if err != nil {
 		fatal(err)

@@ -12,6 +12,8 @@ package cluster
 import (
 	"math"
 	"sort"
+
+	"mthplace/internal/par"
 )
 
 // Point2 is a 2-D sample.
@@ -92,7 +94,10 @@ func GridSeeds(pts []Point2, k int) []Point2 {
 // KMeans2D clusters the samples into k clusters starting from the paper's
 // grid seeds, running standard Lloyd iterations until assignments are stable
 // or maxIter is reached. k is clamped to [1, len(pts)]. The algorithm is
-// fully deterministic.
+// fully deterministic: assignment and centroid accumulation run on the
+// shared worker pool over par's canonical chunks, and the per-chunk partial
+// sums merge in fixed chunk order, so the result is bit-identical at any
+// par.Jobs() setting (including fully sequential runs).
 func KMeans2D(pts []Point2, k, maxIter int) *Result {
 	if len(pts) == 0 {
 		return &Result{}
@@ -108,37 +113,66 @@ func KMeans2D(pts []Point2, k, maxIter int) *Result {
 	for i := range assign {
 		assign[i] = -1
 	}
+	// Per-chunk partial reductions of the assignment scan. Chunk boundaries
+	// depend only on len(pts), never on the worker count — that fixes the
+	// float summation order of the centroid accumulators.
+	type partial struct {
+		sizes   []int
+		sx, sy  []float64
+		changed bool
+	}
+	parts := make([]partial, par.NumChunks(len(pts)))
+	for ci := range parts {
+		parts[ci] = partial{sizes: make([]int, k), sx: make([]float64, k), sy: make([]float64, k)}
+	}
 	sizes := make([]int, k)
+	sx := make([]float64, k)
+	sy := make([]float64, k)
 	iters := 0
 	for ; iters < maxIter; iters++ {
-		changed := false
-		for i := range sizes {
-			sizes[i] = 0
-		}
-		for i, p := range pts {
-			best, bestD := 0, math.Inf(1)
-			for c, q := range cent {
-				d := sq(p.X-q.X) + sq(p.Y-q.Y)
-				if d < bestD {
-					best, bestD = c, d
+		// Assignment + per-chunk accumulation: each chunk owns assign[lo:hi]
+		// and its private partial sums.
+		par.ForChunks(len(pts), func(ci, lo, hi int) {
+			pt := &parts[ci]
+			for c := 0; c < k; c++ {
+				pt.sizes[c], pt.sx[c], pt.sy[c] = 0, 0, 0
+			}
+			pt.changed = false
+			for i := lo; i < hi; i++ {
+				p := pts[i]
+				best, bestD := 0, math.Inf(1)
+				for c, q := range cent {
+					d := sq(p.X-q.X) + sq(p.Y-q.Y)
+					if d < bestD {
+						best, bestD = c, d
+					}
 				}
+				if assign[i] != best {
+					assign[i] = best
+					pt.changed = true
+				}
+				pt.sizes[best]++
+				pt.sx[best] += p.X
+				pt.sy[best] += p.Y
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
+		})
+		// Deterministic merge in chunk order.
+		changed := false
+		for c := 0; c < k; c++ {
+			sizes[c], sx[c], sy[c] = 0, 0, 0
+		}
+		for ci := range parts {
+			changed = changed || parts[ci].changed
+			for c := 0; c < k; c++ {
+				sizes[c] += parts[ci].sizes[c]
+				sx[c] += parts[ci].sx[c]
+				sy[c] += parts[ci].sy[c]
 			}
-			sizes[best]++
 		}
 		if !changed && iters > 0 {
 			break
 		}
-		// Recompute centroids.
-		sx := make([]float64, k)
-		sy := make([]float64, k)
-		for i, p := range pts {
-			sx[assign[i]] += p.X
-			sy[assign[i]] += p.Y
-		}
+		// Recompute centroids from the merged sums.
 		for c := 0; c < k; c++ {
 			if sizes[c] > 0 {
 				cent[c] = Point2{sx[c] / float64(sizes[c]), sy[c] / float64(sizes[c])}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mthplace/internal/par"
+)
+
+// TestKMeans2DParallelEquivalence asserts the tentpole determinism
+// guarantee: jobs=1 and jobs=8 produce bit-identical clusterings, because
+// the centroid accumulation merges canonical per-chunk partial sums in
+// fixed chunk order.
+func TestKMeans2DParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{5, 300, 2000} {
+		pts := make([]Point2, n)
+		for i := range pts {
+			pts[i] = Point2{rng.Float64() * 1e6, rng.Float64() * 1e6}
+		}
+		k := n/10 + 1
+		old := par.SetJobs(1)
+		a := KMeans2D(pts, k, 40)
+		par.SetJobs(8)
+		b := KMeans2D(pts, k, 40)
+		par.SetJobs(old)
+		if a.Iterations != b.Iterations {
+			t.Fatalf("n=%d: iterations %d vs %d", n, a.Iterations, b.Iterations)
+		}
+		for i := range a.Assign {
+			if a.Assign[i] != b.Assign[i] {
+				t.Fatalf("n=%d: assign[%d] %d vs %d", n, i, a.Assign[i], b.Assign[i])
+			}
+		}
+		for c := range a.Centroids {
+			if a.Sizes[c] != b.Sizes[c] {
+				t.Fatalf("n=%d: sizes[%d] %d vs %d", n, c, a.Sizes[c], b.Sizes[c])
+			}
+			if math.Float64bits(a.Centroids[c].X) != math.Float64bits(b.Centroids[c].X) ||
+				math.Float64bits(a.Centroids[c].Y) != math.Float64bits(b.Centroids[c].Y) {
+				t.Fatalf("n=%d: centroid %d not bit-identical: %v vs %v", n, c, a.Centroids[c], b.Centroids[c])
+			}
+		}
+	}
+}

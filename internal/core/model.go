@@ -22,6 +22,7 @@ import (
 	"mthplace/internal/cluster"
 	"mthplace/internal/geom"
 	"mthplace/internal/netlist"
+	"mthplace/internal/par"
 	"mthplace/internal/rowgrid"
 	"mthplace/internal/tech"
 )
@@ -198,31 +199,34 @@ func BuildModel(d *netlist.Design, g rowgrid.PairGrid, cl *Clusters, nMinR int, 
 		return nil, fmt.Errorf("core: minority width %d exceeds %d rows × capacity %d", totalW, nMinR, m.Cap)
 	}
 
-	// Per minority cell, precompute its nets' "other pin" boxes.
-	cellNets := map[int32][]netBoxT{}
-	for c := 0; c < cl.N(); c++ {
-		for _, i := range cl.Members[c] {
-			cellNets[i] = buildNetBoxes(d, i)
+	// Every cluster's cost row is independent of the others, so the outer
+	// loop runs on the shared worker pool. Each worker precomputes its own
+	// members' net boxes (clusters partition the minority cells, so no box
+	// is computed twice) and scans rows and members in the same order the
+	// sequential path would — the per-(c,r) float accumulation order is
+	// fixed, making the matrix bit-identical at any par.Jobs() setting.
+	par.For(cl.N(), func(c int) {
+		boxes := make([][]netBoxT, len(cl.Members[c]))
+		for mi, i := range cl.Members[c] {
+			boxes[mi] = buildNetBoxes(d, i)
 		}
-	}
-
-	for c := 0; c < cl.N(); c++ {
-		m.Cost[c] = make([]float64, g.N)
+		row := make([]float64, g.N)
 		for r := 0; r < g.N; r++ {
 			var disp, dhpwl float64
-			for _, i := range cl.Members[c] {
+			for mi, i := range cl.Members[c] {
 				in := d.Insts[i]
 				cellCY := in.Pos.Y + in.Height()/2
 				dy := m.PairCenterY[r] - cellCY
 				disp += float64(geom.AbsInt64(dy))
-				for _, nb := range cellNets[i] {
+				for _, nb := range boxes[mi] {
 					dhpwl += float64(netDeltaHPWL(nb.othersRect(), nb.hasOther,
 						nb.ownXLo, nb.ownXHi, nb.ownYLo, nb.ownYHi, dy))
 				}
 			}
-			m.Cost[c][r] = p.Alpha*disp + (1-p.Alpha)*dhpwl
+			row[r] = p.Alpha*disp + (1-p.Alpha)*dhpwl
 		}
-	}
+		m.Cost[c] = row
+	})
 	return m, nil
 }
 

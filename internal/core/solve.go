@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -80,11 +82,11 @@ func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
 	// greedy-chosen pair (keeps the warm start representable).
 	cand := make([][]int, nC)
 	for c := 0; c < nC; c++ {
+		idx := indexSeq(nR)
 		if opt.CandidateRows <= 0 || opt.CandidateRows >= nR {
-			cand[c] = allRows(nR)
+			cand[c] = idx
 			continue
 		}
-		idx := allRows(nR)
 		costs := m.Cost[c]
 		sort.Slice(idx, func(a, b int) bool {
 			if costs[idx[a]] != costs[idx[b]] {
@@ -92,11 +94,11 @@ func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
 			}
 			return idx[a] < idx[b]
 		})
-		keep := append([]int(nil), idx[:opt.CandidateRows]...)
-		if !containsInt(keep, greedy.ClusterPair[c]) {
+		keep := idx[:opt.CandidateRows:opt.CandidateRows]
+		if !slices.Contains(keep, greedy.ClusterPair[c]) {
 			keep = append(keep, greedy.ClusterPair[c])
 		}
-		sort.Ints(keep)
+		slices.Sort(keep)
 		cand[c] = keep
 	}
 
@@ -119,21 +121,22 @@ func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
 			prob.AddTerm(row, xVar[c][r], 1)
 		}
 	}
-	// Eq. 4 with linking.
+	// Eq. 4 with linking. A row left unreachable by candidate pruning gets
+	// no capacity constraint at all: with no x_cr terms the constraint would
+	// be the vacuous −w(r)·y_r ≤ 0, and the indicator y_r may still count
+	// toward Eq. 5 (an empty minority row is legal).
 	for r := 0; r < nR; r++ {
-		row := prob.AddConstraint(lp.LE, 0)
-		used := false
+		row := -1
 		for c := 0; c < nC; c++ {
 			if v, ok := xVar[c][r]; ok {
+				if row < 0 {
+					row = prob.AddConstraint(lp.LE, 0)
+				}
 				prob.AddTerm(row, v, float64(m.Clusters.Width[c]))
-				used = true
 			}
 		}
-		prob.AddTerm(row, yVar[r], -float64(m.Cap))
-		if !used {
-			// Row unreachable after pruning; its indicator may still count
-			// toward Eq. 5 (an empty minority row is legal).
-			continue
+		if row >= 0 {
+			prob.AddTerm(row, yVar[r], -float64(m.Cap))
 		}
 	}
 	// Eq. 5.
@@ -269,7 +272,7 @@ func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
 	for _, r := range out.ClusterPair {
 		chosen[r] = true
 	}
-	out.MinorityPairs = sortedKeys(chosen)
+	out.MinorityPairs = slices.Sorted(maps.Keys(chosen))
 	out.Objective = objectiveOf(m, out.ClusterPair)
 	out.Stats = SolveStats{
 		Method:     "ilp",
@@ -359,7 +362,7 @@ func SolveGreedy(m *Model) (*Assignment, error) {
 	sort.Ints(pairs)
 
 	// Cheapest-feasible assignment, widest clusters first.
-	order := allRows(nC)
+	order := indexSeq(nC)
 	sort.Slice(order, func(a, b int) bool {
 		if m.Clusters.Width[order[a]] != m.Clusters.Width[order[b]] {
 			return m.Clusters.Width[order[a]] > m.Clusters.Width[order[b]]
@@ -435,29 +438,12 @@ func objectiveOf(m *Model, clusterPair []int) float64 {
 	return obj
 }
 
-func allRows(n int) []int {
+// indexSeq returns the slice [0, 1, ..., n-1].
+func indexSeq(n int) []int {
 	out := make([]int, n)
 	for i := range out {
 		out[i] = i
 	}
-	return out
-}
-
-func containsInt(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"mthplace/internal/flow"
 	"mthplace/internal/metrics"
+	"mthplace/internal/par"
 	"mthplace/internal/synth"
 )
 
@@ -38,10 +39,14 @@ func Ablation(cfg Config) (*AblationResult, error) {
 		DispOverhead: make([]float64, len(sValues)),
 		HPWLOverhead: make([]float64, len(sValues)),
 	}
-	for _, spec := range cfg.Specs {
+	// Specs fan out on the shared pool; the percentage accumulators merge
+	// serially in spec order so the averages stay deterministic.
+	type series struct{ rts, disp, hpwl []float64 }
+	all, err := par.Map(len(cfg.Specs), func(si int) (series, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return series{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		rts := make([]float64, len(sValues))
 		disp := make([]float64, len(sValues))
@@ -50,25 +55,31 @@ func Ablation(cfg Config) (*AblationResult, error) {
 			r.Cfg.Core.S = s
 			res, err := r.Run(flow.Flow4, false)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
+				return series{}, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
 			}
 			rts[vi] = res.Metrics.RAPTime.Seconds()
 			disp[vi] = float64(res.Metrics.Displacement)
 			hpwl[vi] = float64(res.Metrics.HPWL)
 		}
+		cfg.logf("ablation: %s rt=%v", spec.Name(), rts)
+		return series{rts, disp, hpwl}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range all {
 		for vi := range sValues {
-			if rts[0] > 0 {
-				out.RuntimeCut[vi] += 100 * (1 - rts[vi]/rts[0])
+			if s.rts[0] > 0 {
+				out.RuntimeCut[vi] += 100 * (1 - s.rts[vi]/s.rts[0])
 			}
-			if disp[0] > 0 {
-				out.DispOverhead[vi] += 100 * (disp[vi]/disp[0] - 1)
+			if s.disp[0] > 0 {
+				out.DispOverhead[vi] += 100 * (s.disp[vi]/s.disp[0] - 1)
 			}
-			if hpwl[0] > 0 {
-				out.HPWLOverhead[vi] += 100 * (hpwl[vi]/hpwl[0] - 1)
+			if s.hpwl[0] > 0 {
+				out.HPWLOverhead[vi] += 100 * (s.hpwl[vi]/s.hpwl[0] - 1)
 			}
 		}
 		out.TestcaseCount++
-		cfg.logf("ablation: %s rt=%v", spec.Name(), rts)
 	}
 	for vi := range sValues {
 		out.RuntimeCut[vi] /= float64(out.TestcaseCount)
@@ -114,19 +125,25 @@ func Profile(cfg Config) (*ProfileResult, error) {
 		SmallMax:  int(3000 * cfg.Scale),
 		MediumMax: int(5000 * cfg.Scale),
 	}
-	for _, spec := range cfg.Specs {
+	type sample struct {
+		class      int
+		rap, legal float64
+		ok         bool
+	}
+	samples, err := par.Map(len(cfg.Specs), func(si int) (sample, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return sample{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		res, err := r.Run(flow.Flow5, false)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return sample{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		m := res.Metrics
 		total := m.RAPTime.Seconds() + m.LegalTime.Seconds()
 		if total <= 0 {
-			continue
+			return sample{}, nil
 		}
 		class := 2
 		if m.NumMinority < out.SmallMax {
@@ -134,11 +151,20 @@ func Profile(cfg Config) (*ProfileResult, error) {
 		} else if m.NumMinority <= out.MediumMax {
 			class = 1
 		}
-		out.Count[class]++
-		out.RAPShare[class] += 100 * m.RAPTime.Seconds() / total
-		out.LegalShare[class] += 100 * m.LegalTime.Seconds() / total
 		cfg.logf("profile: %s class=%d rap=%.2fs legal=%.2fs", spec.Name(), class,
 			m.RAPTime.Seconds(), m.LegalTime.Seconds())
+		return sample{class, 100 * m.RAPTime.Seconds() / total, 100 * m.LegalTime.Seconds() / total, true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range samples {
+		if !s.ok {
+			continue
+		}
+		out.Count[s.class]++
+		out.RAPShare[s.class] += s.rap
+		out.LegalShare[s.class] += s.legal
 	}
 	for c := 0; c < 3; c++ {
 		if out.Count[c] > 0 {

@@ -14,11 +14,13 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"mthplace/internal/celllib"
 	"mthplace/internal/flow"
 	"mthplace/internal/metrics"
+	"mthplace/internal/par"
 	"mthplace/internal/synth"
 	"mthplace/internal/tech"
 )
@@ -48,15 +50,28 @@ func (c Config) withDefaults() Config {
 		c.Specs = synth.TableII()
 	}
 	if c.Flow.FencePasses == 0 {
+		jobs := c.Flow.Jobs
 		c.Flow = flow.DefaultConfig()
+		c.Flow.Jobs = jobs
 	}
 	c.Flow.Synth.Scale = c.Scale
 	c.Flow.Synth.Seed = c.Seed
+	// Experiment drivers fan the per-spec loops out on the shared pool;
+	// install the requested bound before the first par call.
+	c.Flow.ApplyJobs()
 	return c
 }
 
+// logMu serialises progress lines: specs run concurrently, and interleaved
+// partial writes to a shared io.Writer would be garbled otherwise. Line
+// order may vary with completion order; result tables never do (rows are
+// collected in spec order).
+var logMu sync.Mutex
+
 func (c Config) logf(format string, args ...any) {
 	if c.Log != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
 		fmt.Fprintf(c.Log, format+"\n", args...)
 	}
 }
@@ -83,27 +98,33 @@ type Table2Result struct {
 	Rows  []Table2Row
 }
 
-// Table2 regenerates the testcase suite and reports its statistics.
+// Table2 regenerates the testcase suite and reports its statistics. Specs
+// run concurrently on the shared pool; rows come back in spec order.
 func Table2(cfg Config) (*Table2Result, error) {
 	cfg = cfg.withDefaults()
 	tc := tech.Default()
-	lib := celllib.New(tc)
 	out := &Table2Result{Scale: cfg.Scale}
-	for _, spec := range cfg.Specs {
+	rows, err := par.Map(len(cfg.Specs), func(si int) (Table2Row, error) {
+		spec := cfg.Specs[si]
+		lib := celllib.New(tc)
 		d, err := synth.Generate(tc, lib, spec, cfg.Flow.Synth)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return Table2Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		st := d.ComputeStats()
-		out.Rows = append(out.Rows, Table2Row{
+		cfg.logf("table2: %s cells=%d 7.5T=%.2f%% nets=%d", spec.Name(), st.Cells, st.MinorityPct, st.Nets)
+		return Table2Row{
 			Name:        spec.Name(),
 			ClockPs:     spec.ClockPs,
 			Cells:       st.Cells,
 			MinorityPct: st.MinorityPct,
 			Nets:        st.Nets,
-		})
-		cfg.logf("table2: %s cells=%d 7.5T=%.2f%% nets=%d", spec.Name(), st.Cells, st.MinorityPct, st.Nets)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -144,19 +165,22 @@ type Table4Result struct {
 	NormTime [4]float64
 }
 
-// Table4 runs flows (1)–(5) post-placement on every testcase.
+// Table4 runs flows (1)–(5) post-placement on every testcase. Testcases run
+// concurrently on the shared pool (the flows within one testcase stay
+// sequential — they share the runner); the ordered collector keeps rows and
+// the normalisation inputs in spec order regardless of completion order.
 func Table4(cfg Config) (*Table4Result, error) {
 	cfg = cfg.withDefaults()
 	out := &Table4Result{Scale: cfg.Scale}
-	var dispRows, hpwlRows, timeRows [][]float64
-	for _, spec := range cfg.Specs {
+	rows, err := par.Map(len(cfg.Specs), func(si int) (Table4Row, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return Table4Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		results, err := r.RunAll(false)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return Table4Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		row := Table4Row{Name: spec.Name()}
 		for k, id := range []flow.ID{flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5} {
@@ -166,7 +190,16 @@ func Table4(cfg Config) (*Table4Result, error) {
 		for k, id := range []flow.ID{flow.Flow1, flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5} {
 			row.HPWL[k] = results[id].Metrics.HPWL
 		}
-		out.Rows = append(out.Rows, row)
+		cfg.logf("table4: %s disp2=%d disp4=%d hpwl2=%d hpwl5=%d",
+			spec.Name(), row.Disp[0], row.Disp[2], row.HPWL[1], row.HPWL[4])
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
+	var dispRows, hpwlRows, timeRows [][]float64
+	for _, row := range out.Rows {
 		dispRows = append(dispRows, toF64(row.Disp[:]))
 		hpwlRows = append(hpwlRows, toF64(row.HPWL[:]))
 		tr := make([]float64, 4)
@@ -174,8 +207,6 @@ func Table4(cfg Config) (*Table4Result, error) {
 			tr[k] = row.Time[k].Seconds()
 		}
 		timeRows = append(timeRows, tr)
-		cfg.logf("table4: %s disp2=%d disp4=%d hpwl2=%d hpwl5=%d",
-			spec.Name(), row.Disp[0], row.Disp[2], row.HPWL[1], row.HPWL[4])
 	}
 	copy(out.NormDisp[:], metrics.NormalizedMean(dispRows, 0))
 	copy(out.NormHPWL[:], metrics.NormalizedMean(hpwlRows, 1))
@@ -251,37 +282,45 @@ type Table5Result struct {
 var table5Flows = []flow.ID{flow.Flow1, flow.Flow2, flow.Flow4, flow.Flow5}
 
 // Table5 runs flows (1), (2), (4), (5) with routing and signoff on every
-// testcase.
+// testcase. Testcases fan out on the shared pool; the ordered collector
+// keeps rows in spec order.
 func Table5(cfg Config) (*Table5Result, error) {
 	cfg = cfg.withDefaults()
 	out := &Table5Result{Scale: cfg.Scale}
-	var wlRows, pRows, wnsRows, tnsRows [][]float64
-	for _, spec := range cfg.Specs {
+	rows, err := par.Map(len(cfg.Specs), func(si int) (Table5Row, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return Table5Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		row := Table5Row{Name: spec.Name()}
 		for k, id := range table5Flows {
 			res, err := r.Run(id, true)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s %v: %w", spec.Name(), id, err)
+				return Table5Row{}, fmt.Errorf("exp: %s %v: %w", spec.Name(), id, err)
 			}
 			row.WL[k] = res.Metrics.RoutedWL
 			row.Power[k] = res.Metrics.PowerMW
 			row.WNS[k] = res.Metrics.WNSps
 			row.TNS[k] = res.Metrics.TNSps
 		}
-		out.Rows = append(out.Rows, row)
+		cfg.logf("table5: %s wl=(%d,%d,%d,%d) p=(%.1f,%.1f,%.1f,%.1f)",
+			spec.Name(), row.WL[0], row.WL[1], row.WL[2], row.WL[3],
+			row.Power[0], row.Power[1], row.Power[2], row.Power[3])
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
+	var wlRows, pRows, wnsRows, tnsRows [][]float64
+	for _, row := range out.Rows {
 		wlRows = append(wlRows, toF64(row.WL[:]))
 		pRows = append(pRows, row.Power[:])
 		// WNS/TNS are negative-or-zero; normalise magnitudes like the paper
 		// (smaller magnitude is better, Flow 2 = 1).
 		wnsRows = append(wnsRows, negMag(row.WNS[:]))
 		tnsRows = append(tnsRows, negMag(row.TNS[:]))
-		cfg.logf("table5: %s wl=(%d,%d,%d,%d) p=(%.1f,%.1f,%.1f,%.1f)",
-			spec.Name(), row.WL[0], row.WL[1], row.WL[2], row.WL[3],
-			row.Power[0], row.Power[1], row.Power[2], row.Power[3])
 	}
 	copy(out.NormWL[:], metrics.NormalizedMean(wlRows, 1))
 	copy(out.NormPower[:], metrics.NormalizedMean(pRows, 1))

@@ -6,6 +6,7 @@ import (
 	"mthplace/internal/flow"
 	"mthplace/internal/heightswap"
 	"mthplace/internal/metrics"
+	"mthplace/internal/par"
 	"mthplace/internal/synth"
 )
 
@@ -39,20 +40,24 @@ func FinFlexStudy(cfg Config) (*FinFlexResult, error) {
 		cfg.Specs = synth.ParameterSweepSpecs()
 	}
 	out := &FinFlexResult{Scale: cfg.Scale}
-	var hr, wr [][]float64
-	for _, spec := range cfg.Specs {
+	type rowOpt struct {
+		row FinFlexRow
+		ok  bool
+	}
+	rows, err := par.Map(len(cfg.Specs), func(si int) (rowOpt, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return rowOpt{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		f5, err := r.Run(flow.Flow5, true)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s flow5: %w", spec.Name(), err)
+			return rowOpt{}, fmt.Errorf("exp: %s flow5: %w", spec.Name(), err)
 		}
 		ff, err := r.RunFinFlex(nil, true)
 		if err != nil {
 			cfg.logf("finflex: %s skipped: %v", spec.Name(), err)
-			continue
+			return rowOpt{}, nil
 		}
 		row := FinFlexRow{
 			Name:        spec.Name(),
@@ -61,10 +66,20 @@ func FinFlexStudy(cfg Config) (*FinFlexResult, error) {
 			WLFlow5:     f5.Metrics.RoutedWL,
 			WLFinFlex:   ff.Metrics.RoutedWL,
 		}
-		out.Rows = append(out.Rows, row)
-		hr = append(hr, []float64{float64(row.HPWLFlow5), float64(row.HPWLFinFlex)})
-		wr = append(wr, []float64{float64(row.WLFlow5), float64(row.WLFinFlex)})
 		cfg.logf("finflex: %s hpwl %d vs %d", spec.Name(), row.HPWLFlow5, row.HPWLFinFlex)
+		return rowOpt{row, true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var hr, wr [][]float64
+	for _, ro := range rows {
+		if !ro.ok {
+			continue
+		}
+		out.Rows = append(out.Rows, ro.row)
+		hr = append(hr, []float64{float64(ro.row.HPWLFlow5), float64(ro.row.HPWLFinFlex)})
+		wr = append(wr, []float64{float64(ro.row.WLFlow5), float64(ro.row.WLFinFlex)})
 	}
 	if nh := metrics.NormalizedMean(hr, 0); len(nh) == 2 {
 		out.NormHPWL = nh[1]
@@ -114,29 +129,34 @@ func SwapStudy(cfg Config) (*SwapResult, error) {
 		cfg.Specs = synth.ParameterSweepSpecs()
 	}
 	out := &SwapResult{Scale: cfg.Scale}
-	for _, spec := range cfg.Specs {
+	rows, err := par.Map(len(cfg.Specs), func(si int) (SwapRow, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return SwapRow{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		res, err := r.Run(flow.Flow5, false)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s flow5: %w", spec.Name(), err)
+			return SwapRow{}, fmt.Errorf("exp: %s flow5: %w", spec.Name(), err)
 		}
 		rep, err := heightswap.Optimize(res.Design, res.Stack, heightswap.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s swap: %w", spec.Name(), err)
+			return SwapRow{}, fmt.Errorf("exp: %s swap: %w", spec.Name(), err)
 		}
-		out.Rows = append(out.Rows, SwapRow{
+		cfg.logf("swap: %s swaps=%d wns %.1f -> %.1f", spec.Name(), rep.SwapsApplied, rep.WNSBefore, rep.WNSAfter)
+		return SwapRow{
 			Name:      spec.Name(),
 			Swaps:     rep.SwapsApplied,
 			WNSBefore: rep.WNSBefore,
 			WNSAfter:  rep.WNSAfter,
 			TNSBefore: rep.TNSBefore,
 			TNSAfter:  rep.TNSAfter,
-		})
-		cfg.logf("swap: %s swaps=%d wns %.1f -> %.1f", spec.Name(), rep.SwapsApplied, rep.WNSBefore, rep.WNSAfter)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

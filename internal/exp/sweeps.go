@@ -5,6 +5,7 @@ import (
 
 	"mthplace/internal/flow"
 	"mthplace/internal/metrics"
+	"mthplace/internal/par"
 	"mthplace/internal/synth"
 )
 
@@ -43,11 +44,14 @@ func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
 		values = DefaultSValues
 	}
 	out := &SweepResult{Scale: cfg.Scale, Param: "s", Values: values}
-	var dispSeries, hpwlSeries, timeSeries [][]float64
-	for _, spec := range cfg.Specs {
+	// Specs fan out on the shared pool; the sweep over values stays
+	// sequential per spec because it mutates the spec's runner config.
+	type series struct{ disp, hpwl, rt []float64 }
+	all, err := par.Map(len(cfg.Specs), func(si int) (series, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return series{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		disp := make([]float64, len(values))
 		hpwl := make([]float64, len(values))
@@ -56,7 +60,7 @@ func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
 			r.Cfg.Core.S = s
 			res, err := r.Run(flow.Flow4, false)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
+				return series{}, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
 			}
 			disp[vi] = float64(res.Metrics.Displacement)
 			hpwl[vi] = float64(res.Metrics.HPWL)
@@ -64,9 +68,16 @@ func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
 			cfg.logf("fig4a: %s s=%.2f disp=%.0f hpwl=%.0f rap=%.2fs",
 				spec.Name(), s, disp[vi], hpwl[vi], rt[vi])
 		}
-		dispSeries = append(dispSeries, metrics.ZeroOne(disp))
-		hpwlSeries = append(hpwlSeries, metrics.ZeroOne(hpwl))
-		timeSeries = append(timeSeries, metrics.ZeroOne(rt))
+		return series{metrics.ZeroOne(disp), metrics.ZeroOne(hpwl), metrics.ZeroOne(rt)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dispSeries, hpwlSeries, timeSeries [][]float64
+	for _, s := range all {
+		dispSeries = append(dispSeries, s.disp)
+		hpwlSeries = append(hpwlSeries, s.hpwl)
+		timeSeries = append(timeSeries, s.rt)
 	}
 	out.NormDisp = metrics.MeanColumns(dispSeries)
 	out.NormHPWL = metrics.MeanColumns(hpwlSeries)
@@ -85,11 +96,12 @@ func Fig4b(cfg Config, values []float64) (*SweepResult, error) {
 		values = DefaultAlphaValues
 	}
 	out := &SweepResult{Scale: cfg.Scale, Param: "alpha", Values: values}
-	var dispSeries, hpwlSeries [][]float64
-	for _, spec := range cfg.Specs {
+	type series struct{ disp, hpwl []float64 }
+	all, err := par.Map(len(cfg.Specs), func(si int) (series, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return series{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		disp := make([]float64, len(values))
 		hpwl := make([]float64, len(values))
@@ -97,14 +109,21 @@ func Fig4b(cfg Config, values []float64) (*SweepResult, error) {
 			r.Cfg.Core.Cost.Alpha = a
 			res, err := r.Run(flow.Flow4, false)
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s alpha=%.2f: %w", spec.Name(), a, err)
+				return series{}, fmt.Errorf("exp: %s alpha=%.2f: %w", spec.Name(), a, err)
 			}
 			disp[vi] = float64(res.Metrics.Displacement)
 			hpwl[vi] = float64(res.Metrics.HPWL)
 			cfg.logf("fig4b: %s alpha=%.2f disp=%.0f hpwl=%.0f", spec.Name(), a, disp[vi], hpwl[vi])
 		}
-		dispSeries = append(dispSeries, metrics.ZeroOne(disp))
-		hpwlSeries = append(hpwlSeries, metrics.ZeroOne(hpwl))
+		return series{metrics.ZeroOne(disp), metrics.ZeroOne(hpwl)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dispSeries, hpwlSeries [][]float64
+	for _, s := range all {
+		dispSeries = append(dispSeries, s.disp)
+		hpwlSeries = append(hpwlSeries, s.hpwl)
 	}
 	out.NormDisp = metrics.MeanColumns(dispSeries)
 	out.NormHPWL = metrics.MeanColumns(hpwlSeries)
@@ -169,25 +188,32 @@ type Fig5Result struct {
 func Fig5(cfg Config) (*Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	out := &Fig5Result{Scale: cfg.Scale}
-	var xs, ys []float64
-	for _, spec := range cfg.Specs {
+	points, err := par.Map(len(cfg.Specs), func(si int) (Fig5Point, error) {
+		spec := cfg.Specs[si]
 		r, err := cfg.runner(spec)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return Fig5Point{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		res, err := r.Run(flow.Flow5, false)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", spec.Name(), err)
+			return Fig5Point{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		p := Fig5Point{
 			Name:        spec.Name(),
 			NumMinority: res.Metrics.NumMinority,
 			ILPSeconds:  res.Metrics.RAPTime.Seconds(),
 		}
-		out.Points = append(out.Points, p)
+		cfg.logf("fig5: %s minority=%d ilp=%.2fs", p.Name, p.NumMinority, p.ILPSeconds)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Points = points
+	var xs, ys []float64
+	for _, p := range out.Points {
 		xs = append(xs, float64(p.NumMinority))
 		ys = append(ys, p.ILPSeconds)
-		cfg.logf("fig5: %s minority=%d ilp=%.2fs", p.Name, p.NumMinority, p.ILPSeconds)
 	}
 	out.Slope, out.Intercept, out.R = metrics.LinearFit(xs, ys)
 	return out, nil

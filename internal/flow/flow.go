@@ -28,6 +28,7 @@ import (
 	"mthplace/internal/lefdef"
 	"mthplace/internal/legalize"
 	"mthplace/internal/netlist"
+	"mthplace/internal/par"
 	"mthplace/internal/placer"
 	"mthplace/internal/power"
 	"mthplace/internal/route"
@@ -71,6 +72,21 @@ type Config struct {
 	Route       route.Options
 	STA         sta.Options
 	Power       power.Options
+	// Jobs bounds the shared worker pool of the parallel execution layer
+	// (internal/par) for this run: 1 forces fully sequential execution,
+	// 0 keeps the current global setting (GOMAXPROCS by default, or the
+	// MTHPLACE_JOBS environment override). Results are identical at any
+	// setting; see DESIGN.md §7.
+	Jobs int
+}
+
+// ApplyJobs installs the config's worker-pool bound. NewRunner calls it;
+// experiment drivers that parallelize above the flow level call it before
+// fanning out.
+func (c Config) ApplyJobs() {
+	if c.Jobs > 0 {
+		par.SetJobs(c.Jobs)
+	}
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -139,6 +155,7 @@ type Runner struct {
 
 // NewRunner generates the testcase and the unconstrained initial placement.
 func NewRunner(spec synth.Spec, cfg Config) (*Runner, error) {
+	cfg.ApplyJobs()
 	start := time.Now()
 	tc := tech.Default()
 	lib := celllib.New(tc)

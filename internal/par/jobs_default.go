@@ -1,0 +1,8 @@
+//go:build !parseq
+
+package par
+
+import "runtime"
+
+// defaultJobs sizes the pool from the scheduler's processor count.
+func defaultJobs() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,8 @@
+//go:build parseq
+
+package par
+
+// defaultJobs under the parseq build tag forces a fully sequential binary
+// (`go build -tags parseq ./...`), used by ablations that must rule out any
+// scheduling influence.
+func defaultJobs() int { return 1 }

@@ -1,0 +1,246 @@
+// Package par is the shared parallel execution layer: a bounded worker pool
+// plus parallel-for / ordered-map primitives used by the RAP cost-model
+// build, the k-means clustering and the experiment matrix.
+//
+// Design rules (see DESIGN.md §7):
+//
+//   - The pool is bounded globally. Jobs() workers exist in total, across
+//     nested calls: a caller always executes iterations itself and recruits
+//     at most Jobs()−1 extra goroutines from a process-wide budget, so
+//     nesting (experiment matrix → BuildModel → …) never oversubscribes the
+//     machine and never deadlocks.
+//   - Results are deterministic. Iterations write only their own slot
+//     (For/Map), and floating-point reductions go through ForChunks, whose
+//     chunk boundaries depend only on the problem size — never on the worker
+//     count — so partial sums merge in a fixed order and jobs=1 and jobs=N
+//     produce bit-identical results.
+//   - The worker count defaults to runtime.GOMAXPROCS, can be pinned with
+//     the MTHPLACE_JOBS environment variable or SetJobs (the -jobs flag),
+//     and collapses to 1 under the `parseq` build tag so ablations can force
+//     a fully sequential binary.
+package par
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var jobs atomic.Int64
+
+func init() {
+	n := defaultJobs()
+	if s := os.Getenv("MTHPLACE_JOBS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	jobs.Store(int64(n))
+}
+
+// Jobs returns the current worker-pool bound.
+func Jobs() int { return int(jobs.Load()) }
+
+// SetJobs bounds the pool to n workers (1 = fully sequential). n <= 0
+// resets to the default (GOMAXPROCS, or the MTHPLACE_JOBS override). It
+// returns the previous bound so callers can restore it.
+func SetJobs(n int) int {
+	if n <= 0 {
+		n = defaultJobs()
+		if s := os.Getenv("MTHPLACE_JOBS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+	}
+	return int(jobs.Swap(int64(n)))
+}
+
+// extraInUse counts extra worker goroutines currently running across all
+// concurrent For/Map calls. The budget is Jobs()−1: callers always work
+// themselves, so nested calls degrade gracefully to sequential execution
+// instead of deadlocking or oversubscribing.
+var extraInUse atomic.Int64
+
+// acquireExtra grants up to want extra workers from the global budget.
+func acquireExtra(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		cur := extraInUse.Load()
+		free := int64(Jobs()) - 1 - cur
+		if free <= 0 {
+			return 0
+		}
+		grant := int64(want)
+		if grant > free {
+			grant = free
+		}
+		if extraInUse.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+func releaseExtra(n int) {
+	if n > 0 {
+		extraInUse.Add(int64(-n))
+	}
+}
+
+// run executes body(i) for i in [0, n) with dynamic scheduling across the
+// caller plus up to extra recruited workers. Worker panics are captured and
+// re-raised on the calling goroutine. stop aborts the claiming of further
+// iterations (used by ForErr).
+func run(n int, stop *atomic.Bool, body func(i int)) {
+	extra := 0
+	if n > 1 {
+		extra = acquireExtra(n - 1)
+	}
+	if extra == 0 {
+		// Sequential fast path on the calling goroutine; panics propagate
+		// naturally.
+		for i := 0; i < n; i++ {
+			if stop != nil && stop.Load() {
+				break
+			}
+			body(i)
+		}
+		return
+	}
+	var panicMu sync.Mutex
+	var panicked any
+	var next atomic.Int64
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+				if stop != nil {
+					stop.Store(true)
+				}
+			}
+		}()
+		for {
+			if stop != nil && stop.Load() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			body(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for k := 0; k < extra; k++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	releaseExtra(extra)
+	panicMu.Lock()
+	p := panicked
+	panicMu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// For runs fn(i) for every i in [0, n) on the pool and waits for all of
+// them. Iterations must be independent and may only write state owned by
+// their own index; under that contract the result is identical for any
+// worker count.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	run(n, nil, fn)
+}
+
+// ForErr is For with error propagation: once any iteration fails, no new
+// iterations start, and the error with the lowest index among the observed
+// failures is returned. A nil return guarantees every iteration ran.
+func ForErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var stop atomic.Bool
+	var mu sync.Mutex
+	errIdx := n
+	var firstErr error
+	run(n, &stop, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < errIdx {
+				errIdx, firstErr = i, err
+			}
+			mu.Unlock()
+			stop.Store(true)
+		}
+	})
+	return firstErr
+}
+
+// Map runs fn over [0, n) on the pool and collects the results in index
+// order, regardless of completion order. On error the partial results are
+// discarded and the lowest-indexed observed error is returned.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForErr(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chunkSize is the canonical reduction granule. It is a constant so that
+// chunk boundaries — and therefore the order in which per-chunk partial
+// float sums are merged — depend only on the problem size, never on the
+// worker count. Reductions built on ForChunks are bit-identical at any
+// Jobs() setting.
+const chunkSize = 256
+
+// NumChunks returns the canonical chunk count for n items.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + chunkSize - 1) / chunkSize
+}
+
+// ForChunks partitions [0, n) into the canonical chunks and runs
+// fn(ci, lo, hi) for each chunk ci covering [lo, hi). Reduction users
+// accumulate into per-chunk scratch inside fn and merge the chunks serially
+// in index order afterwards; that merge order is what makes float
+// reductions deterministic across worker counts.
+func ForChunks(n int, fn func(ci, lo, hi int)) {
+	nch := NumChunks(n)
+	if nch == 0 {
+		return
+	}
+	For(nch, func(ci int) {
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		fn(ci, lo, hi)
+	})
+}

@@ -1,0 +1,217 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func withJobs(t *testing.T, n int) {
+	t.Helper()
+	old := SetJobs(n)
+	t.Cleanup(func() { SetJobs(old) })
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 33} {
+		withJobs(t, jobs)
+		for _, n := range []int{0, 1, 7, 256, 1000} {
+			hits := make([]int32, n)
+			For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("jobs=%d n=%d: index %d hit %d times", jobs, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForErrReturnsLowestObservedIndex(t *testing.T) {
+	withJobs(t, 8)
+	wantErr := errors.New("boom")
+	err := ForErr(100, func(i int) error {
+		if i%10 == 3 {
+			return fmt.Errorf("i=%d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// The reported error is the lowest-indexed among the observed failures;
+	// with dynamic scheduling an earlier failing index may have been skipped,
+	// but index 3 is always claimed before any error can stop the run when
+	// jobs=1.
+	withJobs(t, 1)
+	err = ForErr(100, func(i int) error {
+		if i%10 == 3 {
+			return fmt.Errorf("i=%d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "i=3: boom" {
+		t.Fatalf("sequential first error = %v, want i=3", err)
+	}
+	if err := ForErr(50, func(int) error { return nil }); err != nil {
+		t.Fatalf("nil-error run returned %v", err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, jobs := range []int{1, 8} {
+		withJobs(t, jobs)
+		out, err := Map(500, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d", jobs, i, v)
+			}
+		}
+	}
+	withJobs(t, 8)
+	if _, err := Map(10, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("x")
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("Map must propagate errors")
+	}
+}
+
+func TestForChunksCanonicalBoundaries(t *testing.T) {
+	// Chunk boundaries must depend only on n, not on the worker count.
+	for _, n := range []int{0, 1, chunkSize - 1, chunkSize, chunkSize + 1, 5*chunkSize + 17} {
+		var bounds1, bounds8 [][2]int
+		withJobs(t, 1)
+		ForChunks(n, func(ci, lo, hi int) { bounds1 = append(bounds1, [2]int{lo, hi}) })
+		withJobs(t, 8)
+		got := make([][2]int, NumChunks(n))
+		ForChunks(n, func(ci, lo, hi int) { got[ci] = [2]int{lo, hi} })
+		bounds8 = got
+		if len(bounds1) != NumChunks(n) || len(bounds8) != NumChunks(n) {
+			t.Fatalf("n=%d: chunk counts %d/%d, want %d", n, len(bounds1), len(bounds8), NumChunks(n))
+		}
+		covered := 0
+		for ci := range bounds8 {
+			lo, hi := bounds8[ci][0], bounds8[ci][1]
+			if lo != ci*chunkSize || hi <= lo || hi > n {
+				t.Fatalf("n=%d chunk %d: bad bounds [%d,%d)", n, ci, lo, hi)
+			}
+			covered += hi - lo
+		}
+		if covered != n {
+			t.Fatalf("n=%d: chunks cover %d", n, covered)
+		}
+	}
+}
+
+// TestChunkedFloatReductionDeterministic is the contract the k-means
+// centroid accumulation relies on: per-chunk partials merged in chunk order
+// give bit-identical sums at any worker count.
+func TestChunkedFloatReductionDeterministic(t *testing.T) {
+	n := 10*chunkSize + 31
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1e-3 * float64((i*2654435761)%1000003) / 1000003
+	}
+	sum := func() float64 {
+		parts := make([]float64, NumChunks(n))
+		ForChunks(n, func(ci, lo, hi int) {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			parts[ci] = s
+		})
+		var total float64
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+	withJobs(t, 1)
+	a := sum()
+	withJobs(t, 7)
+	b := sum()
+	if a != b {
+		t.Fatalf("chunked reduction differs: %x vs %x", a, b)
+	}
+}
+
+func TestNestedCallsStayBounded(t *testing.T) {
+	withJobs(t, 4)
+	var peak, cur atomic.Int64
+	For(16, func(int) {
+		For(16, func(int) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+		})
+	})
+	// Callers always work themselves; extra workers are bounded by jobs-1,
+	// so at most jobs goroutines may ever execute iterations at once even
+	// when calls nest.
+	if got := peak.Load(); got > 4 {
+		t.Fatalf("peak concurrency %d exceeds jobs=4", got)
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	withJobs(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate to the caller")
+		}
+	}()
+	For(64, func(i int) {
+		if i == 13 {
+			panic("worker 13")
+		}
+	})
+}
+
+func TestSetJobsRoundTrip(t *testing.T) {
+	old := SetJobs(3)
+	if Jobs() != 3 {
+		t.Fatalf("Jobs() = %d", Jobs())
+	}
+	SetJobs(0) // reset to default
+	if Jobs() < 1 {
+		t.Fatalf("default jobs %d", Jobs())
+	}
+	SetJobs(old)
+}
+
+// TestStress hammers nested For/Map under the race detector.
+func TestStress(t *testing.T) {
+	withJobs(t, 8)
+	for round := 0; round < 20; round++ {
+		out, err := Map(32, func(i int) (int64, error) {
+			var local int64
+			ForChunks(512, func(ci, lo, hi int) {
+				for j := lo; j < hi; j++ {
+					atomic.AddInt64(&local, int64(j%7))
+				}
+			})
+			return local, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != out[0] {
+				t.Fatalf("round %d: out[%d]=%d differs from out[0]=%d", round, i, v, out[0])
+			}
+		}
+	}
+}
