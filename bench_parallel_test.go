@@ -7,6 +7,7 @@
 package mthplace_test
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/cluster"
@@ -20,10 +21,10 @@ import (
 // benchJobs is the worker bound used by the *Parallel variants.
 const benchJobs = 8
 
-func withBenchJobs(b *testing.B, jobs int) {
-	b.Helper()
-	old := par.SetJobs(jobs)
-	b.Cleanup(func() { par.SetJobs(old) })
+// benchCtx carries a scoped pool bounded to jobs workers; nothing global
+// changes, matching how the flow API now threads parallelism.
+func benchCtx(jobs int) context.Context {
+	return par.WithPool(context.Background(), par.NewPool(jobs))
 }
 
 // benchModelInputs builds the clustered RAP inputs once for the BuildModel
@@ -32,7 +33,7 @@ func benchModelInputs(b *testing.B) *benchModelEnv {
 	b.Helper()
 	run := benchRunner(b, "des3_210")
 	d := run.Base.Clone()
-	cl, err := core.BuildClusters(d, 0.2, 30)
+	cl, err := core.BuildClusters(context.Background(), d, 0.2, 30)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -46,10 +47,10 @@ type benchModelEnv struct {
 
 func benchBuildModel(b *testing.B, jobs int) {
 	env := benchModelInputs(b)
-	withBenchJobs(b, jobs)
+	ctx := benchCtx(jobs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.BuildModel(env.run.Base, env.run.Grid, env.cl, env.run.NminR, core.DefaultCostParams()); err != nil {
+		if _, err := core.BuildModel(ctx, env.run.Base, env.run.Grid, env.cl, env.run.NminR, core.DefaultCostParams()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,10 +69,10 @@ func benchKMeans(b *testing.B, jobs int) {
 	for i := range pts {
 		pts[i] = cluster.Point2{X: float64(i*131%9973) / 9973, Y: float64(i*197%9967) / 9967}
 	}
-	withBenchJobs(b, jobs)
+	ctx := benchCtx(jobs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.KMeans2D(pts, 400, 30)
+		cluster.KMeans2D(ctx, pts, 400, 30)
 	}
 }
 
@@ -95,10 +96,9 @@ func benchTable4(b *testing.B, jobs int) {
 	cfg.Flow.Jobs = jobs
 	cfg.Flow.Placer.OuterIters = 4
 	cfg.Flow.Placer.SolveSweeps = 6
-	withBenchJobs(b, jobs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Table4(cfg); err != nil {
+		if _, err := exp.Table4(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,6 +17,7 @@
 package mthplace_test
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/celllib"
@@ -52,7 +53,7 @@ func benchRunner(b *testing.B, name string) *flow.Runner {
 	cfg.Synth.Scale = benchScale
 	cfg.Placer.OuterIters = 6
 	cfg.Placer.SolveSweeps = 10
-	r, err := flow.NewRunner(benchSpec(name), cfg)
+	r, err := flow.NewRunner(context.Background(), benchSpec(name), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func BenchmarkTable4PostPlacementFlows(b *testing.B) {
 	r := benchRunner(b, "aes_360")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunAll(false); err != nil {
+		if _, err := r.RunAll(context.Background(), false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +94,7 @@ func BenchmarkTable5PostRouteFlows(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, id := range []flow.ID{flow.Flow1, flow.Flow2, flow.Flow4, flow.Flow5} {
-			if _, err := r.Run(id, true); err != nil {
+			if _, err := r.Run(context.Background(), id, true); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -108,7 +109,7 @@ func BenchmarkFig4aSweepS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, s := range []float64{0.1, 0.2, 0.5} {
 			r.Cfg.Core.S = s
-			if _, err := r.Run(flow.Flow4, false); err != nil {
+			if _, err := r.Run(context.Background(), flow.Flow4, false); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -123,7 +124,7 @@ func BenchmarkFig4bSweepAlpha(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, a := range []float64{0, 0.5, 1.0} {
 			r.Cfg.Core.Cost.Alpha = a
-			if _, err := r.Run(flow.Flow4, false); err != nil {
+			if _, err := r.Run(context.Background(), flow.Flow4, false); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -135,18 +136,18 @@ func BenchmarkFig4bSweepAlpha(b *testing.B) {
 func BenchmarkFig5ILPRuntimeScaling(b *testing.B) {
 	r := benchRunner(b, "des3_210")
 	d := r.Base.Clone()
-	cl, err := core.BuildClusters(d, 0.2, 30)
+	cl, err := core.BuildClusters(context.Background(), d, 0.2, 30)
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := core.BuildModel(d, r.Grid, cl, r.NminR, core.DefaultCostParams())
+	m, err := core.BuildModel(context.Background(), d, r.Grid, cl, r.NminR, core.DefaultCostParams())
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts := core.DefaultOptions().Solve
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveILP(m, opts); err != nil {
+		if _, err := core.SolveILP(context.Background(), m, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -160,7 +161,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 		b.Run(map[float64]string{1.0: "unclustered", 0.2: "s=0.2"}[s], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r.Cfg.Core.S = s
-				if _, err := r.Run(flow.Flow4, false); err != nil {
+				if _, err := r.Run(context.Background(), flow.Flow4, false); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -200,7 +201,7 @@ func BenchmarkAbacusLegalization(b *testing.B) {
 
 func BenchmarkGlobalRouter(b *testing.B) {
 	r := benchRunner(b, "aes_360")
-	res, err := r.Run(flow.Flow5, false)
+	res, err := r.Run(context.Background(), flow.Flow5, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func BenchmarkGlobalRouter(b *testing.B) {
 
 func BenchmarkSTA(b *testing.B) {
 	r := benchRunner(b, "aes_360")
-	res, err := r.Run(flow.Flow5, false)
+	res, err := r.Run(context.Background(), flow.Flow5, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func BenchmarkSTA(b *testing.B) {
 
 func BenchmarkPowerAnalysis(b *testing.B) {
 	r := benchRunner(b, "aes_360")
-	res, err := r.Run(flow.Flow5, false)
+	res, err := r.Run(context.Background(), flow.Flow5, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func BenchmarkKMeans2D(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.KMeans2D(pts, 400, 30)
+		cluster.KMeans2D(context.Background(), pts, 400, 30)
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -73,7 +74,7 @@ func main() {
 
 	for _, w := range []struct {
 		name string
-		fn   func() error
+		fn   func(ctx context.Context) error
 	}{
 		{"BuildModel/des3_210", benchBuildModel()},
 		{"KMeans2D/2000pts_k400", benchKMeans()},
@@ -108,15 +109,14 @@ func main() {
 	fmt.Printf("wrote %s (host: %d CPU)\n", *out, rep.Host.NumCPU)
 }
 
-// timeAt runs fn reps times with the pool bound to jobs workers and returns
-// the best wall clock.
-func timeAt(jobs, reps int, fn func() error) (time.Duration, error) {
-	old := par.SetJobs(jobs)
-	defer par.SetJobs(old)
+// timeAt runs fn reps times on a pool bound to jobs workers (carried via the
+// context, so nothing global changes) and returns the best wall clock.
+func timeAt(jobs, reps int, fn func(ctx context.Context) error) (time.Duration, error) {
+	ctx := par.WithPool(context.Background(), par.NewPool(jobs))
 	best := time.Duration(0)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		if err := fn(); err != nil {
+		if err := fn(ctx); err != nil {
 			return 0, err
 		}
 		if d := time.Since(start); best == 0 || d < best {
@@ -128,49 +128,51 @@ func timeAt(jobs, reps int, fn func() error) (time.Duration, error) {
 
 // benchBuildModel prepares the clustered RAP inputs once and returns a
 // closure that rebuilds the cost model.
-func benchBuildModel() func() error {
+func benchBuildModel() func(ctx context.Context) error {
 	cfg := flow.DefaultConfig()
 	cfg.Synth.Scale = 0.02
 	cfg.Placer.OuterIters = 6
 	cfg.Placer.SolveSweeps = 10
-	r, err := flow.NewRunner(spec("des3_210"), cfg)
+	r, err := flow.NewRunner(context.Background(), spec("des3_210"), cfg)
 	if err != nil {
 		fatal(err)
 	}
-	cl, err := core.BuildClusters(r.Base.Clone(), 0.2, 30)
+	cl, err := core.BuildClusters(context.Background(), r.Base.Clone(), 0.2, 30)
 	if err != nil {
 		fatal(err)
 	}
-	return func() error {
-		_, err := core.BuildModel(r.Base, r.Grid, cl, r.NminR, core.DefaultCostParams())
+	return func(ctx context.Context) error {
+		_, err := core.BuildModel(ctx, r.Base, r.Grid, cl, r.NminR, core.DefaultCostParams())
 		return err
 	}
 }
 
-func benchKMeans() func() error {
+func benchKMeans() func(ctx context.Context) error {
 	pts := make([]cluster.Point2, 2000)
 	for i := range pts {
 		pts[i] = cluster.Point2{X: float64(i*131%9973) / 9973, Y: float64(i*197%9967) / 9967}
 	}
-	return func() error {
-		cluster.KMeans2D(pts, 400, 30)
+	return func(ctx context.Context) error {
+		cluster.KMeans2D(ctx, pts, 400, 30)
 		return nil
 	}
 }
 
-func benchTable4() func() error {
+func benchTable4() func(ctx context.Context) error {
 	var specs []synth.Spec
 	for _, s := range synth.TableII() {
 		if s.Name() == "aes_360" || s.Name() == "fpu_4500" {
 			specs = append(specs, s)
 		}
 	}
-	return func() error {
+	return func(ctx context.Context) error {
 		cfg := exp.Config{Scale: 0.015, Specs: specs}
 		cfg.Flow = flow.DefaultConfig()
 		cfg.Flow.Placer.OuterIters = 4
 		cfg.Flow.Placer.SolveSweeps = 6
-		_, err := exp.Table4(cfg)
+		// The experiment fans out on the timed pool carried by ctx.
+		cfg.Flow.Pool = par.FromContext(ctx)
+		_, err := exp.Table4(ctx, cfg)
 		return err
 	}
 }

@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mthplace/internal/exp"
 	"mthplace/internal/synth"
@@ -48,6 +51,10 @@ func main() {
 		all      = flag.Bool("all", false, "run everything")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the in-flight experiment at the next stage boundary.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 
 	cfg := exp.Config{Scale: *scale, Seed: *seed}
 	cfg.Flow.Jobs = *jobs
@@ -79,7 +86,7 @@ func main() {
 	}
 
 	run(*table2, func() error {
-		r, err := exp.Table2(cfg)
+		r, err := exp.Table2(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -90,7 +97,7 @@ func main() {
 	var t4 *exp.Table4Result
 	var t5 *exp.Table5Result
 	run(*table4, func() error {
-		r, err := exp.Table4(cfg)
+		r, err := exp.Table4(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -100,7 +107,7 @@ func main() {
 		return nil
 	})
 	run(*table5 || *overhead, func() error {
-		r, err := exp.Table5(cfg)
+		r, err := exp.Table5(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -112,7 +119,7 @@ func main() {
 		return nil
 	})
 	run(*fig4a, func() error {
-		r, err := exp.Fig4a(cfg, nil)
+		r, err := exp.Fig4a(ctx, cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -121,7 +128,7 @@ func main() {
 		return nil
 	})
 	run(*fig4b, func() error {
-		r, err := exp.Fig4b(cfg, nil)
+		r, err := exp.Fig4b(ctx, cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -130,7 +137,7 @@ func main() {
 		return nil
 	})
 	run(*fig5, func() error {
-		r, err := exp.Fig5(cfg)
+		r, err := exp.Fig5(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -139,7 +146,7 @@ func main() {
 		return nil
 	})
 	run(*ablation, func() error {
-		r, err := exp.Ablation(cfg)
+		r, err := exp.Ablation(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -148,7 +155,7 @@ func main() {
 		return nil
 	})
 	run(*profile, func() error {
-		r, err := exp.Profile(cfg)
+		r, err := exp.Profile(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -157,7 +164,7 @@ func main() {
 		return nil
 	})
 	run(*finflex, func() error {
-		r, err := exp.FinFlexStudy(cfg)
+		r, err := exp.FinFlexStudy(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -166,7 +173,7 @@ func main() {
 		return nil
 	})
 	run(*swap, func() error {
-		r, err := exp.SwapStudy(cfg)
+		r, err := exp.SwapStudy(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -176,14 +183,14 @@ func main() {
 	})
 	run(*overhead, func() error {
 		if t4 == nil {
-			r, err := exp.Table4(cfg)
+			r, err := exp.Table4(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			t4 = r
 		}
 		if t5 == nil {
-			r, err := exp.Table5(cfg)
+			r, err := exp.Table5(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,72 @@
+// Command mthserved runs the placement service: an HTTP/JSON front end over
+// the flow API with a bounded job queue, cancellation, and graceful
+// shutdown. See DESIGN.md §8 and the README for the endpoint reference.
+//
+// Usage:
+//
+//	mthserved -addr :8080 -workers 2 -queue 16 -pool-jobs 8
+//
+// SIGINT/SIGTERM stops intake, cancels queued jobs, and drains in-flight
+// jobs (up to -drain); a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mthplace/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent placement jobs")
+	queue := flag.Int("queue", 16, "job queue depth beyond the workers")
+	poolJobs := flag.Int("pool-jobs", 0, "shared worker-pool bound for jobs without a private -jobs setting (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight jobs")
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		PoolJobs:   *poolJobs,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mthserved: listening on %s (%d workers, queue %d)\n",
+			*addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mthserved:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills us
+		fmt.Fprintln(os.Stderr, "mthserved: shutting down, draining in-flight jobs")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "mthserved: http shutdown:", err)
+		}
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "mthserved: job drain:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "mthserved: drained cleanly")
+	}
+}

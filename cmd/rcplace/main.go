@@ -7,14 +7,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"mthplace/internal/flow"
 	"mthplace/internal/lefdef"
-	"mthplace/internal/synth"
 	"mthplace/internal/viz"
+	"mthplace/pkg/mth"
 )
 
 func main() {
@@ -31,17 +34,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var spec *synth.Spec
-	for _, s := range synth.TableII() {
-		if s.Name() == *testcase {
-			sc := s
-			spec = &sc
-			break
-		}
-	}
-	if spec == nil {
+	spec, err := mth.FindSpec(*testcase)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcplace: unknown testcase %q; available:\n", *testcase)
-		for _, s := range synth.TableII() {
+		for _, s := range mth.TableII() {
 			fmt.Fprintf(os.Stderr, "  %s\n", s.Name())
 		}
 		os.Exit(2)
@@ -50,11 +46,15 @@ func main() {
 		fatal(fmt.Errorf("flow %d out of range 1-5", *flowNum))
 	}
 
-	fcfg := flow.DefaultConfig()
+	// Ctrl-C cancels the run at the next solver iteration boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fcfg := mth.DefaultConfig()
 	fcfg.Synth.Scale = *scale
 	fcfg.Synth.Seed = *seed
 	fcfg.Jobs = *jobs
-	runner, err := flow.NewRunner(*spec, fcfg)
+	runner, err := mth.NewRunner(ctx, spec, fcfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,7 +62,11 @@ func main() {
 		spec.Name(), len(runner.Base.Insts), len(runner.Base.MinorityInstances()),
 		100*runner.Base.MinorityFraction(), len(runner.Base.Nets), runner.NminR)
 
-	res, err := runner.Run(flow.ID(*flowNum), *doRoute)
+	res, err := runner.Run(ctx, mth.ID(*flowNum), *doRoute)
+	if errors.Is(err, mth.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "rcplace: interrupted")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

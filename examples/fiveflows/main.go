@@ -7,21 +7,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"mthplace/internal/flow"
 	"mthplace/internal/metrics"
-	"mthplace/internal/synth"
+	"mthplace/pkg/mth"
 )
 
 func main() {
-	spec := synth.TableII()[16] // des3_220
-	cfg := flow.DefaultConfig()
+	ctx := context.Background()
+	spec := mth.TableII()[16] // des3_220
+	cfg := mth.DefaultConfig()
 	cfg.Synth.Scale = 0.05
 
-	runner, err := flow.NewRunner(spec, cfg)
+	runner, err := mth.NewRunner(ctx, spec, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +31,7 @@ func main() {
 		spec.Name(), cfg.Synth.Scale, len(runner.Base.Insts),
 		100*runner.Base.MinorityFraction(), runner.NminR)
 
-	results, err := runner.RunAll(true)
+	results, err := runner.RunAll(ctx, true)
 	if err != nil {
 		log.Fatal(err)
 	}

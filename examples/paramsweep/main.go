@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,9 +26,10 @@ func main() {
 		}
 	}
 	cfg := exp.Config{Scale: 0.04, Specs: specs}
+	ctx := context.Background()
 
 	fmt.Println("sweeping clustering resolution s (Fig. 4a)...")
-	sweepS, err := exp.Fig4a(cfg, []float64{0.1, 0.2, 0.5, 1.0})
+	sweepS, err := exp.Fig4a(ctx, cfg, []float64{0.1, 0.2, 0.5, 1.0})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func main() {
 	fmt.Printf("chosen s = %.2f\n\n", sweepS.Best)
 
 	fmt.Println("sweeping cost weight alpha (Fig. 4b)...")
-	sweepA, err := exp.Fig4b(cfg, []float64{0, 0.25, 0.5, 0.75, 1.0})
+	sweepA, err := exp.Fig4b(ctx, cfg, []float64{0, 0.25, 0.5, 0.75, 1.0})
 	if err != nil {
 		log.Fatal(err)
 	}

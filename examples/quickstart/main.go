@@ -6,25 +6,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mthplace/internal/flow"
-	"mthplace/internal/synth"
 	"mthplace/internal/tech"
+	"mthplace/pkg/mth"
 )
 
 func main() {
+	// Cancel this context (or give it a deadline) to abort the run early.
+	ctx := context.Background()
+
 	// Pick a Table II testcase. Scale 0.05 keeps the quickstart fast; set
 	// Scale to 1.0 for the paper-size design.
-	spec := synth.TableII()[3] // aes_360
-	cfg := flow.DefaultConfig()
+	spec := mth.TableII()[3] // aes_360
+	cfg := mth.DefaultConfig()
 	cfg.Synth.Scale = 0.05
 
 	// The Runner prepares the shared starting point: synthetic netlist,
 	// mLEF transform, unconstrained global placement, and Flow (2)'s
 	// minority row budget N_minR.
-	runner, err := flow.NewRunner(spec, cfg)
+	runner, err := mth.NewRunner(ctx, spec, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +36,7 @@ func main() {
 		len(runner.Base.Nets), runner.Grid.N, runner.NminR)
 
 	// Run the proposed flow end-to-end, including routing and signoff.
-	res, err := runner.Run(flow.Flow5, true)
+	res, err := runner.Run(ctx, mth.Flow5, true)
 	if err != nil {
 		log.Fatal(err)
 	}

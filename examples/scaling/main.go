@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -27,7 +28,7 @@ func main() {
 		}
 	}
 
-	res, err := exp.Fig5(exp.Config{Scale: 0.05, Specs: specs})
+	res, err := exp.Fig5(context.Background(), exp.Config{Scale: 0.05, Specs: specs})
 	if err != nil {
 		log.Fatal(err)
 	}

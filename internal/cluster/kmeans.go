@@ -10,6 +10,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -95,10 +96,15 @@ func GridSeeds(pts []Point2, k int) []Point2 {
 // grid seeds, running standard Lloyd iterations until assignments are stable
 // or maxIter is reached. k is clamped to [1, len(pts)]. The algorithm is
 // fully deterministic: assignment and centroid accumulation run on the
-// shared worker pool over par's canonical chunks, and the per-chunk partial
-// sums merge in fixed chunk order, so the result is bit-identical at any
-// par.Jobs() setting (including fully sequential runs).
-func KMeans2D(pts []Point2, k, maxIter int) *Result {
+// worker pool carried by ctx (par.FromContext) over par's canonical chunks,
+// and the per-chunk partial sums merge in fixed chunk order, so the result
+// is bit-identical at any pool bound (including fully sequential runs).
+//
+// Cancellation is checked between Lloyd iterations: when ctx is done the
+// loop stops within one iteration and the partial result is returned.
+// Callers that must report the cancellation consult ctx.Err themselves
+// (core.BuildClusters translates it to errs.ErrCanceled).
+func KMeans2D(ctx context.Context, pts []Point2, k, maxIter int) *Result {
 	if len(pts) == 0 {
 		return &Result{}
 	}
@@ -128,11 +134,15 @@ func KMeans2D(pts []Point2, k, maxIter int) *Result {
 	sizes := make([]int, k)
 	sx := make([]float64, k)
 	sy := make([]float64, k)
+	pool := par.FromContext(ctx)
 	iters := 0
 	for ; iters < maxIter; iters++ {
+		if ctx.Err() != nil {
+			break
+		}
 		// Assignment + per-chunk accumulation: each chunk owns assign[lo:hi]
 		// and its private partial sums.
-		par.ForChunks(len(pts), func(ci, lo, hi int) {
+		pool.ForChunks(len(pts), func(ci, lo, hi int) {
 			pt := &parts[ci]
 			for c := 0; c < k; c++ {
 				pt.sizes[c], pt.sx[c], pt.sy[c] = 0, 0, 0

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -63,7 +64,7 @@ func TestKMeans2DSeparatedClusters(t *testing.T) {
 			pts = append(pts, Point2{c.X + rng.Float64()*50, c.Y + rng.Float64()*50})
 		}
 	}
-	r := KMeans2D(pts, 4, 50)
+	r := KMeans2D(context.Background(), pts, 4, 50)
 	if r.K() != 4 {
 		t.Fatalf("K = %d", r.K())
 	}
@@ -91,15 +92,15 @@ func TestKMeans2DSeparatedClusters(t *testing.T) {
 
 func TestKMeans2DClamping(t *testing.T) {
 	pts := []Point2{{1, 1}, {2, 2}, {3, 3}}
-	r := KMeans2D(pts, 10, 10)
+	r := KMeans2D(context.Background(), pts, 10, 10)
 	if r.K() != 3 {
 		t.Errorf("k clamped to %d, want 3", r.K())
 	}
-	r = KMeans2D(pts, 0, 10)
+	r = KMeans2D(context.Background(), pts, 0, 10)
 	if r.K() != 1 {
 		t.Errorf("k=0 clamped to %d, want 1", r.K())
 	}
-	if KMeans2D(nil, 3, 10).K() != 0 {
+	if KMeans2D(context.Background(), nil, 3, 10).K() != 0 {
 		t.Error("empty input must give empty result")
 	}
 }
@@ -110,8 +111,8 @@ func TestKMeans2DDeterministic(t *testing.T) {
 	for i := range pts {
 		pts[i] = Point2{rng.Float64() * 1e5, rng.Float64() * 1e5}
 	}
-	a := KMeans2D(pts, 30, 40)
-	b := KMeans2D(pts, 30, 40)
+	a := KMeans2D(context.Background(), pts, 30, 40)
+	b := KMeans2D(context.Background(), pts, 30, 40)
 	for i := range a.Assign {
 		if a.Assign[i] != b.Assign[i] {
 			t.Fatal("k-means not deterministic")
@@ -121,7 +122,7 @@ func TestKMeans2DDeterministic(t *testing.T) {
 
 func TestKMeans2DMembersConsistent(t *testing.T) {
 	pts := []Point2{{0, 0}, {1, 0}, {100, 100}, {101, 100}}
-	r := KMeans2D(pts, 2, 20)
+	r := KMeans2D(context.Background(), pts, 2, 20)
 	mem := r.Members()
 	count := 0
 	for c, ms := range mem {
@@ -154,8 +155,8 @@ func TestKMeansSSEProperty(t *testing.T) {
 			pts[i] = Point2{float64(v % 997), float64(v / 61)}
 		}
 		k := int(kRaw)%8 + 1
-		one := KMeans2D(pts, k, 1)
-		full := KMeans2D(pts, k, 60)
+		one := KMeans2D(context.Background(), pts, k, 1)
+		full := KMeans2D(context.Background(), pts, k, 60)
 		for _, s := range full.Sizes {
 			if s <= 0 {
 				return false

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,20 +12,20 @@ import (
 // TestKMeans2DParallelEquivalence asserts the tentpole determinism
 // guarantee: jobs=1 and jobs=8 produce bit-identical clusterings, because
 // the centroid accumulation merges canonical per-chunk partial sums in
-// fixed chunk order.
+// fixed chunk order. The worker bounds arrive as scoped pools on the
+// context, so the two runs could even execute concurrently.
 func TestKMeans2DParallelEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
+	ctx1 := par.WithPool(context.Background(), par.NewPool(1))
+	ctx8 := par.WithPool(context.Background(), par.NewPool(8))
 	for _, n := range []int{5, 300, 2000} {
 		pts := make([]Point2, n)
 		for i := range pts {
 			pts[i] = Point2{rng.Float64() * 1e6, rng.Float64() * 1e6}
 		}
 		k := n/10 + 1
-		old := par.SetJobs(1)
-		a := KMeans2D(pts, k, 40)
-		par.SetJobs(8)
-		b := KMeans2D(pts, k, 40)
-		par.SetJobs(old)
+		a := KMeans2D(ctx1, pts, k, 40)
+		b := KMeans2D(ctx8, pts, k, 40)
 		if a.Iterations != b.Iterations {
 			t.Fatalf("n=%d: iterations %d vs %d", n, a.Iterations, b.Iterations)
 		}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mthplace/internal/errs"
+)
+
+// TestBuildClustersPreCanceled: a canceled context aborts before the
+// partial k-means result can feed the ILP.
+func TestBuildClustersPreCanceled(t *testing.T) {
+	d, _ := placedDesign(t, 0.02)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildClusters(ctx, d, 0.3, 20); !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// The mid-iteration cancel is exercised at the cluster layer
+// (TestKMeans2DCancelStopsEarly), where the Lloyd workload is big enough to
+// reliably be in flight when the cancel lands; here the composed
+// BuildClusters path only needs to prove the error class surfaces.
+
+// TestSolveILPPreCanceled: the solve path (greedy warm start, root cuts,
+// branch and bound) checks the context between stages.
+func TestSolveILPPreCanceled(t *testing.T) {
+	d, g := placedDesign(t, 0.02)
+	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(context.Background(), d, g, cl, nMinRFor(d, g), DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveILP(ctx, m, SolveOptions{}); !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSolveILPDeadline: an expired deadline classifies as ErrTimeout, the
+// class the HTTP layer maps to 504.
+func TestSolveILPDeadline(t *testing.T) {
+	d, g := placedDesign(t, 0.02)
+	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(context.Background(), d, g, cl, nMinRFor(d, g), DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if _, err := SolveILP(ctx, m, SolveOptions{}); !errors.Is(err, errs.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}

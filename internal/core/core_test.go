@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -61,7 +62,7 @@ func nMinRFor(d *netlist.Design, g rowgrid.PairGrid) int {
 func TestBuildClustersBasics(t *testing.T) {
 	d, _ := placedDesign(t, 0.02)
 	nMin := len(d.MinorityInstances())
-	cl, err := BuildClusters(d, 0.2, 20)
+	cl, err := BuildClusters(context.Background(), d, 0.2, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestBuildClustersBasics(t *testing.T) {
 func TestBuildClustersResolutionOne(t *testing.T) {
 	d, _ := placedDesign(t, 0.01)
 	nMin := len(d.MinorityInstances())
-	cl, err := BuildClusters(d, 1.0, 20)
+	cl, err := BuildClusters(context.Background(), d, 1.0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,10 +114,10 @@ func TestBuildClustersResolutionOne(t *testing.T) {
 
 func TestBuildClustersRejectsBadS(t *testing.T) {
 	d, _ := placedDesign(t, 0.01)
-	if _, err := BuildClusters(d, 0, 10); err == nil {
+	if _, err := BuildClusters(context.Background(), d, 0, 10); err == nil {
 		t.Error("s=0 must error")
 	}
-	if _, err := BuildClusters(d, -1, 10); err == nil {
+	if _, err := BuildClusters(context.Background(), d, -1, 10); err == nil {
 		t.Error("s<0 must error")
 	}
 }
@@ -141,12 +142,12 @@ func TestNetDeltaHPWL(t *testing.T) {
 
 func TestBuildModelCostShape(t *testing.T) {
 	d, g := placedDesign(t, 0.02)
-	cl, err := BuildClusters(d, 0.3, 20)
+	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
 	nMinR := nMinRFor(d, g)
-	m, err := BuildModel(d, g, cl, nMinR, DefaultCostParams())
+	m, err := BuildModel(context.Background(), d, g, cl, nMinR, DefaultCostParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,9 +175,9 @@ func TestBuildModelCostShape(t *testing.T) {
 
 func TestBuildModelAlphaExtremes(t *testing.T) {
 	d, g := placedDesign(t, 0.02)
-	cl, _ := BuildClusters(d, 0.3, 20)
+	cl, _ := BuildClusters(context.Background(), d, 0.3, 20)
 	nMinR := nMinRFor(d, g)
-	pureDisp, err := BuildModel(d, g, cl, nMinR, CostParams{Alpha: 1})
+	pureDisp, err := BuildModel(context.Background(), d, g, cl, nMinR, CostParams{Alpha: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,10 +204,10 @@ func TestBuildModelAlphaExtremes(t *testing.T) {
 			}
 		}
 	}
-	if _, err := BuildModel(d, g, cl, nMinR, CostParams{Alpha: 2}); err == nil {
+	if _, err := BuildModel(context.Background(), d, g, cl, nMinR, CostParams{Alpha: 2}); err == nil {
 		t.Error("alpha > 1 must error")
 	}
-	if _, err := BuildModel(d, g, cl, 0, DefaultCostParams()); err == nil {
+	if _, err := BuildModel(context.Background(), d, g, cl, 0, DefaultCostParams()); err == nil {
 		t.Error("N_minR = 0 must error")
 	}
 }
@@ -214,12 +215,12 @@ func TestBuildModelAlphaExtremes(t *testing.T) {
 func solveBoth(t *testing.T, scale float64, s float64) (*Model, *Assignment, *Assignment) {
 	t.Helper()
 	d, g := placedDesign(t, scale)
-	cl, err := BuildClusters(d, s, 20)
+	cl, err := BuildClusters(context.Background(), d, s, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
 	nMinR := nMinRFor(d, g)
-	m, err := BuildModel(d, g, cl, nMinR, DefaultCostParams())
+	m, err := BuildModel(context.Background(), d, g, cl, nMinR, DefaultCostParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func solveBoth(t *testing.T, scale float64, s float64) (*Model, *Assignment, *As
 	if err != nil {
 		t.Fatal(err)
 	}
-	ilp, err := SolveILP(m, SolveOptions{CandidateRows: 0, MILP: milp.Options{MaxNodes: 20000}})
+	ilp, err := SolveILP(context.Background(), m, SolveOptions{CandidateRows: 0, MILP: milp.Options{MaxNodes: 20000}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestILPOptimalOnTinyInstance(t *testing.T) {
 		Cost:        [][]float64{{5, 1, 9}, {4, 2, 8}},
 		PairCenterY: []int64{0, 100, 200},
 	}
-	ilp, err := SolveILP(m, SolveOptions{})
+	ilp, err := SolveILP(context.Background(), m, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestILPRespectsCapacityOverGreedyChoice(t *testing.T) {
 		Cost:        [][]float64{{5, 1, 9}, {4, 1, 8}},
 		PairCenterY: []int64{0, 100, 200},
 	}
-	ilp, err := SolveILP(m, SolveOptions{})
+	ilp, err := SolveILP(context.Background(), m, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestILPRespectsCapacityOverGreedyChoice(t *testing.T) {
 
 func TestSolveILPForceGreedy(t *testing.T) {
 	m, greedy, _ := solveBoth(t, 0.01, 0.5)
-	forced, err := SolveILP(m, SolveOptions{ForceGreedy: true})
+	forced, err := SolveILP(context.Background(), m, SolveOptions{ForceGreedy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestSolveILPForceGreedy(t *testing.T) {
 func TestAssignRowsEndToEnd(t *testing.T) {
 	d, g := placedDesign(t, 0.02)
 	nMinR := nMinRFor(d, g)
-	ra, err := AssignRows(d, g, nMinR, DefaultOptions())
+	ra, err := AssignRows(context.Background(), d, g, nMinR, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,18 +376,18 @@ func TestAssignRowsEndToEnd(t *testing.T) {
 
 func TestCandidatePruningStillFeasible(t *testing.T) {
 	d, g := placedDesign(t, 0.02)
-	cl, _ := BuildClusters(d, 0.3, 20)
+	cl, _ := BuildClusters(context.Background(), d, 0.3, 20)
 	nMinR := nMinRFor(d, g)
-	m, err := BuildModel(d, g, cl, nMinR, DefaultCostParams())
+	m, err := BuildModel(context.Background(), d, g, cl, nMinR, DefaultCostParams())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := SolveILP(m, SolveOptions{CandidateRows: 3})
+	pruned, err := SolveILP(context.Background(), m, SolveOptions{CandidateRows: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertFeasible(t, m, pruned)
-	full, err := SolveILP(m, SolveOptions{CandidateRows: 0})
+	full, err := SolveILP(context.Background(), m, SolveOptions{CandidateRows: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

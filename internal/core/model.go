@@ -16,10 +16,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mthplace/internal/cluster"
+	"mthplace/internal/errs"
 	"mthplace/internal/geom"
 	"mthplace/internal/netlist"
 	"mthplace/internal/par"
@@ -53,7 +55,7 @@ func (c *Clusters) N() int { return len(c.Members) }
 // about one pair height — with an isotropic p×p grid over the die a cluster
 // spans ≈ N_R/p pairs, so y is stretched by that factor before k-means
 // (pure geometry rescaling; centroids are reported in real coordinates).
-func BuildClusters(d *netlist.Design, s float64, kmeansIters int) (*Clusters, error) {
+func BuildClusters(ctx context.Context, d *netlist.Design, s float64, kmeansIters int) (*Clusters, error) {
 	if s <= 0 {
 		return nil, fmt.Errorf("core: clustering resolution %f must be positive", s)
 	}
@@ -94,7 +96,12 @@ func BuildClusters(d *netlist.Design, s float64, kmeansIters int) (*Clusters, er
 			res.Sizes[k] = 1
 		}
 	} else {
-		res = cluster.KMeans2D(pts, nC, kmeansIters)
+		res = cluster.KMeans2D(ctx, pts, nC, kmeansIters)
+		// KMeans2D stops within one Lloyd iteration of a cancel; its
+		// partial result must not feed the ILP.
+		if err := errs.FromContext(ctx); err != nil {
+			return nil, fmt.Errorf("core: clustering: %w", err)
+		}
 	}
 	out := &Clusters{
 		Members: make([][]int32, res.K()),
@@ -163,7 +170,7 @@ func DefaultCostParams() CostParams {
 // uniform grid. Displacement sums |y(r) − y(cell)| of the member cells;
 // ΔHPWL sums, over each member cell's nets, the HPWL change when the cell
 // moves vertically to pair r at unchanged x (§III-C).
-func BuildModel(d *netlist.Design, g rowgrid.PairGrid, cl *Clusters, nMinR int, p CostParams) (*Model, error) {
+func BuildModel(ctx context.Context, d *netlist.Design, g rowgrid.PairGrid, cl *Clusters, nMinR int, p CostParams) (*Model, error) {
 	if p.Alpha < 0 || p.Alpha > 1 {
 		return nil, fmt.Errorf("core: alpha %f out of [0,1]", p.Alpha)
 	}
@@ -192,20 +199,23 @@ func BuildModel(d *netlist.Design, g rowgrid.PairGrid, cl *Clusters, nMinR int, 
 	for _, w := range cl.Width {
 		totalW += w
 		if w > m.Cap {
-			return nil, fmt.Errorf("core: cluster width %d exceeds row capacity %d (lower s)", w, m.Cap)
+			return nil, errs.Infeasible("core: cluster width %d exceeds row capacity %d (lower s)", w, m.Cap)
 		}
 	}
 	if totalW > int64(nMinR)*m.Cap {
-		return nil, fmt.Errorf("core: minority width %d exceeds %d rows × capacity %d", totalW, nMinR, m.Cap)
+		return nil, errs.Infeasible("core: minority width %d exceeds %d rows × capacity %d", totalW, nMinR, m.Cap)
+	}
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("core: cost model: %w", err)
 	}
 
 	// Every cluster's cost row is independent of the others, so the outer
-	// loop runs on the shared worker pool. Each worker precomputes its own
-	// members' net boxes (clusters partition the minority cells, so no box
-	// is computed twice) and scans rows and members in the same order the
-	// sequential path would — the per-(c,r) float accumulation order is
-	// fixed, making the matrix bit-identical at any par.Jobs() setting.
-	par.For(cl.N(), func(c int) {
+	// loop runs on the context's worker pool. Each worker precomputes its
+	// own members' net boxes (clusters partition the minority cells, so no
+	// box is computed twice) and scans rows and members in the same order
+	// the sequential path would — the per-(c,r) float accumulation order is
+	// fixed, making the matrix bit-identical at any pool bound.
+	par.FromContext(ctx).For(cl.N(), func(c int) {
 		boxes := make([][]netBoxT, len(cl.Members[c]))
 		for mi, i := range cl.Members[c] {
 			boxes[mi] = buildNetBoxes(d, i)

@@ -1,11 +1,19 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"mthplace/internal/par"
 )
+
+// ctxWithJobs returns a context carrying a private pool bounded to jobs
+// workers — the scoped replacement for the old global par.SetJobs knob, so
+// the equivalence tests no longer mutate process state.
+func ctxWithJobs(jobs int) context.Context {
+	return par.WithPool(context.Background(), par.NewPool(jobs))
+}
 
 // TestBuildModelParallelEquivalence asserts the tentpole determinism
 // guarantee for the RAP cost model: the f_cr matrix is bit-identical at
@@ -13,21 +21,17 @@ import (
 // worker in the sequential member/row/net order.
 func TestBuildModelParallelEquivalence(t *testing.T) {
 	d, g := placedDesign(t, 0.02)
-	cl, err := BuildClusters(d, 0.3, 20)
+	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
 	nMinR := nMinRFor(d, g)
 
-	old := par.SetJobs(1)
-	m1, err := BuildModel(d, g, cl, nMinR, DefaultCostParams())
+	m1, err := BuildModel(ctxWithJobs(1), d, g, cl, nMinR, DefaultCostParams())
 	if err != nil {
-		par.SetJobs(old)
 		t.Fatal(err)
 	}
-	par.SetJobs(8)
-	m8, err := BuildModel(d, g, cl, nMinR, DefaultCostParams())
-	par.SetJobs(old)
+	m8, err := BuildModel(ctxWithJobs(8), d, g, cl, nMinR, DefaultCostParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,15 +60,11 @@ func TestBuildModelParallelEquivalence(t *testing.T) {
 // take (k-means inside BuildClusters) at both worker counts.
 func TestBuildClustersParallelEquivalence(t *testing.T) {
 	d, _ := placedDesign(t, 0.02)
-	old := par.SetJobs(1)
-	a, err := BuildClusters(d, 0.25, 25)
+	a, err := BuildClusters(ctxWithJobs(1), d, 0.25, 25)
 	if err != nil {
-		par.SetJobs(old)
 		t.Fatal(err)
 	}
-	par.SetJobs(8)
-	b, err := BuildClusters(d, 0.25, 25)
-	par.SetJobs(old)
+	b, err := BuildClusters(ctxWithJobs(8), d, 0.25, 25)
 	if err != nil {
 		t.Fatal(err)
 	}

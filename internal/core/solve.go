@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"mthplace/internal/errs"
 	"mthplace/internal/lp"
 	"mthplace/internal/milp"
 	"mthplace/internal/netlist"
@@ -62,11 +64,19 @@ type SolveOptions struct {
 //	Σ_r x_cr = 1                    ∀c        (Eq. 3)
 //	Σ_c w(c)·x_cr ≤ w(r)·y_r        ∀r        (Eq. 4 + linking)
 //	Σ_r y_r = N_minR                          (Eq. 5)
-func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
+//
+// Cancellation is honoured between the greedy warm start, each root-cut
+// round and each branch-and-bound node: a canceled ctx returns
+// errs.ErrCanceled (errs.ErrTimeout on deadline expiry) within one LP
+// solve rather than falling back to the greedy solution.
+func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, error) {
 	start := time.Now()
 	greedy, err := SolveGreedy(m)
 	if err != nil {
 		return nil, err
+	}
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("core: RAP solve: %w", err)
 	}
 	if opt.ForceGreedy {
 		greedy.Stats.Runtime = time.Since(start)
@@ -158,6 +168,9 @@ func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
 	if maxCuts > 0 {
 		totalCuts := 0
 		for round := 0; round < 6 && totalCuts < maxCuts; round++ {
+			if err := errs.FromContext(ctx); err != nil {
+				return nil, fmt.Errorf("core: RAP root cuts: %w", err)
+			}
 			// The cut loop shares the MILP time budget: at most half of it
 			// may go into root strengthening so the search still gets time.
 			if opt.MILP.TimeLimit > 0 && time.Since(start) > opt.MILP.TimeLimit/2 {
@@ -244,7 +257,12 @@ func SolveILP(m *Model, opt SolveOptions) (*Assignment, error) {
 			milpOpt.TimeLimit = time.Second
 		}
 	}
-	res := milp.Solve(&milp.Problem{LP: prob, Binary: bins, Priority: pri}, warm, milpOpt)
+	res := milp.Solve(ctx, &milp.Problem{LP: prob, Binary: bins, Priority: pri}, warm, milpOpt)
+	if err := errs.FromContext(ctx); err != nil {
+		// The search stopped because the caller gave up, not because a
+		// limit ran out — do not silently degrade to the greedy fallback.
+		return nil, fmt.Errorf("core: RAP branch and bound: %w", err)
+	}
 	if res.Status == milp.Infeasible || res.Status == milp.Limit {
 		// Fall back to greedy (pruning can in principle make the ILP
 		// infeasible; the greedy solution is always feasible).
@@ -381,7 +399,7 @@ func SolveGreedy(m *Model) (*Assignment, error) {
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("core: greedy could not host cluster %d (width %d)", c, m.Clusters.Width[c])
+			return nil, errs.Infeasible("core: greedy could not host cluster %d (width %d)", c, m.Clusters.Width[c])
 		}
 		out.ClusterPair[c] = best
 		load[best] += m.Clusters.Width[c]
@@ -496,17 +514,19 @@ func DefaultOptions() Options {
 
 // AssignRows runs the full proposed row assignment on a design in mLEF form
 // placed on the uniform grid g: cluster, build the ILP cost model, solve,
-// restack the die, and derive the per-cell seeding.
-func AssignRows(d *netlist.Design, g rowgrid.PairGrid, nMinR int, opt Options) (*RowAssignment, error) {
-	cl, err := BuildClusters(d, opt.S, opt.KMeansIters)
+// restack the die, and derive the per-cell seeding. Each stage honours
+// ctx cancellation (see BuildClusters, BuildModel and SolveILP) and runs
+// its parallel parts on the pool carried by ctx.
+func AssignRows(ctx context.Context, d *netlist.Design, g rowgrid.PairGrid, nMinR int, opt Options) (*RowAssignment, error) {
+	cl, err := BuildClusters(ctx, d, opt.S, opt.KMeansIters)
 	if err != nil {
 		return nil, err
 	}
-	model, err := BuildModel(d, g, cl, nMinR, opt.Cost)
+	model, err := BuildModel(ctx, d, g, cl, nMinR, opt.Cost)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := SolveILP(model, opt.Solve)
+	sol, err := SolveILP(ctx, model, opt.Solve)
 	if err != nil {
 		return nil, err
 	}

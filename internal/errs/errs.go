@@ -1,0 +1,58 @@
+// Package errs defines the typed error taxonomy of the placement API.
+// Every long-running entry point (flow execution, the RAP solve, the
+// legalization passes) reports its failure class through one of the
+// sentinels below so callers can dispatch with errors.Is instead of
+// matching message strings; the HTTP job server maps them onto status
+// codes (ErrInfeasible → 422, ErrTimeout → 504, ErrCanceled → 499).
+//
+// The package sits below every other internal package (it imports only
+// the standard library), so flow, core, legalize and the server can all
+// share the same sentinels without import cycles. The public facade
+// (pkg/mth) re-exports them.
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrInfeasible marks a problem instance that provably has no
+	// solution under its constraints: a cluster wider than a row's
+	// capacity, a minority width budget no row set can host, and so on.
+	// Retrying cannot help; the inputs must change.
+	ErrInfeasible = errors.New("infeasible")
+
+	// ErrTimeout marks work abandoned because its deadline expired
+	// (context.DeadlineExceeded is translated to this sentinel at the
+	// API boundary).
+	ErrTimeout = errors.New("timed out")
+
+	// ErrCanceled marks work abandoned because its context was canceled
+	// (context.Canceled is translated to this sentinel at the API
+	// boundary).
+	ErrCanceled = errors.New("canceled")
+)
+
+// FromContext translates ctx's termination cause into the canonical
+// sentinels: nil while the context is live, ErrCanceled after a cancel,
+// ErrTimeout after a deadline expiry. Long-running loops call it at
+// their check points and propagate the non-nil result.
+func FromContext(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrTimeout
+	default:
+		return ErrCanceled
+	}
+}
+
+// Infeasible wraps a formatted message with ErrInfeasible so the class
+// survives fmt.Errorf chains: errors.Is(err, ErrInfeasible) holds on the
+// result and on anything that wraps it.
+func Infeasible(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrInfeasible)
+}

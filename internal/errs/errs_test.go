@@ -1,0 +1,41 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := FromContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context: %v", err)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	if err := FromContext(dctx); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expired context: %v", err)
+	}
+}
+
+func TestInfeasibleWrapping(t *testing.T) {
+	err := Infeasible("row %d over capacity by %d", 3, 7)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatal("Infeasible() does not match ErrInfeasible")
+	}
+	if errors.Is(err, ErrCanceled) || errors.Is(err, ErrTimeout) {
+		t.Fatal("classes must be disjoint")
+	}
+	// Survives further wrapping, as the flow layers do.
+	wrapped := fmt.Errorf("flow: RAP: %w", err)
+	if !errors.Is(wrapped, ErrInfeasible) {
+		t.Fatal("wrapping lost the class")
+	}
+}

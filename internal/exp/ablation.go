@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mthplace/internal/flow"
@@ -24,7 +25,7 @@ type AblationResult struct {
 }
 
 // Ablation quantifies how clustering trades ILP runtime against QoR.
-func Ablation(cfg Config) (*AblationResult, error) {
+func Ablation(ctx context.Context, cfg Config) (*AblationResult, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Specs) == 26 {
 		// The full suite at s=1 is slow; the paper's conclusion needs only
@@ -42,9 +43,9 @@ func Ablation(cfg Config) (*AblationResult, error) {
 	// Specs fan out on the shared pool; the percentage accumulators merge
 	// serially in spec order so the averages stay deterministic.
 	type series struct{ rts, disp, hpwl []float64 }
-	all, err := par.Map(len(cfg.Specs), func(si int) (series, error) {
+	all, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (series, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return series{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
@@ -53,7 +54,7 @@ func Ablation(cfg Config) (*AblationResult, error) {
 		hpwl := make([]float64, len(sValues))
 		for vi, s := range sValues {
 			r.Cfg.Core.S = s
-			res, err := r.Run(flow.Flow4, false)
+			res, err := r.Run(ctx, flow.Flow4, false)
 			if err != nil {
 				return series{}, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
 			}
@@ -118,7 +119,7 @@ type ProfileResult struct {
 }
 
 // Profile measures Flow (5) stage runtimes by size class.
-func Profile(cfg Config) (*ProfileResult, error) {
+func Profile(ctx context.Context, cfg Config) (*ProfileResult, error) {
 	cfg = cfg.withDefaults()
 	out := &ProfileResult{
 		Scale:     cfg.Scale,
@@ -130,13 +131,13 @@ func Profile(cfg Config) (*ProfileResult, error) {
 		rap, legal float64
 		ok         bool
 	}
-	samples, err := par.Map(len(cfg.Specs), func(si int) (sample, error) {
+	samples, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (sample, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return sample{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
-		res, err := r.Run(flow.Flow5, false)
+		res, err := r.Run(ctx, flow.Flow5, false)
 		if err != nil {
 			return sample{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -56,9 +57,10 @@ func (c Config) withDefaults() Config {
 	}
 	c.Flow.Synth.Scale = c.Scale
 	c.Flow.Synth.Seed = c.Seed
-	// Experiment drivers fan the per-spec loops out on the shared pool;
-	// install the requested bound before the first par call.
-	c.Flow.ApplyJobs()
+	// Experiment drivers fan the per-spec loops out on the config's pool;
+	// resolve it once so every runner shares the same scoped bound (no
+	// global par.SetJobs side effect).
+	c.Flow.Pool = c.Flow.EffectivePool()
 	return c
 }
 
@@ -77,8 +79,8 @@ func (c Config) logf(format string, args ...any) {
 }
 
 // runner builds the shared starting point for one spec.
-func (c Config) runner(spec synth.Spec) (*flow.Runner, error) {
-	return flow.NewRunner(spec, c.Flow)
+func (c Config) runner(ctx context.Context, spec synth.Spec) (*flow.Runner, error) {
+	return flow.NewRunner(ctx, spec, c.Flow)
 }
 
 // ---------------------------------------------------------------- Table II
@@ -99,12 +101,15 @@ type Table2Result struct {
 }
 
 // Table2 regenerates the testcase suite and reports its statistics. Specs
-// run concurrently on the shared pool; rows come back in spec order.
-func Table2(cfg Config) (*Table2Result, error) {
+// run concurrently on the config's pool; rows come back in spec order.
+func Table2(ctx context.Context, cfg Config) (*Table2Result, error) {
 	cfg = cfg.withDefaults()
 	tc := tech.Default()
 	out := &Table2Result{Scale: cfg.Scale}
-	rows, err := par.Map(len(cfg.Specs), func(si int) (Table2Row, error) {
+	rows, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (Table2Row, error) {
+		if err := ctx.Err(); err != nil {
+			return Table2Row{}, err
+		}
 		spec := cfg.Specs[si]
 		lib := celllib.New(tc)
 		d, err := synth.Generate(tc, lib, spec, cfg.Flow.Synth)
@@ -169,16 +174,16 @@ type Table4Result struct {
 // concurrently on the shared pool (the flows within one testcase stay
 // sequential — they share the runner); the ordered collector keeps rows and
 // the normalisation inputs in spec order regardless of completion order.
-func Table4(cfg Config) (*Table4Result, error) {
+func Table4(ctx context.Context, cfg Config) (*Table4Result, error) {
 	cfg = cfg.withDefaults()
 	out := &Table4Result{Scale: cfg.Scale}
-	rows, err := par.Map(len(cfg.Specs), func(si int) (Table4Row, error) {
+	rows, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (Table4Row, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return Table4Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
-		results, err := r.RunAll(false)
+		results, err := r.RunAll(ctx, false)
 		if err != nil {
 			return Table4Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
@@ -284,18 +289,18 @@ var table5Flows = []flow.ID{flow.Flow1, flow.Flow2, flow.Flow4, flow.Flow5}
 // Table5 runs flows (1), (2), (4), (5) with routing and signoff on every
 // testcase. Testcases fan out on the shared pool; the ordered collector
 // keeps rows in spec order.
-func Table5(cfg Config) (*Table5Result, error) {
+func Table5(ctx context.Context, cfg Config) (*Table5Result, error) {
 	cfg = cfg.withDefaults()
 	out := &Table5Result{Scale: cfg.Scale}
-	rows, err := par.Map(len(cfg.Specs), func(si int) (Table5Row, error) {
+	rows, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (Table5Row, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return Table5Row{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
 		row := Table5Row{Name: spec.Name()}
 		for k, id := range table5Flows {
-			res, err := r.Run(id, true)
+			res, err := r.Run(ctx, id, true)
 			if err != nil {
 				return Table5Row{}, fmt.Errorf("exp: %s %v: %w", spec.Name(), id, err)
 			}

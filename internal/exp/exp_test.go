@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func tiny(t *testing.T) Config {
 }
 
 func TestTable2(t *testing.T) {
-	res, err := Table2(tiny(t))
+	res, err := Table2(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
-	res, err := Table4(tiny(t))
+	res, err := Table4(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestTable4(t *testing.T) {
 
 func TestTable5AndOverhead(t *testing.T) {
 	cfg := tiny(t)
-	t5, err := Table5(cfg)
+	t5, err := Table5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestTable5AndOverhead(t *testing.T) {
 	if t5.NormWL[1] != 1 || t5.NormPower[1] != 1 {
 		t.Error("table 5 normalisation base wrong")
 	}
-	t4, err := Table4(cfg)
+	t4, err := Table4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestTable5AndOverhead(t *testing.T) {
 
 func TestFig4aSweep(t *testing.T) {
 	cfg := tiny(t)
-	res, err := Fig4a(cfg, []float64{0.2, 0.6})
+	res, err := Fig4a(context.Background(), cfg, []float64{0.2, 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig4aSweep(t *testing.T) {
 
 func TestFig4bSweep(t *testing.T) {
 	cfg := tiny(t)
-	res, err := Fig4b(cfg, []float64{0.25, 0.75})
+	res, err := Fig4b(context.Background(), cfg, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig4bSweep(t *testing.T) {
 
 func TestFig5(t *testing.T) {
 	cfg := tiny(t)
-	res, err := Fig5(cfg)
+	res, err := Fig5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestFig5(t *testing.T) {
 
 func TestAblation(t *testing.T) {
 	cfg := tiny(t)
-	res, err := Ablation(cfg)
+	res, err := Ablation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestAblation(t *testing.T) {
 
 func TestProfile(t *testing.T) {
 	cfg := tiny(t)
-	res, err := Profile(cfg)
+	res, err := Profile(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestConfigLogging(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tiny(t)
 	cfg.Log = &buf
-	if _, err := Table2(cfg); err != nil {
+	if _, err := Table2(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "table2:") {

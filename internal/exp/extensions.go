@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mthplace/internal/flow"
@@ -34,7 +35,7 @@ type FinFlexResult struct {
 
 // FinFlexStudy runs Flow (5) and the auto-fitted one-in-n pattern flow on
 // every configured testcase, with routing.
-func FinFlexStudy(cfg Config) (*FinFlexResult, error) {
+func FinFlexStudy(ctx context.Context, cfg Config) (*FinFlexResult, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Specs) == 26 {
 		cfg.Specs = synth.ParameterSweepSpecs()
@@ -44,17 +45,17 @@ func FinFlexStudy(cfg Config) (*FinFlexResult, error) {
 		row FinFlexRow
 		ok  bool
 	}
-	rows, err := par.Map(len(cfg.Specs), func(si int) (rowOpt, error) {
+	rows, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (rowOpt, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return rowOpt{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
-		f5, err := r.Run(flow.Flow5, true)
+		f5, err := r.Run(ctx, flow.Flow5, true)
 		if err != nil {
 			return rowOpt{}, fmt.Errorf("exp: %s flow5: %w", spec.Name(), err)
 		}
-		ff, err := r.RunFinFlex(nil, true)
+		ff, err := r.RunFinFlex(ctx, nil, true)
 		if err != nil {
 			cfg.logf("finflex: %s skipped: %v", spec.Name(), err)
 			return rowOpt{}, nil
@@ -123,23 +124,23 @@ type SwapResult struct {
 
 // SwapStudy runs Flow (5) and then the track-height swapping pass on every
 // configured testcase.
-func SwapStudy(cfg Config) (*SwapResult, error) {
+func SwapStudy(ctx context.Context, cfg Config) (*SwapResult, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Specs) == 26 {
 		cfg.Specs = synth.ParameterSweepSpecs()
 	}
 	out := &SwapResult{Scale: cfg.Scale}
-	rows, err := par.Map(len(cfg.Specs), func(si int) (SwapRow, error) {
+	rows, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (SwapRow, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return SwapRow{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
-		res, err := r.Run(flow.Flow5, false)
+		res, err := r.Run(ctx, flow.Flow5, false)
 		if err != nil {
 			return SwapRow{}, fmt.Errorf("exp: %s flow5: %w", spec.Name(), err)
 		}
-		rep, err := heightswap.Optimize(res.Design, res.Stack, heightswap.Options{})
+		rep, err := heightswap.Optimize(ctx, res.Design, res.Stack, heightswap.Options{})
 		if err != nil {
 			return SwapRow{}, fmt.Errorf("exp: %s swap: %w", spec.Name(), err)
 		}

@@ -1,10 +1,9 @@
 package exp
 
 import (
+	"context"
 	"testing"
 	"time"
-
-	"mthplace/internal/par"
 )
 
 // TestTable4ParallelEquivalence asserts the tentpole guarantee at the
@@ -12,6 +11,9 @@ import (
 // and their normalisations) are identical at jobs=1 and jobs=8. Stage
 // wall-clock times are inherently nondeterministic and excluded; the MILP
 // time budgets are lifted so no solver decision can depend on elapsed time.
+// The bound now travels through Config.Jobs alone — nothing global changes,
+// which is exactly what lets the job server run differently-bounded jobs
+// side by side.
 func TestTable4ParallelEquivalence(t *testing.T) {
 	cfg := tiny(t)
 	// Remove every wall-clock-dependent solver decision.
@@ -19,11 +21,9 @@ func TestTable4ParallelEquivalence(t *testing.T) {
 
 	run := func(jobs int) *Table4Result {
 		t.Helper()
-		old := par.SetJobs(jobs)
-		defer par.SetJobs(old)
 		c := cfg
 		c.Flow.Jobs = jobs
-		res, err := Table4(c)
+		res, err := Table4(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,9 +60,9 @@ func TestTable2ParallelEquivalence(t *testing.T) {
 	cfg := tiny(t)
 	run := func(jobs int) *Table2Result {
 		t.Helper()
-		old := par.SetJobs(jobs)
-		defer par.SetJobs(old)
-		res, err := Table2(cfg)
+		c := cfg
+		c.Flow.Jobs = jobs
+		res, err := Table2(context.Background(), c)
 		if err != nil {
 			t.Fatal(err)
 		}

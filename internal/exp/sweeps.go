@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mthplace/internal/flow"
@@ -35,7 +36,7 @@ type SweepResult struct {
 // testcases, measuring post-placement displacement, HPWL and ILP runtime of
 // the proposed flow under the prior work's legalization (Flow 4 pipeline),
 // exactly the quantities of Fig. 4(a).
-func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
+func Fig4a(ctx context.Context, cfg Config, values []float64) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Specs == nil || len(cfg.Specs) == 26 {
 		cfg.Specs = synth.ParameterSweepSpecs()
@@ -44,12 +45,12 @@ func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
 		values = DefaultSValues
 	}
 	out := &SweepResult{Scale: cfg.Scale, Param: "s", Values: values}
-	// Specs fan out on the shared pool; the sweep over values stays
+	// Specs fan out on the config's pool; the sweep over values stays
 	// sequential per spec because it mutates the spec's runner config.
 	type series struct{ disp, hpwl, rt []float64 }
-	all, err := par.Map(len(cfg.Specs), func(si int) (series, error) {
+	all, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (series, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return series{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
@@ -58,7 +59,7 @@ func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
 		rt := make([]float64, len(values))
 		for vi, s := range values {
 			r.Cfg.Core.S = s
-			res, err := r.Run(flow.Flow4, false)
+			res, err := r.Run(ctx, flow.Flow4, false)
 			if err != nil {
 				return series{}, fmt.Errorf("exp: %s s=%.2f: %w", spec.Name(), s, err)
 			}
@@ -87,7 +88,7 @@ func Fig4a(cfg Config, values []float64) (*SweepResult, error) {
 }
 
 // Fig4b sweeps α at fixed s, measuring displacement and HPWL (Fig. 4(b)).
-func Fig4b(cfg Config, values []float64) (*SweepResult, error) {
+func Fig4b(ctx context.Context, cfg Config, values []float64) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Specs == nil || len(cfg.Specs) == 26 {
 		cfg.Specs = synth.ParameterSweepSpecs()
@@ -97,9 +98,9 @@ func Fig4b(cfg Config, values []float64) (*SweepResult, error) {
 	}
 	out := &SweepResult{Scale: cfg.Scale, Param: "alpha", Values: values}
 	type series struct{ disp, hpwl []float64 }
-	all, err := par.Map(len(cfg.Specs), func(si int) (series, error) {
+	all, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (series, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return series{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
@@ -107,7 +108,7 @@ func Fig4b(cfg Config, values []float64) (*SweepResult, error) {
 		hpwl := make([]float64, len(values))
 		for vi, a := range values {
 			r.Cfg.Core.Cost.Alpha = a
-			res, err := r.Run(flow.Flow4, false)
+			res, err := r.Run(ctx, flow.Flow4, false)
 			if err != nil {
 				return series{}, fmt.Errorf("exp: %s alpha=%.2f: %w", spec.Name(), a, err)
 			}
@@ -185,16 +186,16 @@ type Fig5Result struct {
 
 // Fig5 runs Flow (5)'s row assignment on every testcase and fits ILP
 // runtime against the number of minority instances.
-func Fig5(cfg Config) (*Fig5Result, error) {
+func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	out := &Fig5Result{Scale: cfg.Scale}
-	points, err := par.Map(len(cfg.Specs), func(si int) (Fig5Point, error) {
+	points, err := par.MapOn(cfg.Flow.Pool, len(cfg.Specs), func(si int) (Fig5Point, error) {
 		spec := cfg.Specs[si]
-		r, err := cfg.runner(spec)
+		r, err := cfg.runner(ctx, spec)
 		if err != nil {
 			return Fig5Point{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}
-		res, err := r.Run(flow.Flow5, false)
+		res, err := r.Run(ctx, flow.Flow5, false)
 		if err != nil {
 			return Fig5Point{}, fmt.Errorf("exp: %s: %w", spec.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package finflex
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/celllib"
@@ -147,7 +148,7 @@ func TestEndToEndFinFlexLegal(t *testing.T) {
 	if err := lefdef.Revert(d); err != nil {
 		t.Fatal(err)
 	}
-	if err := legalize.FenceAware(d, ms, asg.SeedY, 2); err != nil {
+	if err := legalize.FenceAware(context.Background(), d, ms, asg.SeedY, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := legalize.VerifyMixed(d, ms); err != nil {

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,8 @@ const FlowFinFlex ID = 6
 // structure comes from the pattern — and cells are bound to pattern rows
 // with a capacity-aware nearest-row assignment, then legalized fence-aware.
 // Pass a nil pattern to auto-fit the sparsest feasible one.
-func (r *Runner) RunFinFlex(pattern finflex.Pattern, withRoute bool) (*Result, error) {
+func (r *Runner) RunFinFlex(ctx context.Context, pattern finflex.Pattern, withRoute bool) (*Result, error) {
+	ctx = r.withPool(ctx)
 	d := r.Base.Clone()
 	met := Metrics{Flow: FlowFinFlex, NumMinority: len(d.MinorityInstances())}
 	start := time.Now()
@@ -53,7 +55,7 @@ func (r *Runner) RunFinFlex(pattern finflex.Pattern, withRoute bool) (*Result, e
 		return nil, err
 	}
 	legalStart := time.Now()
-	if err := legalize.FenceAware(d, asg.Stack, asg.SeedY, r.Cfg.FencePasses); err != nil {
+	if err := legalize.FenceAware(ctx, d, asg.Stack, asg.SeedY, r.Cfg.FencePasses); err != nil {
 		return nil, fmt.Errorf("finflex legalization (pattern %v): %w", pattern, err)
 	}
 	met.LegalTime = time.Since(legalStart)
@@ -66,7 +68,7 @@ func (r *Runner) RunFinFlex(pattern finflex.Pattern, withRoute bool) (*Result, e
 
 	res := &Result{Design: d, Stack: asg.Stack, Metrics: met}
 	if withRoute {
-		if err := r.routeAndSign(res); err != nil {
+		if err := r.routeAndSign(ctx, res); err != nil {
 			return nil, err
 		}
 	}

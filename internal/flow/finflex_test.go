@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/finflex"
@@ -11,7 +12,7 @@ import (
 
 func TestRunFinFlexAutoPattern(t *testing.T) {
 	r := newRunner(t, 0.02)
-	res, err := r.RunFinFlex(nil, false)
+	res, err := r.RunFinFlex(context.Background(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestRunFinFlexAutoPattern(t *testing.T) {
 func TestRunFinFlexExplicitPatternTooDense(t *testing.T) {
 	r := newRunner(t, 0.015)
 	// A pattern with no tall rows cannot host minority cells.
-	_, err := r.RunFinFlex(finflex.Pattern{tech.Short6T}, false)
+	_, err := r.RunFinFlex(context.Background(), finflex.Pattern{tech.Short6T}, false)
 	if err == nil {
 		t.Fatal("all-short pattern must fail")
 	}
@@ -48,11 +49,11 @@ func TestRunFinFlexExplicitPatternTooDense(t *testing.T) {
 
 func TestRunFinFlexVsFlow5(t *testing.T) {
 	r := newRunner(t, 0.02)
-	f5, err := r.Run(Flow5, false)
+	f5, err := r.Run(context.Background(), Flow5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ff, err := r.RunFinFlex(nil, false)
+	ff, err := r.RunFinFlex(context.Background(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,12 +18,14 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mthplace/internal/baseline"
 	"mthplace/internal/celllib"
 	"mthplace/internal/core"
+	"mthplace/internal/errs"
 	"mthplace/internal/geom"
 	"mthplace/internal/lefdef"
 	"mthplace/internal/legalize"
@@ -36,6 +38,20 @@ import (
 	"mthplace/internal/sta"
 	"mthplace/internal/synth"
 	"mthplace/internal/tech"
+)
+
+// Typed failure classes, re-exported from internal/errs so flow callers (and
+// the HTTP layer above them) can classify outcomes with errors.Is without
+// importing the bottom-layer package:
+//
+//	ErrInfeasible — the RAP (or a legalization capacity check) proved the
+//	                instance unsatisfiable; retrying won't help, fix the spec.
+//	ErrTimeout    — a context deadline expired mid-stage.
+//	ErrCanceled   — the caller canceled the context mid-stage.
+var (
+	ErrInfeasible = errs.ErrInfeasible
+	ErrTimeout    = errs.ErrTimeout
+	ErrCanceled   = errs.ErrCanceled
 )
 
 // ID names a flow.
@@ -72,17 +88,39 @@ type Config struct {
 	Route       route.Options
 	STA         sta.Options
 	Power       power.Options
-	// Jobs bounds the shared worker pool of the parallel execution layer
-	// (internal/par) for this run: 1 forces fully sequential execution,
-	// 0 keeps the current global setting (GOMAXPROCS by default, or the
+	// Jobs bounds this runner's worker pool: 1 forces fully sequential
+	// execution, 0 inherits the process default (GOMAXPROCS, or the
 	// MTHPLACE_JOBS environment override). Results are identical at any
-	// setting; see DESIGN.md §7.
+	// setting; see DESIGN.md §7. Unlike the old global par.SetJobs knob,
+	// the bound is scoped to the runner, so concurrent runners with
+	// different Jobs settings do not interfere.
 	Jobs int
+	// Pool, when non-nil, is used directly instead of building one from
+	// Jobs — it lets several runners share one budgeted pool (the job
+	// server caps total parallelism this way).
+	Pool *par.Pool
 }
 
-// ApplyJobs installs the config's worker-pool bound. NewRunner calls it;
-// experiment drivers that parallelize above the flow level call it before
-// fanning out.
+// EffectivePool resolves the worker pool this config asks for: an explicit
+// Pool wins, then a fresh pool bounded by Jobs, then the process-wide
+// default. Drivers that fan out above the flow level (internal/exp) resolve
+// once and share the pool across their runners.
+func (c Config) EffectivePool() *par.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	if c.Jobs > 0 {
+		return par.NewPool(c.Jobs)
+	}
+	return par.Default
+}
+
+// ApplyJobs installs the config's worker-pool bound on the process-global
+// default pool.
+//
+// Deprecated: this mutates global state and races with concurrent runners.
+// Set Config.Jobs (or Config.Pool) instead — NewRunner scopes the bound to
+// the runner. Kept so existing callers keep working.
 func (c Config) ApplyJobs() {
 	if c.Jobs > 0 {
 		par.SetJobs(c.Jobs)
@@ -150,12 +188,16 @@ type Runner struct {
 	// InitTime is the shared synthesis+placement preparation time.
 	InitTime time.Duration
 
+	pool       *par.Pool
 	baseAssign *baseline.Result
 }
 
 // NewRunner generates the testcase and the unconstrained initial placement.
-func NewRunner(spec synth.Spec, cfg Config) (*Runner, error) {
-	cfg.ApplyJobs()
+// The context bounds the preparation work (its worker pool is taken from the
+// config, not the context) and cancellation aborts between stages.
+func NewRunner(ctx context.Context, spec synth.Spec, cfg Config) (*Runner, error) {
+	pool := cfg.EffectivePool()
+	ctx = par.WithPool(ctx, pool)
 	start := time.Now()
 	tc := tech.Default()
 	lib := celllib.New(tc)
@@ -167,14 +209,21 @@ func NewRunner(spec synth.Spec, cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("flow: prepare: %w", err)
+	}
 	placer.Global(d, cfg.Placer)
 	g := rowgrid.Uniform(d.Die, m.PairH)
 	if err := legalize.Uniform(d, g); err != nil {
 		return nil, err
 	}
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("flow: prepare: %w", err)
+	}
 	r := &Runner{
 		Spec: spec, Cfg: cfg, Tech: tc, Lib: lib,
 		Base: d, Grid: g, RefPos: d.Positions(),
+		pool: pool,
 	}
 	// Flow (2)'s assignment fixes N_minR for every row-constraint flow.
 	ba, err := baseline.AssignRows(d, g, cfg.Baseline)
@@ -187,14 +236,27 @@ func NewRunner(spec synth.Spec, cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-// Run executes one flow. withRoute additionally routes the result and
-// fills the post-route metrics.
-func (r *Runner) Run(id ID, withRoute bool) (*Result, error) {
+// Pool returns the runner's scoped worker pool (for callers that want to
+// share it, or to inspect the effective bound).
+func (r *Runner) Pool() *par.Pool { return r.pool }
+
+// withPool attaches the runner's pool to ctx so every stage underneath
+// resolves the same scoped bound.
+func (r *Runner) withPool(ctx context.Context) context.Context {
+	return par.WithPool(ctx, r.pool)
+}
+
+// Run executes one flow. withRoute additionally routes the result and fills
+// the post-route metrics. Cancellation of ctx aborts the run within one
+// solver/Lloyd iteration (or one legalization pass) and surfaces as
+// ErrCanceled (deadline expiry as ErrTimeout).
+func (r *Runner) Run(ctx context.Context, id ID, withRoute bool) (*Result, error) {
+	ctx = r.withPool(ctx)
 	switch id {
 	case Flow1:
-		return r.runFlow1(withRoute)
+		return r.runFlow1(ctx, withRoute)
 	case Flow2, Flow3, Flow4, Flow5:
-		return r.runConstraint(id, withRoute)
+		return r.runConstraint(ctx, id, withRoute)
 	default:
 		return nil, fmt.Errorf("flow: unknown flow %d", int(id))
 	}
@@ -202,10 +264,10 @@ func (r *Runner) Run(id ID, withRoute bool) (*Result, error) {
 
 // RunAll executes every flow (Flow 3 is post-placement only in the paper's
 // Table V; we still route it when asked).
-func (r *Runner) RunAll(withRoute bool) (map[ID]*Result, error) {
+func (r *Runner) RunAll(ctx context.Context, withRoute bool) (map[ID]*Result, error) {
 	out := make(map[ID]*Result, 5)
 	for _, id := range []ID{Flow1, Flow2, Flow3, Flow4, Flow5} {
-		res, err := r.Run(id, withRoute)
+		res, err := r.Run(ctx, id, withRoute)
 		if err != nil {
 			return nil, fmt.Errorf("flow: %v: %w", id, err)
 		}
@@ -214,7 +276,10 @@ func (r *Runner) RunAll(withRoute bool) (map[ID]*Result, error) {
 	return out, nil
 }
 
-func (r *Runner) runFlow1(withRoute bool) (*Result, error) {
+func (r *Runner) runFlow1(ctx context.Context, withRoute bool) (*Result, error) {
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("flow: %v: %w", Flow1, err)
+	}
 	d := r.Base.Clone()
 	res := &Result{Design: d}
 	res.Metrics = Metrics{
@@ -226,14 +291,14 @@ func (r *Runner) runFlow1(withRoute bool) (*Result, error) {
 		NminR:        r.NminR,
 	}
 	if withRoute {
-		if err := r.routeAndSign(res); err != nil {
+		if err := r.routeAndSign(ctx, res); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
 }
 
-func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
+func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Result, error) {
 	d := r.Base.Clone()
 	met := Metrics{Flow: id, NumMinority: len(d.MinorityInstances()), NminR: r.NminR}
 	start := time.Now()
@@ -244,7 +309,7 @@ func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
 	var cellPair map[int32]int
 	if id.UsesILP() {
 		rapStart := time.Now()
-		ra, err := core.AssignRows(d, r.Grid, r.NminR, r.Cfg.Core)
+		ra, err := core.AssignRows(ctx, d, r.Grid, r.NminR, r.Cfg.Core)
 		if err != nil {
 			return nil, fmt.Errorf("row assignment: %w", err)
 		}
@@ -269,6 +334,9 @@ func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
 		seedY = ba.SeedY
 		cellPair = ba.CellPair
 	}
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("row assignment: %w", err)
+	}
 
 	// Back to true mixed-height cells, then legalize under row-constraint.
 	if err := lefdef.Revert(d); err != nil {
@@ -276,7 +344,7 @@ func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
 	}
 	legalStart := time.Now()
 	if id.UsesFenceLegalization() {
-		if err := legalize.FenceAware(d, stack, seedY, r.Cfg.FencePasses); err != nil {
+		if err := legalize.FenceAware(ctx, d, stack, seedY, r.Cfg.FencePasses); err != nil {
 			return nil, err
 		}
 	} else {
@@ -288,7 +356,7 @@ func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
 				d.Insts[i].Pos.Y = y
 			}
 		}
-		if err := legalize.RowConstraintAssigned(d, stack, cellPair); err != nil {
+		if err := legalize.RowConstraintAssigned(ctx, d, stack, cellPair); err != nil {
 			return nil, err
 		}
 	}
@@ -302,7 +370,7 @@ func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
 
 	res := &Result{Design: d, Stack: stack, Metrics: met}
 	if withRoute {
-		if err := r.routeAndSign(res); err != nil {
+		if err := r.routeAndSign(ctx, res); err != nil {
 			return nil, err
 		}
 	}
@@ -310,7 +378,12 @@ func (r *Runner) runConstraint(id ID, withRoute bool) (*Result, error) {
 }
 
 // routeAndSign routes the result and fills post-route WL, power and timing.
-func (r *Runner) routeAndSign(res *Result) error {
+// The route/STA/power substrates are fast relative to the solve stages, so
+// cancellation is only checked between them.
+func (r *Runner) routeAndSign(ctx context.Context, res *Result) error {
+	if err := errs.FromContext(ctx); err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
 	rt, err := route.Route(res.Design, r.Cfg.Route)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/legalize"
@@ -18,7 +19,7 @@ func testConfig(scale float64) Config {
 
 func newRunner(t *testing.T, scale float64) *Runner {
 	t.Helper()
-	r, err := NewRunner(synth.TableII()[0], testConfig(scale))
+	r, err := NewRunner(context.Background(), synth.TableII()[0], testConfig(scale))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunnerPreparation(t *testing.T) {
 
 func TestAllFlowsPostPlacement(t *testing.T) {
 	r := newRunner(t, 0.02)
-	results, err := r.RunAll(false)
+	results, err := r.RunAll(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestAllFlowsPostPlacement(t *testing.T) {
 
 func TestFlowQualityOrdering(t *testing.T) {
 	r := newRunner(t, 0.03)
-	results, err := r.RunAll(false)
+	results, err := r.RunAll(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFlowQualityOrdering(t *testing.T) {
 func TestFlowsWithRouting(t *testing.T) {
 	r := newRunner(t, 0.02)
 	for _, id := range []ID{Flow1, Flow2, Flow5} {
-		res, err := r.Run(id, true)
+		res, err := r.Run(context.Background(), id, true)
 		if err != nil {
 			t.Fatalf("%v: %v", id, err)
 		}
@@ -137,11 +138,11 @@ func TestFlowsWithRouting(t *testing.T) {
 func TestFlowDeterminism(t *testing.T) {
 	a := newRunner(t, 0.015)
 	b := newRunner(t, 0.015)
-	ra, err := a.Run(Flow5, false)
+	ra, err := a.Run(context.Background(), Flow5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Run(Flow5, false)
+	rb, err := b.Run(context.Background(), Flow5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,14 +153,14 @@ func TestFlowDeterminism(t *testing.T) {
 
 func TestUnknownFlow(t *testing.T) {
 	r := newRunner(t, 0.01)
-	if _, err := r.Run(ID(9), false); err == nil {
+	if _, err := r.Run(context.Background(), ID(9), false); err == nil {
 		t.Error("unknown flow must error")
 	}
 }
 
 func TestILPFlowsReportSolverStats(t *testing.T) {
 	r := newRunner(t, 0.02)
-	res, err := r.Run(Flow4, false)
+	res, err := r.Run(context.Background(), Flow4, false)
 	if err != nil {
 		t.Fatal(err)
 	}

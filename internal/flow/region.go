@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,7 +19,8 @@ const FlowRegion ID = 7
 // breaker overhead between them, then fence-aware legalization restricted
 // accordingly. The paper's motivation — row-based beats region-based — can
 // be checked by comparing this against Flow (5).
-func (r *Runner) RunRegion(withRoute bool) (*Result, error) {
+func (r *Runner) RunRegion(ctx context.Context, withRoute bool) (*Result, error) {
+	ctx = r.withPool(ctx)
 	d := r.Base.Clone()
 	met := Metrics{Flow: FlowRegion, NumMinority: len(d.MinorityInstances())}
 	start := time.Now()
@@ -35,7 +37,7 @@ func (r *Runner) RunRegion(withRoute bool) (*Result, error) {
 		return nil, err
 	}
 	legalStart := time.Now()
-	if err := legalize.FenceAwareExcluding(d, part.Stack, part.SeedY, r.Cfg.FencePasses, part.BreakerSet()); err != nil {
+	if err := legalize.FenceAwareExcluding(ctx, d, part.Stack, part.SeedY, r.Cfg.FencePasses, part.BreakerSet()); err != nil {
 		return nil, fmt.Errorf("region legalization: %w", err)
 	}
 	met.LegalTime = time.Since(legalStart)
@@ -48,7 +50,7 @@ func (r *Runner) RunRegion(withRoute bool) (*Result, error) {
 
 	res := &Result{Design: d, Stack: part.Stack, Metrics: met}
 	if withRoute {
-		if err := r.routeAndSign(res); err != nil {
+		if err := r.routeAndSign(ctx, res); err != nil {
 			return nil, err
 		}
 	}

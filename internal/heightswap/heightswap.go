@@ -12,10 +12,12 @@
 package heightswap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mthplace/internal/celllib"
+	"mthplace/internal/errs"
 	"mthplace/internal/legalize"
 	"mthplace/internal/netlist"
 	"mthplace/internal/rowgrid"
@@ -52,8 +54,10 @@ type Report struct {
 
 // Optimize runs the height-swap pass in place. The design must be in true
 // mixed-height form on the given stack (legalized); it is re-legalized
-// after accepted swaps and stays legal on return.
-func Optimize(d *netlist.Design, ms *rowgrid.MixedStack, opt Options) (*Report, error) {
+// after accepted swaps and stays legal on return. Cancellation is checked
+// between propose/verify rounds, so an aborted run still leaves a legal
+// placement.
+func Optimize(ctx context.Context, d *netlist.Design, ms *rowgrid.MixedStack, opt Options) (*Report, error) {
 	if opt.Rounds <= 0 {
 		opt.Rounds = 2
 	}
@@ -65,6 +69,9 @@ func Optimize(d *netlist.Design, ms *rowgrid.MixedStack, opt Options) (*Report, 
 	rep.WNSAfter, rep.TNSAfter = base.WNSps, base.TNSps
 
 	for round := 0; round < opt.Rounds; round++ {
+		if err := errs.FromContext(ctx); err != nil {
+			return nil, fmt.Errorf("heightswap: %w", err)
+		}
 		cur, err := sta.Analyze(d, withDetails(opt.STA))
 		if err != nil {
 			return nil, err
@@ -88,7 +95,7 @@ func Optimize(d *netlist.Design, ms *rowgrid.MixedStack, opt Options) (*Report, 
 			leakDelta += applySwap(d, ups[k], tech.Tall7p5T)
 			leakDelta += applySwap(d, downs[k], tech.Short6T)
 		}
-		if err := legalize.RowConstraint(d, ms); err != nil {
+		if err := legalize.RowConstraint(ctx, d, ms); err != nil {
 			return nil, fmt.Errorf("heightswap: re-legalization: %w", err)
 		}
 		after, err := sta.Analyze(d, withDetails(opt.STA))

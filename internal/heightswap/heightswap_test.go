@@ -1,6 +1,7 @@
 package heightswap
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/flow"
@@ -17,11 +18,11 @@ func legalizedDesign(t *testing.T) *flow.Result {
 	cfg.Synth.Scale = 0.02
 	cfg.Placer.OuterIters = 4
 	cfg.Placer.SolveSweeps = 6
-	r, err := flow.NewRunner(synth.TableII()[0], cfg) // aes_300: tight clock, violations
+	r, err := flow.NewRunner(context.Background(), synth.TableII()[0], cfg) // aes_300: tight clock, violations
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Run(flow.Flow5, false)
+	res, err := r.Run(context.Background(), flow.Flow5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func legalizedDesign(t *testing.T) *flow.Result {
 
 func TestOptimizeKeepsLegality(t *testing.T) {
 	res := legalizedDesign(t)
-	rep, err := Optimize(res.Design, res.Stack, Options{Rounds: 2})
+	rep, err := Optimize(context.Background(), res.Design, res.Stack, Options{Rounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestOptimizeKeepsLegality(t *testing.T) {
 
 func TestOptimizeNeverDegradesWNS(t *testing.T) {
 	res := legalizedDesign(t)
-	rep, err := Optimize(res.Design, res.Stack, Options{Rounds: 3})
+	rep, err := Optimize(context.Background(), res.Design, res.Stack, Options{Rounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestOptimizeSwapsChangeHeights(t *testing.T) {
 	for i, in := range res.Design.Insts {
 		before[int32(i)] = in.TrueHeight()
 	}
-	rep, err := Optimize(res.Design, res.Stack, Options{Rounds: 2, MaxSwaps: 8})
+	rep, err := Optimize(context.Background(), res.Design, res.Stack, Options{Rounds: 2, MaxSwaps: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestOptimizeSwapsChangeHeights(t *testing.T) {
 
 func TestOptimizeZeroRoundsDefaulted(t *testing.T) {
 	res := legalizedDesign(t)
-	if _, err := Optimize(res.Design, res.Stack, Options{Rounds: -1}); err != nil {
+	if _, err := Optimize(context.Background(), res.Design, res.Stack, Options{Rounds: -1}); err != nil {
 		t.Fatal(err)
 	}
 }

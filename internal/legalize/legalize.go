@@ -1,9 +1,11 @@
 package legalize
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"mthplace/internal/errs"
 	"mthplace/internal/geom"
 	"mthplace/internal/netlist"
 	"mthplace/internal/rowgrid"
@@ -37,9 +39,12 @@ func Uniform(d *netlist.Design, g rowgrid.PairGrid) error {
 // every cell's candidate rows are restricted to single rows of its own
 // track-height (any island), minimising displacement from the incoming
 // placement. The design must be in true mixed-height form (after
-// lefdef.Revert).
-func RowConstraint(d *netlist.Design, ms *rowgrid.MixedStack) error {
+// lefdef.Revert). Cancellation is checked between the per-class passes.
+func RowConstraint(ctx context.Context, d *netlist.Design, ms *rowgrid.MixedStack) error {
 	for _, h := range []tech.TrackHeight{tech.Short6T, tech.Tall7p5T} {
+		if err := errs.FromContext(ctx); err != nil {
+			return fmt.Errorf("legalize: row-constraint: %w", err)
+		}
 		if err := classAbacus(d, ms, h, nil); err != nil {
 			return fmt.Errorf("legalize: row-constraint %s: %w", h, err)
 		}
@@ -54,8 +59,10 @@ func RowConstraint(d *netlist.Design, ms *rowgrid.MixedStack) error {
 // capacity-violating assignment (the k-means baseline is capacity-naive)
 // therefore pays with long spill displacement — exactly the failure mode
 // the paper's capacity-aware ILP avoids under this same legalizer. Majority
-// cells legalize freely over the majority rows.
-func RowConstraintAssigned(d *netlist.Design, ms *rowgrid.MixedStack, cellPair map[int32]int) error {
+// cells legalize freely over the majority rows. Cancellation is checked
+// between pair packings, so a canceled ctx returns errs.ErrCanceled
+// within one per-pair Abacus run.
+func RowConstraintAssigned(ctx context.Context, d *netlist.Design, ms *rowgrid.MixedStack, cellPair map[int32]int) error {
 	// Partition minority cells by assigned pair.
 	byPair := map[int][]int32{}
 	var unassigned []int32
@@ -75,6 +82,9 @@ func RowConstraintAssigned(d *netlist.Design, ms *rowgrid.MixedStack, cellPair m
 	var spill []int32
 	pairs := sortedPairKeys(byPair)
 	for _, p := range pairs {
+		if err := errs.FromContext(ctx); err != nil {
+			return fmt.Errorf("legalize: assigned: %w", err)
+		}
 		ids := byPair[p]
 		// Keep the cells nearest the die x-center while they fit; the rest
 		// are pushed out of the pair ([10]'s overflow behaviour).
@@ -176,14 +186,15 @@ func sortedPairKeys(m map[int][]int32) []int {
 // group is re-placed for wirelength, not for displacement from the initial
 // placement ("we can freely assign all minority cells into the union of
 // fence-regions", §III-D).
-func FenceAware(d *netlist.Design, ms *rowgrid.MixedStack, seedY map[int32]int64, passes int) error {
-	return FenceAwareExcluding(d, ms, seedY, passes, nil)
+func FenceAware(ctx context.Context, d *netlist.Design, ms *rowgrid.MixedStack, seedY map[int32]int64, passes int) error {
+	return FenceAwareExcluding(ctx, d, ms, seedY, passes, nil)
 }
 
 // FenceAwareExcluding is FenceAware with a set of row pairs excluded from
 // placement — used by the region-based comparator to keep breaker pairs
-// empty.
-func FenceAwareExcluding(d *netlist.Design, ms *rowgrid.MixedStack, seedY map[int32]int64, passes int, excluded map[int]bool) error {
+// empty. Cancellation is checked between median-improvement passes and
+// between the final per-class Abacus packings.
+func FenceAwareExcluding(ctx context.Context, d *netlist.Design, ms *rowgrid.MixedStack, seedY map[int32]int64, passes int, excluded map[int]bool) error {
 	if passes <= 0 {
 		passes = 3
 	}
@@ -200,10 +211,13 @@ func FenceAwareExcluding(d *netlist.Design, ms *rowgrid.MixedStack, seedY map[in
 			in.Pos.Y = ms.Y[p]
 		}
 	}
-	medianImprove(d, ms, passes, seedY, func(in *netlist.Instance) bool {
+	medianImprove(ctx, d, ms, passes, seedY, func(in *netlist.Instance) bool {
 		return in.TrueHeight() == tech.Tall7p5T
 	})
 	for _, h := range []tech.TrackHeight{tech.Short6T, tech.Tall7p5T} {
+		if err := errs.FromContext(ctx); err != nil {
+			return fmt.Errorf("legalize: fence-aware: %w", err)
+		}
 		if err := classAbacusExcluding(d, ms, h, nil, excluded); err != nil {
 			return fmt.Errorf("legalize: fence-aware %s: %w", h, err)
 		}
@@ -264,8 +278,14 @@ func apply(d *netlist.Design, res Result) {
 // capacity-balanced island choice is preserved; only x and the choice of
 // the pair's two single rows are optimised); other cells snap to the
 // nearest row of their track-height class. The clock net is ignored.
-func medianImprove(d *netlist.Design, ms *rowgrid.MixedStack, passes int, lockY map[int32]int64, want func(*netlist.Instance) bool) {
+// Cancellation stops the sweep at the next pass boundary; an aborted
+// improvement pass leaves the design consistent (the caller still errors
+// out before using it).
+func medianImprove(ctx context.Context, d *netlist.Design, ms *rowgrid.MixedStack, passes int, lockY map[int32]int64, want func(*netlist.Instance) bool) {
 	for pass := 0; pass < passes; pass++ {
+		if ctx.Err() != nil {
+			return
+		}
 		for i, in := range d.Insts {
 			if in.Fixed || !want(in) {
 				continue

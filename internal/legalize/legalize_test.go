@@ -1,6 +1,7 @@
 package legalize
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -193,7 +194,7 @@ func mixedDesign(t *testing.T) (*netlist.Design, rowgrid.PairGrid, *rowgrid.Mixe
 
 func TestRowConstraintLegalization(t *testing.T) {
 	d, _, ms := mixedDesign(t)
-	if err := RowConstraint(d, ms); err != nil {
+	if err := RowConstraint(context.Background(), d, ms); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyMixed(d, ms); err != nil {
@@ -209,7 +210,7 @@ func TestFenceAwareLegalization(t *testing.T) {
 	for _, i := range d.MinorityInstances() {
 		seed[i] = ms.Y[tall[int(i)%len(tall)]]
 	}
-	if err := FenceAware(d, ms, seed, 2); err != nil {
+	if err := FenceAware(context.Background(), d, ms, seed, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyMixed(d, ms); err != nil {
@@ -220,7 +221,7 @@ func TestFenceAwareLegalization(t *testing.T) {
 func TestFenceAwareImprovesHPWLOverSeed(t *testing.T) {
 	d, _, ms := mixedDesign(t)
 	before := d.TotalHPWL()
-	if err := FenceAware(d, ms, nil, 3); err != nil {
+	if err := FenceAware(context.Background(), d, ms, nil, 3); err != nil {
 		t.Fatal(err)
 	}
 	after := d.TotalHPWL()
@@ -234,7 +235,7 @@ func TestFenceAwareImprovesHPWLOverSeed(t *testing.T) {
 
 func TestVerifyCatchesViolations(t *testing.T) {
 	d, g, ms := mixedDesign(t)
-	if err := RowConstraint(d, ms); err != nil {
+	if err := RowConstraint(context.Background(), d, ms); err != nil {
 		t.Fatal(err)
 	}
 	// Off-grid x.

@@ -12,6 +12,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -141,8 +142,12 @@ func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() any     { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
 
 // Solve runs branch and bound. warmX, if non-nil, must be an
-// integer-feasible solution used as the initial incumbent.
-func Solve(p *Problem, warmX []float64, opt Options) *Result {
+// integer-feasible solution used as the initial incumbent. Cancellation is
+// checked once per node, so a canceled context stops the search within one
+// LP relaxation solve; the result then reports the search as limit-hit
+// (Feasible with an incumbent, Limit without) and the caller is expected
+// to consult ctx.Err for the cause.
+func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Result {
 	opt = opt.withDefaults()
 	res := &Result{Status: Limit, Bound: math.Inf(-1), Obj: math.Inf(1)}
 	deadline := time.Time{}
@@ -176,6 +181,9 @@ func Solve(p *Problem, warmX []float64, opt Options) *Result {
 
 	for h.Len() > 0 {
 		if res.Nodes >= opt.MaxNodes {
+			break
+		}
+		if ctx.Err() != nil {
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {

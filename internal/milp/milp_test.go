@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func TestKnapsackExact(t *testing.T) {
 	weights := []float64{3, 4, 2, 3, 1, 2}
 	capacity := 7.0
 	p := knapsackProblem(values, weights, capacity)
-	r := Solve(p, nil, Options{})
+	r := Solve(context.Background(), p, nil, Options{})
 	if r.Status != Optimal {
 		t.Fatalf("status = %v", r.Status)
 	}
@@ -72,7 +73,7 @@ func TestInfeasibleMILP(t *testing.T) {
 	c := p.AddConstraint(EQish(), 3) // x + y = 3 impossible for binaries
 	p.AddTerm(c, x, 1)
 	p.AddTerm(c, y, 1)
-	r := Solve(&Problem{LP: p, Binary: []int{x, y}}, nil, Options{})
+	r := Solve(context.Background(), &Problem{LP: p, Binary: []int{x, y}}, nil, Options{})
 	if r.Status != Infeasible {
 		t.Fatalf("status = %v, want infeasible", r.Status)
 	}
@@ -89,7 +90,7 @@ func TestFractionalLPIntegerGap(t *testing.T) {
 	c := p.AddConstraint(lp.LE, 3)
 	p.AddTerm(c, x, 2)
 	p.AddTerm(c, y, 2)
-	r := Solve(&Problem{LP: p, Binary: []int{x, y}}, nil, Options{})
+	r := Solve(context.Background(), &Problem{LP: p, Binary: []int{x, y}}, nil, Options{})
 	if r.Status != Optimal || !approx(r.Obj, -1) {
 		t.Fatalf("r = %+v", r)
 	}
@@ -101,7 +102,7 @@ func TestWarmStartAcceptedAndImproved(t *testing.T) {
 	p := knapsackProblem(values, weights, 3)
 	// Warm start: take only item 2 (value 3).
 	warm := []float64{0, 0, 1}
-	r := Solve(p, warm, Options{})
+	r := Solve(context.Background(), p, warm, Options{})
 	if r.Status != Optimal {
 		t.Fatalf("status = %v", r.Status)
 	}
@@ -114,7 +115,7 @@ func TestWarmStartAcceptedAndImproved(t *testing.T) {
 func TestWarmStartInfeasibleIgnored(t *testing.T) {
 	p := knapsackProblem([]float64{1}, []float64{2}, 1)
 	warm := []float64{1} // violates the knapsack
-	r := Solve(p, warm, Options{})
+	r := Solve(context.Background(), p, warm, Options{})
 	if r.Status != Optimal || !approx(r.Obj, 0) {
 		t.Fatalf("r = %+v", r)
 	}
@@ -130,7 +131,7 @@ func TestNodeLimit(t *testing.T) {
 		weights[i] = 1 + rng.Float64()
 	}
 	p := knapsackProblem(values, weights, 5)
-	r := Solve(p, nil, Options{MaxNodes: 1})
+	r := Solve(context.Background(), p, nil, Options{MaxNodes: 1})
 	if r.Status != Feasible && r.Status != Optimal && r.Status != Limit {
 		t.Fatalf("status = %v", r.Status)
 	}
@@ -142,14 +143,14 @@ func TestNodeLimit(t *testing.T) {
 func TestBoundsRestoredAfterSolve(t *testing.T) {
 	p := knapsackProblem([]float64{3, 2}, []float64{2, 2}, 2)
 	lo0, hi0 := p.LP.Bounds(p.Binary[0])
-	Solve(p, nil, Options{})
+	Solve(context.Background(), p, nil, Options{})
 	lo1, hi1 := p.LP.Bounds(p.Binary[0])
 	if lo0 != lo1 || hi0 != hi1 {
 		t.Error("solver leaked bound changes")
 	}
 	// Solving twice gives identical results (determinism + clean state).
-	a := Solve(p, nil, Options{})
-	b := Solve(p, nil, Options{})
+	a := Solve(context.Background(), p, nil, Options{})
+	b := Solve(context.Background(), p, nil, Options{})
 	if a.Obj != b.Obj || a.Status != b.Status {
 		t.Error("repeat solve differs")
 	}
@@ -196,7 +197,7 @@ func TestAssignmentWithCardinality(t *testing.T) {
 	for r := 0; r < 4; r++ {
 		p.AddTerm(card, y[r], 1)
 	}
-	res := Solve(&Problem{LP: p, Binary: bins}, nil, Options{})
+	res := Solve(context.Background(), &Problem{LP: p, Binary: bins}, nil, Options{})
 	if res.Status != Optimal {
 		t.Fatalf("status = %v", res.Status)
 	}
@@ -253,7 +254,7 @@ func TestKnapsackProperty(t *testing.T) {
 		}
 		capacity := math.Round(rng.Float64() * float64(n) * 3)
 		p := knapsackProblem(values, weights, capacity)
-		r := Solve(p, nil, Options{})
+		r := Solve(context.Background(), p, nil, Options{})
 		if r.Status != Optimal {
 			return false
 		}
@@ -269,13 +270,13 @@ func TestPriorityBranching(t *testing.T) {
 	values := []float64{10, 13, 7, 8}
 	weights := []float64{3, 4, 2, 3}
 	p := knapsackProblem(values, weights, 6)
-	base := Solve(p, nil, Options{})
+	base := Solve(context.Background(), p, nil, Options{})
 	pri := make([]float64, p.LP.NumVars())
 	for i := range pri {
 		pri[i] = float64(i)
 	}
 	p.Priority = pri
-	withPri := Solve(p, nil, Options{})
+	withPri := Solve(context.Background(), p, nil, Options{})
 	if !approx(base.Obj, withPri.Obj) {
 		t.Errorf("priority branching changed the optimum: %f vs %f", base.Obj, withPri.Obj)
 	}
@@ -283,7 +284,7 @@ func TestPriorityBranching(t *testing.T) {
 
 func TestGapAndStatusString(t *testing.T) {
 	p := knapsackProblem([]float64{2}, []float64{1}, 1)
-	r := Solve(p, nil, Options{})
+	r := Solve(context.Background(), p, nil, Options{})
 	if g := r.Gap(); g > 1e-6 {
 		t.Errorf("gap = %f at optimality", g)
 	}

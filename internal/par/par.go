@@ -1,76 +1,132 @@
-// Package par is the shared parallel execution layer: a bounded worker pool
+// Package par is the shared parallel execution layer: bounded worker pools
 // plus parallel-for / ordered-map primitives used by the RAP cost-model
-// build, the k-means clustering and the experiment matrix.
+// build, the k-means clustering, the experiment matrix and the placement
+// job server.
 //
 // Design rules (see DESIGN.md §7):
 //
-//   - The pool is bounded globally. Jobs() workers exist in total, across
-//     nested calls: a caller always executes iterations itself and recruits
-//     at most Jobs()−1 extra goroutines from a process-wide budget, so
+//   - Each Pool is bounded. Jobs() workers exist in total across nested
+//     calls on that pool: a caller always executes iterations itself and
+//     recruits at most Jobs()−1 extra goroutines from the pool's budget, so
 //     nesting (experiment matrix → BuildModel → …) never oversubscribes the
-//     machine and never deadlocks.
+//     machine and never deadlocks. Distinct pools have distinct budgets —
+//     a server running concurrent placement jobs gives each job its own
+//     pool so one job's Jobs setting cannot stomp another's.
 //   - Results are deterministic. Iterations write only their own slot
 //     (For/Map), and floating-point reductions go through ForChunks, whose
 //     chunk boundaries depend only on the problem size — never on the worker
 //     count — so partial sums merge in a fixed order and jobs=1 and jobs=N
 //     produce bit-identical results.
 //   - The worker count defaults to runtime.GOMAXPROCS, can be pinned with
-//     the MTHPLACE_JOBS environment variable or SetJobs (the -jobs flag),
-//     and collapses to 1 under the `parseq` build tag so ablations can force
-//     a fully sequential binary.
+//     the MTHPLACE_JOBS environment variable, per pool with NewPool (the
+//     -jobs flag), or process-wide with SetJobs (deprecated), and collapses
+//     to 1 under the `parseq` build tag so ablations can force a fully
+//     sequential binary.
+//
+// Pools travel with the work they bound: WithPool attaches a pool to a
+// context and FromContext recovers it (falling back to the process-wide
+// Default), so deeply nested stages pick up their runner's pool without
+// threading an extra parameter through every signature.
 package par
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 )
 
-var jobs atomic.Int64
+// Pool is a bounded worker budget. The zero value is not usable; construct
+// with NewPool. All methods are safe for concurrent use.
+type Pool struct {
+	jobs atomic.Int64
+	// extraInUse counts extra worker goroutines currently running across
+	// all concurrent For/Map calls on this pool. The budget is Jobs()−1:
+	// callers always work themselves, so nested calls degrade gracefully
+	// to sequential execution instead of deadlocking or oversubscribing.
+	extraInUse atomic.Int64
+}
 
-func init() {
-	n := defaultJobs()
+// Default is the process-wide pool used by the package-level helpers and by
+// work that carries no pool in its context. Its bound comes from
+// GOMAXPROCS, the MTHPLACE_JOBS environment variable, or SetJobs.
+var Default = NewPool(0)
+
+// NewPool returns a pool bounded to n workers (1 = fully sequential).
+// n <= 0 uses the default bound (GOMAXPROCS, or the MTHPLACE_JOBS
+// environment override, or 1 under the parseq build tag).
+func NewPool(n int) *Pool {
+	p := &Pool{}
+	p.jobs.Store(int64(resolveJobs(n)))
+	return p
+}
+
+// resolveJobs maps a requested bound to an effective one.
+func resolveJobs(n int) int {
+	if n > 0 {
+		return n
+	}
+	n = defaultJobs()
 	if s := os.Getenv("MTHPLACE_JOBS"); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			n = v
 		}
 	}
-	jobs.Store(int64(n))
+	return n
 }
 
-// Jobs returns the current worker-pool bound.
-func Jobs() int { return int(jobs.Load()) }
+// Jobs returns the pool's current worker bound.
+func (p *Pool) Jobs() int { return int(p.jobs.Load()) }
 
-// SetJobs bounds the pool to n workers (1 = fully sequential). n <= 0
-// resets to the default (GOMAXPROCS, or the MTHPLACE_JOBS override). It
+// SetJobs bounds the pool to n workers (n <= 0 resets to the default) and
 // returns the previous bound so callers can restore it.
-func SetJobs(n int) int {
-	if n <= 0 {
-		n = defaultJobs()
-		if s := os.Getenv("MTHPLACE_JOBS"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				n = v
-			}
+func (p *Pool) SetJobs(n int) int {
+	return int(p.jobs.Swap(int64(resolveJobs(n))))
+}
+
+// Jobs returns the Default pool's worker bound.
+func Jobs() int { return Default.Jobs() }
+
+// SetJobs bounds the Default pool to n workers (1 = fully sequential).
+// n <= 0 resets to the default (GOMAXPROCS, or the MTHPLACE_JOBS override).
+// It returns the previous bound so callers can restore it.
+//
+// Deprecated: SetJobs mutates process-global state, so concurrent runs
+// with different bounds stomp each other. Construct a scoped pool with
+// NewPool and attach it to the work's context with WithPool instead.
+func SetJobs(n int) int { return Default.SetJobs(n) }
+
+// poolKey carries a *Pool in a context.
+type poolKey struct{}
+
+// WithPool returns a context carrying p; stages below recover it with
+// FromContext. A nil p returns ctx unchanged.
+func WithPool(ctx context.Context, p *Pool) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, poolKey{}, p)
+}
+
+// FromContext returns the pool carried by ctx, or Default if none is.
+func FromContext(ctx context.Context) *Pool {
+	if ctx != nil {
+		if p, ok := ctx.Value(poolKey{}).(*Pool); ok {
+			return p
 		}
 	}
-	return int(jobs.Swap(int64(n)))
+	return Default
 }
 
-// extraInUse counts extra worker goroutines currently running across all
-// concurrent For/Map calls. The budget is Jobs()−1: callers always work
-// themselves, so nested calls degrade gracefully to sequential execution
-// instead of deadlocking or oversubscribing.
-var extraInUse atomic.Int64
-
-// acquireExtra grants up to want extra workers from the global budget.
-func acquireExtra(want int) int {
+// acquireExtra grants up to want extra workers from the pool's budget.
+func (p *Pool) acquireExtra(want int) int {
 	if want <= 0 {
 		return 0
 	}
 	for {
-		cur := extraInUse.Load()
-		free := int64(Jobs()) - 1 - cur
+		cur := p.extraInUse.Load()
+		free := int64(p.Jobs()) - 1 - cur
 		if free <= 0 {
 			return 0
 		}
@@ -78,15 +134,15 @@ func acquireExtra(want int) int {
 		if grant > free {
 			grant = free
 		}
-		if extraInUse.CompareAndSwap(cur, cur+grant) {
+		if p.extraInUse.CompareAndSwap(cur, cur+grant) {
 			return int(grant)
 		}
 	}
 }
 
-func releaseExtra(n int) {
+func (p *Pool) releaseExtra(n int) {
 	if n > 0 {
-		extraInUse.Add(int64(-n))
+		p.extraInUse.Add(int64(-n))
 	}
 }
 
@@ -94,10 +150,10 @@ func releaseExtra(n int) {
 // caller plus up to extra recruited workers. Worker panics are captured and
 // re-raised on the calling goroutine. stop aborts the claiming of further
 // iterations (used by ForErr).
-func run(n int, stop *atomic.Bool, body func(i int)) {
+func (p *Pool) run(n int, stop *atomic.Bool, body func(i int)) {
 	extra := 0
 	if n > 1 {
-		extra = acquireExtra(n - 1)
+		extra = p.acquireExtra(n - 1)
 	}
 	if extra == 0 {
 		// Sequential fast path on the calling goroutine; panics propagate
@@ -147,12 +203,12 @@ func run(n int, stop *atomic.Bool, body func(i int)) {
 	}
 	work()
 	wg.Wait()
-	releaseExtra(extra)
+	p.releaseExtra(extra)
 	panicMu.Lock()
-	p := panicked
+	pk := panicked
 	panicMu.Unlock()
-	if p != nil {
-		panic(p)
+	if pk != nil {
+		panic(pk)
 	}
 }
 
@@ -160,17 +216,17 @@ func run(n int, stop *atomic.Bool, body func(i int)) {
 // them. Iterations must be independent and may only write state owned by
 // their own index; under that contract the result is identical for any
 // worker count.
-func For(n int, fn func(i int)) {
+func (p *Pool) For(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	run(n, nil, fn)
+	p.run(n, nil, fn)
 }
 
 // ForErr is For with error propagation: once any iteration fails, no new
 // iterations start, and the error with the lowest index among the observed
 // failures is returned. A nil return guarantees every iteration ran.
-func ForErr(n int, fn func(i int) error) error {
+func (p *Pool) ForErr(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -178,7 +234,7 @@ func ForErr(n int, fn func(i int) error) error {
 	var mu sync.Mutex
 	errIdx := n
 	var firstErr error
-	run(n, &stop, func(i int) {
+	p.run(n, &stop, func(i int) {
 		if err := fn(i); err != nil {
 			mu.Lock()
 			if i < errIdx {
@@ -191,12 +247,44 @@ func ForErr(n int, fn func(i int) error) error {
 	return firstErr
 }
 
-// Map runs fn over [0, n) on the pool and collects the results in index
+// ForChunks partitions [0, n) into the canonical chunks and runs
+// fn(ci, lo, hi) for each chunk ci covering [lo, hi). Reduction users
+// accumulate into per-chunk scratch inside fn and merge the chunks serially
+// in index order afterwards; that merge order is what makes float
+// reductions deterministic across worker counts.
+func (p *Pool) ForChunks(n int, fn func(ci, lo, hi int)) {
+	nch := NumChunks(n)
+	if nch == 0 {
+		return
+	}
+	p.For(nch, func(ci int) {
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		fn(ci, lo, hi)
+	})
+}
+
+// For runs fn over [0, n) on the Default pool; see (*Pool).For.
+func For(n int, fn func(i int)) { Default.For(n, fn) }
+
+// ForErr runs fn over [0, n) on the Default pool; see (*Pool).ForErr.
+func ForErr(n int, fn func(i int) error) error { return Default.ForErr(n, fn) }
+
+// ForChunks runs fn over the canonical chunks of [0, n) on the Default
+// pool; see (*Pool).ForChunks.
+func ForChunks(n int, fn func(ci, lo, hi int)) { Default.ForChunks(n, fn) }
+
+// MapOn runs fn over [0, n) on pool p and collects the results in index
 // order, regardless of completion order. On error the partial results are
-// discarded and the lowest-indexed observed error is returned.
-func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+// discarded and the lowest-indexed observed error is returned. (A
+// package-level generic function rather than a method: Go methods cannot
+// introduce type parameters.)
+func MapOn[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForErr(n, func(i int) error {
+	err := p.ForErr(n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -208,6 +296,11 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Map runs fn over [0, n) on the Default pool; see MapOn.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapOn[T](Default, n, fn)
 }
 
 // chunkSize is the canonical reduction granule. It is a constant so that
@@ -223,24 +316,4 @@ func NumChunks(n int) int {
 		return 0
 	}
 	return (n + chunkSize - 1) / chunkSize
-}
-
-// ForChunks partitions [0, n) into the canonical chunks and runs
-// fn(ci, lo, hi) for each chunk ci covering [lo, hi). Reduction users
-// accumulate into per-chunk scratch inside fn and merge the chunks serially
-// in index order afterwards; that merge order is what makes float
-// reductions deterministic across worker counts.
-func ForChunks(n int, fn func(ci, lo, hi int)) {
-	nch := NumChunks(n)
-	if nch == 0 {
-		return
-	}
-	For(nch, func(ci int) {
-		lo := ci * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
-		}
-		fn(ci, lo, hi)
-	})
 }

