@@ -1,11 +1,15 @@
 // Command gentest generates the Table II testcases and writes them out as
-// LEF/DEF so they can be inspected or consumed by other tools.
+// LEF/DEF so they can be inspected or consumed by other tools. It also
+// regenerates the golden regression corpus.
 //
 //	gentest -out testcases -scale 0.1           # all 26 testcases
 //	gentest -only des3 -scale 1.0 -out tc       # just the des3 variants
+//	gentest -golden                             # refresh internal/golden/testdata/golden.json
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,66 +17,109 @@ import (
 	"strings"
 
 	"mthplace/internal/celllib"
+	"mthplace/internal/golden"
 	"mthplace/internal/lefdef"
+	"mthplace/internal/par"
 	"mthplace/internal/synth"
 	"mthplace/internal/tech"
 )
 
 func main() {
 	var (
-		out   = flag.String("out", "testcases", "output directory")
-		scale = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		only  = flag.String("only", "", "restrict to testcases whose name contains this substring")
+		out       = flag.String("out", "testcases", "output directory")
+		scale     = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		only      = flag.String("only", "", "restrict to testcases whose name contains this substring")
+		jobs      = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
+		doGolden  = flag.Bool("golden", false, "regenerate the golden regression corpus instead of writing LEF/DEF")
+		goldenOut = flag.String("golden-out", filepath.Join("internal", "golden", "testdata", "golden.json"), "corpus path written by -golden")
 	)
 	flag.Parse()
 
-	tc := tech.Default()
-	lib := celllib.New(tc)
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+	if *doGolden {
+		snap, err := golden.Compute(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.Save(*goldenOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d designs × 5 flows, scale %g, seed %d)\n",
+			*goldenOut, len(snap.Designs), snap.Scale, snap.Seed)
+		return
 	}
 
-	// One shared LEF for the library.
-	lefPath := filepath.Join(*out, "cells.lef")
-	lf, err := os.Create(lefPath)
+	files, err := generateAll(*out, *scale, *seed, *only, *jobs)
 	if err != nil {
 		fatal(err)
 	}
-	if err := lefdef.WriteLEF(lf, tc, lib.Masters()); err != nil {
-		fatal(err)
+	for _, f := range files {
+		fmt.Printf("wrote %s: %s\n", f.path, f.note)
 	}
-	if err := lf.Close(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %s (%d masters)\n", lefPath, len(lib.Masters()))
+}
 
-	opt := synth.DefaultOptions()
-	opt.Scale = *scale
-	opt.Seed = *seed
+// outFile is one file written by generateAll, with a human-readable note.
+type outFile struct {
+	path string
+	note string
+}
+
+// generateAll writes the shared cells.lef plus one DEF per matching Table II
+// spec into dir. Generation fans out over the specs on a pool bounded by
+// jobs; every spec's output depends only on (spec, scale, seed), so the
+// written bytes are identical at any jobs setting and across runs.
+func generateAll(dir string, scale float64, seed int64, only string, jobs int) ([]outFile, error) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	var lef bytes.Buffer
+	if err := lefdef.WriteLEF(&lef, tc, lib.Masters()); err != nil {
+		return nil, err
+	}
+	lefPath := filepath.Join(dir, "cells.lef")
+	if err := os.WriteFile(lefPath, lef.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	files := []outFile{{lefPath, fmt.Sprintf("%d masters", len(lib.Masters()))}}
+
+	var specs []synth.Spec
 	for _, spec := range synth.TableII() {
-		if *only != "" && !strings.Contains(spec.Name(), *only) {
-			continue
+		if only == "" || strings.Contains(spec.Name(), only) {
+			specs = append(specs, spec)
 		}
+	}
+	opt := synth.DefaultOptions()
+	opt.Scale = scale
+	opt.Seed = seed
+
+	results := make([]outFile, len(specs))
+	pool := par.NewPool(jobs)
+	err := pool.ForErr(len(specs), func(i int) error {
+		spec := specs[i]
 		d, err := synth.Generate(tc, lib, spec, opt)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("%s: %w", spec.Name(), err)
 		}
-		defPath := filepath.Join(*out, spec.Name()+".def")
-		f, err := os.Create(defPath)
-		if err != nil {
-			fatal(err)
+		var buf bytes.Buffer
+		if err := lefdef.WriteDEF(&buf, d); err != nil {
+			return fmt.Errorf("%s: %w", spec.Name(), err)
 		}
-		if err := lefdef.WriteDEF(f, d); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		defPath := filepath.Join(dir, spec.Name()+".def")
+		if err := os.WriteFile(defPath, buf.Bytes(), 0o644); err != nil {
+			return err
 		}
 		st := d.ComputeStats()
-		fmt.Printf("wrote %s: %d cells, %.2f%% 7.5T, %d nets\n",
-			defPath, st.Cells, st.MinorityPct, st.Nets)
+		results[i] = outFile{defPath, fmt.Sprintf("%d cells, %.2f%% 7.5T, %d nets",
+			st.Cells, st.MinorityPct, st.Nets)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return append(files, results...), nil
 }
 
 func fatal(err error) {

@@ -27,6 +27,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		jobs     = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		verify   = flag.Bool("verify", false, "audit the result with the independent invariant checkers (placement legality, fence containment, metrics recompute) and fail on any violation")
 		doRoute  = flag.Bool("route", false, "route the result and report WL/power/WNS/TNS")
 		defOut   = flag.String("def", "", "write the final placement to this DEF file")
 		lefOut   = flag.String("lef", "", "write the cell library to this LEF file")
@@ -54,6 +55,7 @@ func main() {
 	fcfg.Synth.Scale = *scale
 	fcfg.Synth.Seed = *seed
 	fcfg.Jobs = *jobs
+	fcfg.Verify = *verify
 	runner, err := mth.NewRunner(ctx, spec, fcfg)
 	if err != nil {
 		fatal(err)
@@ -85,6 +87,20 @@ func main() {
 		fmt.Printf("  total power:  %.3f mW\n", m.PowerMW)
 		fmt.Printf("  WNS:          %.3f ns\n", m.WNSps/1000)
 		fmt.Printf("  TNS:          %.3f ns\n", m.TNSps/1000)
+	}
+	if *verify {
+		// The run already failed hard on violations (Config.Verify); rerun
+		// the auditors here to render the verdict for the user.
+		rep := runner.VerifyResult(res)
+		if rep.Ok() {
+			fmt.Printf("  verify:       ok (placement, fences, metrics; %d cells audited)\n", len(res.Design.Insts))
+		} else {
+			fmt.Printf("  verify:       %d violation(s)\n", len(rep.Violations))
+			for _, v := range rep.Violations {
+				fmt.Printf("    %s\n", v)
+			}
+			os.Exit(1)
+		}
 	}
 
 	if *defOut != "" {

@@ -1,0 +1,273 @@
+package check_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mthplace/internal/check"
+	"mthplace/internal/flow"
+	"mthplace/internal/netlist"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+// prepared caches one tiny runner + Flow (5) result for all tests.
+type prepared struct {
+	runner *flow.Runner
+	res    *flow.Result
+}
+
+var prep *prepared
+
+func setup(t *testing.T) *prepared {
+	t.Helper()
+	if prep != nil {
+		return prep
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Synth.Scale = 0.02
+	r, err := flow.NewRunner(context.Background(), synth.TableII()[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background(), flow.Flow5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep = &prepared{runner: r, res: res}
+	return prep
+}
+
+// TestAllFlowsPass: every flow's output on a real testcase is audit-clean,
+// and the Verify config flag accepts them end to end.
+func TestAllFlowsPass(t *testing.T) {
+	cfg := flow.DefaultConfig()
+	cfg.Synth.Scale = 0.02
+	cfg.Verify = true // failures surface as Run errors
+	r, err := flow.NewRunner(context.Background(), synth.TableII()[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []flow.ID{flow.Flow1, flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5} {
+		res, err := r.Run(context.Background(), id, false)
+		if err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		if rep := r.VerifyResult(res); !rep.Ok() {
+			t.Errorf("%v: %d violations: %v", id, len(rep.Violations), rep.Err())
+		}
+	}
+}
+
+func hasInvariant(rep *check.Report, kind string) bool {
+	for _, v := range rep.Violations {
+		if v.Invariant == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// pickCells returns a movable minority instance and a second movable
+// instance of the same track-height class placed in a different position.
+func pickCells(t *testing.T, d *netlist.Design) (minority, peer int) {
+	t.Helper()
+	minority, peer = -1, -1
+	for i, in := range d.Insts {
+		if in.Fixed || in.TrueHeight() != tech.Tall7p5T {
+			continue
+		}
+		if minority < 0 {
+			minority = i
+			continue
+		}
+		if d.Insts[minority].Pos != in.Pos {
+			peer = i
+			break
+		}
+	}
+	if minority < 0 || peer < 0 {
+		t.Fatal("testcase has fewer than two movable minority cells")
+	}
+	return minority, peer
+}
+
+// TestPlacementRejectsCorruption corrupts one invariant at a time and
+// checks the auditor reports exactly that class.
+func TestPlacementRejectsCorruption(t *testing.T) {
+	p := setup(t)
+	ms := p.res.Stack
+
+	cases := []struct {
+		name      string
+		invariant string
+		corrupt   func(d *netlist.Design)
+	}{
+		{"off-site-grid", "site-grid", func(d *netlist.Design) {
+			m, _ := pickCells(t, d)
+			d.Insts[m].Pos.X++
+		}},
+		{"outside-row-span", "row-span", func(d *netlist.Design) {
+			m, _ := pickCells(t, d)
+			d.Insts[m].Pos.X = ms.X1 // footprint sticks out past the span
+		}},
+		{"off-row", "row-height", func(d *netlist.Design) {
+			m, _ := pickCells(t, d)
+			d.Insts[m].Pos.Y++
+		}},
+		{"wrong-height-row", "row-height", func(d *netlist.Design) {
+			// A minority cell dropped onto a majority pair's bottom row.
+			m, _ := pickCells(t, d)
+			maj := ms.PairsOf(tech.Short6T)
+			if len(maj) == 0 {
+				t.Skip("no majority pairs in stack")
+			}
+			lo, _ := ms.RowsOfPair(maj[0])
+			d.Insts[m].Pos.Y = lo
+		}},
+		{"overlap", "overlap", func(d *netlist.Design) {
+			m, peer := pickCells(t, d)
+			d.Insts[peer].Pos = d.Insts[m].Pos
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := p.res.Design.Clone()
+			tc.corrupt(d)
+			rep := check.Placement(d, ms)
+			if rep.Ok() {
+				t.Fatal("corrupted placement passed the audit")
+			}
+			if !hasInvariant(rep, tc.invariant) {
+				t.Errorf("expected a %q violation, got %v", tc.invariant, rep.Err())
+			}
+		})
+	}
+}
+
+// TestFencesRejectEscapee: a minority cell outside every island is flagged
+// by the fence auditor (independently of the row-height class check).
+func TestFencesRejectEscapee(t *testing.T) {
+	p := setup(t)
+	d := p.res.Design.Clone()
+	ms := p.res.Stack
+	m, _ := pickCells(t, d)
+	maj := ms.PairsOf(tech.Short6T)
+	if len(maj) == 0 {
+		t.Skip("no majority pairs in stack")
+	}
+	lo, _ := ms.RowsOfPair(maj[0])
+	d.Insts[m].Pos.Y = lo
+	if rep := check.Fences(d, ms); !hasInvariant(rep, "fence") {
+		t.Errorf("escaped minority cell not flagged: %v", rep.Err())
+	}
+	if rep := check.Fences(p.res.Design, ms); !rep.Ok() {
+		t.Errorf("clean placement flagged: %v", rep.Err())
+	}
+}
+
+// TestMetricsRejectDrift: claimed totals that disagree with the recompute
+// are flagged, and the true totals pass.
+func TestMetricsRejectDrift(t *testing.T) {
+	p := setup(t)
+	d := p.res.Design
+	met := p.res.Metrics
+	ref := p.runner.RefPos
+	if rep := check.Metrics(d, ref, met.Displacement, met.HPWL); !rep.Ok() {
+		t.Fatalf("true metrics flagged: %v", rep.Err())
+	}
+	if rep := check.Metrics(d, ref, met.Displacement, met.HPWL+1); !hasInvariant(rep, "metrics-hpwl") {
+		t.Error("HPWL drift of 1 DBU not flagged")
+	}
+	if rep := check.Metrics(d, ref, met.Displacement-1, met.HPWL); !hasInvariant(rep, "metrics-disp") {
+		t.Error("displacement drift of 1 DBU not flagged")
+	}
+	if rep := check.Metrics(d, ref[:len(ref)-1], met.Displacement, met.HPWL); !hasInvariant(rep, "metrics-disp") {
+		t.Error("short reference snapshot not flagged")
+	}
+}
+
+// TestNetlistRejectsBrokenBackref: referential-integrity damage surfaces
+// through the netlist auditor.
+func TestNetlistRejectsBrokenBackref(t *testing.T) {
+	p := setup(t)
+	d := p.res.Design.Clone()
+	if rep := check.Netlist(d); !rep.Ok() {
+		t.Fatalf("clean netlist flagged: %v", rep.Err())
+	}
+	// Point a pin at a net that has no matching back reference.
+	found := false
+	for _, in := range d.Insts {
+		for pi, nn := range in.PinNets {
+			if nn == netlist.NoNet {
+				continue
+			}
+			in.PinNets[pi] = (nn + 1) % int32(len(d.Nets))
+			found = true
+			break
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no connected pin to corrupt")
+	}
+	if rep := check.Netlist(d); !hasInvariant(rep, "netlist") {
+		t.Error("broken back reference not flagged")
+	}
+}
+
+// TestStackRejectsCorruption: an inconsistent restack is caught before any
+// per-cell audit.
+func TestStackRejectsCorruption(t *testing.T) {
+	p := setup(t)
+	ms := *p.res.Stack
+	ms.Y = append([]int64(nil), p.res.Stack.Y...)
+	ms.Y[1]++ // pair 0's span no longer matches its height
+	if rep := check.Stack(&ms); !hasInvariant(rep, "stack") {
+		t.Errorf("corrupted stack not flagged: %v", rep.Err())
+	}
+	if rep := check.Stack(p.res.Stack); !rep.Ok() {
+		t.Errorf("clean stack flagged: %v", rep.Err())
+	}
+}
+
+// TestUniformAudit: Flow (1) results audit cleanly on the uniform grid and
+// corruption is caught there too.
+func TestUniformAudit(t *testing.T) {
+	p := setup(t)
+	res1, err := p.runner.Run(context.Background(), flow.Flow1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g rowgrid.PairGrid = p.runner.Grid
+	if rep := check.PlacementUniform(res1.Design, g); !rep.Ok() {
+		t.Fatalf("Flow 1 output flagged: %v", rep.Err())
+	}
+	d := res1.Design.Clone()
+	d.Insts[0].Pos.Y++
+	if rep := check.PlacementUniform(d, g); !hasInvariant(rep, "row-height") {
+		t.Error("off-row cell not flagged on the uniform grid")
+	}
+}
+
+// TestReportErr: the error summary is bounded and descriptive.
+func TestReportErr(t *testing.T) {
+	rep := &check.Report{}
+	if rep.Err() != nil {
+		t.Error("empty report returned an error")
+	}
+	for i := 0; i < 8; i++ {
+		rep.Merge(&check.Report{Violations: []check.Violation{{Invariant: "overlap", Inst: i, Msg: "x"}}})
+	}
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("nil error for 8 violations")
+	}
+	if !strings.Contains(err.Error(), "8 violation(s)") || !strings.Contains(err.Error(), "3 more") {
+		t.Errorf("unexpected summary: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzKMeans2D decodes arbitrary bytes into a point set and checks the
+// clustering postconditions: every point assigned to a live centroid, sizes
+// consistent, finite SSE, and bit-identical results on a second run (the
+// deterministic-parallel contract).
+func FuzzKMeans2D(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 0, 1, 1, 0, 200, 200, 1, 201, 199, 3, 50, 50, 0})
+	f.Add([]byte{1, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := 1
+		if len(data) > 0 {
+			k = int(data[0])%8 + 1
+			data = data[1:]
+		}
+		var pts []Point2
+		for len(data) >= 4 && len(pts) < 256 {
+			x := binary.LittleEndian.Uint16(data[:2])
+			y := binary.LittleEndian.Uint16(data[2:4])
+			pts = append(pts, Point2{X: float64(x), Y: float64(y)})
+			data = data[4:]
+		}
+
+		ctx := context.Background()
+		res := KMeans2D(ctx, pts, k, 20)
+		if len(pts) == 0 {
+			if res.K() != 0 {
+				t.Fatalf("empty input produced %d centroids", res.K())
+			}
+			return
+		}
+		if res.K() < 1 || res.K() > k || res.K() > len(pts) {
+			t.Fatalf("k=%d n=%d produced %d centroids", k, len(pts), res.K())
+		}
+		if len(res.Assign) != len(pts) {
+			t.Fatalf("%d assignments for %d points", len(res.Assign), len(pts))
+		}
+		total := 0
+		for c, sz := range res.Sizes {
+			if sz < 0 {
+				t.Fatalf("cluster %d has negative size %d", c, sz)
+			}
+			total += sz
+		}
+		if total != len(pts) {
+			t.Fatalf("sizes sum to %d, want %d", total, len(pts))
+		}
+		counts := make([]int, res.K())
+		for i, a := range res.Assign {
+			if a < 0 || a >= res.K() {
+				t.Fatalf("point %d assigned to %d (k=%d)", i, a, res.K())
+			}
+			counts[a]++
+		}
+		for c := range counts {
+			if counts[c] != res.Sizes[c] {
+				t.Fatalf("cluster %d: Sizes says %d, assignment says %d", c, res.Sizes[c], counts[c])
+			}
+		}
+		if sse := SSE(pts, res); math.IsNaN(sse) || math.IsInf(sse, 0) || sse < 0 {
+			t.Fatalf("SSE = %v", sse)
+		}
+
+		again := KMeans2D(ctx, pts, k, 20)
+		if again.K() != res.K() || again.Iterations != res.Iterations {
+			t.Fatalf("nondeterministic shape: k %d vs %d, iters %d vs %d",
+				res.K(), again.K(), res.Iterations, again.Iterations)
+		}
+		for i := range res.Assign {
+			if res.Assign[i] != again.Assign[i] {
+				t.Fatalf("nondeterministic assignment at point %d: %d vs %d", i, res.Assign[i], again.Assign[i])
+			}
+		}
+		for c := range res.Centroids {
+			if res.Centroids[c] != again.Centroids[c] {
+				t.Fatalf("nondeterministic centroid %d: %v vs %v", c, res.Centroids[c], again.Centroids[c])
+			}
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 
 	"mthplace/internal/baseline"
 	"mthplace/internal/celllib"
+	"mthplace/internal/check"
 	"mthplace/internal/core"
 	"mthplace/internal/errs"
 	"mthplace/internal/geom"
@@ -99,6 +100,12 @@ type Config struct {
 	// Jobs — it lets several runners share one budgeted pool (the job
 	// server caps total parallelism this way).
 	Pool *par.Pool
+	// Verify, when set, runs the independent internal/check auditors on
+	// every flow result — placement legality, fence containment and a
+	// metrics recompute — and fails the run if any invariant is violated.
+	// It is the paranoid mode used by tests, the golden regression corpus
+	// and `rcplace -verify`; the cost is one extra O(cells + pins) pass.
+	Verify bool
 }
 
 // EffectivePool resolves the worker pool this config asks for: an explicit
@@ -290,6 +297,11 @@ func (r *Runner) runFlow1(ctx context.Context, withRoute bool) (*Result, error) 
 		NumMinority:  len(d.MinorityInstances()),
 		NminR:        r.NminR,
 	}
+	if r.Cfg.Verify {
+		if err := r.VerifyResult(res).Err(); err != nil {
+			return nil, fmt.Errorf("flow %v verification: %w", Flow1, err)
+		}
+	}
 	if withRoute {
 		if err := r.routeAndSign(ctx, res); err != nil {
 			return nil, err
@@ -369,6 +381,11 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 	met.HPWL = d.TotalHPWL()
 
 	res := &Result{Design: d, Stack: stack, Metrics: met}
+	if r.Cfg.Verify {
+		if err := r.VerifyResult(res).Err(); err != nil {
+			return nil, fmt.Errorf("flow %v verification: %w", id, err)
+		}
+	}
 	if withRoute {
 		if err := r.routeAndSign(ctx, res); err != nil {
 			return nil, err
@@ -407,4 +424,23 @@ func (r *Runner) routeAndSign(ctx context.Context, res *Result) error {
 	res.Metrics.TNSps = timing.TNSps
 	res.Metrics.PowerMW = pwr.TotalMW()
 	return nil
+}
+
+// VerifyResult runs the independent internal/check auditors on a completed
+// flow result against this runner's reference state: netlist integrity,
+// placement legality (mixed-stack when the result carries one, the uniform
+// grid otherwise), fence containment for mixed results, and a naive
+// recompute of the reported displacement/HPWL totals. Runs with
+// Config.Verify set call it automatically and fail on violations; callers
+// such as `rcplace -verify` call it directly to render the full report.
+func (r *Runner) VerifyResult(res *Result) *check.Report {
+	rep := check.Netlist(res.Design)
+	if res.Stack != nil {
+		rep.Merge(check.Placement(res.Design, res.Stack))
+		rep.Merge(check.Fences(res.Design, res.Stack))
+	} else {
+		rep.Merge(check.PlacementUniform(res.Design, r.Grid))
+	}
+	rep.Merge(check.Metrics(res.Design, r.RefPos, res.Metrics.Displacement, res.Metrics.HPWL))
+	return rep
 }

@@ -1,0 +1,198 @@
+// Package golden maintains the committed regression corpus: per-testcase
+// displacement/HPWL snapshots for a fixed set of small designs across all
+// five flows. The snapshot lives at internal/golden/testdata/golden.json and
+// is compared by TestGoldenRegression under a small relative tolerance, so
+// any behavioural drift in the placer — solver, legalizer, cost model —
+// shows up as a failing test with a precise diff.
+//
+// Regenerate after an intentional behaviour change with
+//
+//	go run ./cmd/gentest -golden
+//
+// and review the JSON diff like any other code change.
+package golden
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"mthplace/internal/flow"
+	"mthplace/internal/synth"
+)
+
+// Corpus parameters. Small scales keep the whole 3×5 matrix under a few
+// seconds while still exercising clustering, the RAP ILP, restacking and
+// legalization on three differently shaped designs.
+const (
+	Schema = 1
+	Scale  = 0.02
+	Seed   = 1
+	// DefaultTol is the relative tolerance applied per metric. The flows
+	// are deterministic, so the corpus would reproduce exactly; the slack
+	// exists to absorb intentional micro-tuning without churn, while still
+	// catching real regressions (0.5% of HPWL is far below any algorithmic
+	// change observed in practice).
+	DefaultTol = 0.005
+)
+
+// Designs are the Table II testcases in the corpus.
+var Designs = []string{"aes_300", "fpu_4000", "des3_210"}
+
+// FlowMetrics is one flow's snapshot on one design.
+type FlowMetrics struct {
+	Displacement int64 `json:"disp"`
+	HPWL         int64 `json:"hpwl"`
+}
+
+// DesignSnapshot holds one design's shape and per-flow metrics.
+type DesignSnapshot struct {
+	Name  string                 `json:"name"`
+	Cells int                    `json:"cells"`
+	Nets  int                    `json:"nets"`
+	Flows map[string]FlowMetrics `json:"flows"`
+}
+
+// Snapshot is the whole committed corpus.
+type Snapshot struct {
+	Schema  int              `json:"schema"`
+	Scale   float64          `json:"scale"`
+	Seed    int64            `json:"seed"`
+	Designs []DesignSnapshot `json:"designs"`
+}
+
+// FlowKey names a flow in the snapshot ("flow1".."flow5").
+func FlowKey(id flow.ID) string { return fmt.Sprintf("flow%d", int(id)) }
+
+// Compute runs every flow on every corpus design and returns a fresh
+// snapshot. Each run executes with Config.Verify set, so a snapshot can only
+// be produced from placements that pass the full invariant checker.
+func Compute(ctx context.Context) (*Snapshot, error) {
+	s := &Snapshot{Schema: Schema, Scale: Scale, Seed: Seed}
+	for _, name := range Designs {
+		spec, err := findSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := flow.DefaultConfig()
+		cfg.Synth.Scale = Scale
+		cfg.Synth.Seed = Seed
+		cfg.Verify = true
+		r, err := flow.NewRunner(ctx, spec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("golden: %s: %w", name, err)
+		}
+		ds := DesignSnapshot{
+			Name:  name,
+			Cells: len(r.Base.Insts),
+			Nets:  len(r.Base.Nets),
+			Flows: map[string]FlowMetrics{},
+		}
+		for _, id := range []flow.ID{flow.Flow1, flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5} {
+			res, err := r.Run(ctx, id, false)
+			if err != nil {
+				return nil, fmt.Errorf("golden: %s %v: %w", name, id, err)
+			}
+			ds.Flows[FlowKey(id)] = FlowMetrics{
+				Displacement: res.Metrics.Displacement,
+				HPWL:         res.Metrics.HPWL,
+			}
+		}
+		s.Designs = append(s.Designs, ds)
+	}
+	return s, nil
+}
+
+// Load reads a snapshot from disk.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("golden: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save writes the snapshot as stable, indented JSON.
+func (s *Snapshot) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare returns a human-readable diff line per mismatch between got and
+// want. Shape fields (schema, scale, seed, design set, cell/net counts) are
+// compared exactly; metrics within relative tolerance tol.
+func Compare(got, want *Snapshot, tol float64) []string {
+	var diffs []string
+	diff := func(format string, args ...any) { diffs = append(diffs, fmt.Sprintf(format, args...)) }
+	if got.Schema != want.Schema {
+		diff("schema: got %d, want %d", got.Schema, want.Schema)
+	}
+	if got.Scale != want.Scale || got.Seed != want.Seed {
+		diff("corpus parameters: got scale=%v seed=%d, want scale=%v seed=%d",
+			got.Scale, got.Seed, want.Scale, want.Seed)
+	}
+	byName := map[string]*DesignSnapshot{}
+	for i := range got.Designs {
+		byName[got.Designs[i].Name] = &got.Designs[i]
+	}
+	for i := range want.Designs {
+		w := &want.Designs[i]
+		g, ok := byName[w.Name]
+		if !ok {
+			diff("%s: missing from computed snapshot", w.Name)
+			continue
+		}
+		if g.Cells != w.Cells || g.Nets != w.Nets {
+			diff("%s: shape drift: got %d cells/%d nets, want %d cells/%d nets",
+				w.Name, g.Cells, g.Nets, w.Cells, w.Nets)
+		}
+		keys := make([]string, 0, len(w.Flows))
+		for k := range w.Flows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			wm := w.Flows[k]
+			gm, ok := g.Flows[k]
+			if !ok {
+				diff("%s/%s: missing from computed snapshot", w.Name, k)
+				continue
+			}
+			if !within(gm.Displacement, wm.Displacement, tol) {
+				diff("%s/%s: displacement drift: got %d, want %d (tol %.2f%%)",
+					w.Name, k, gm.Displacement, wm.Displacement, 100*tol)
+			}
+			if !within(gm.HPWL, wm.HPWL, tol) {
+				diff("%s/%s: HPWL drift: got %d, want %d (tol %.2f%%)",
+					w.Name, k, gm.HPWL, wm.HPWL, 100*tol)
+			}
+		}
+	}
+	if len(got.Designs) != len(want.Designs) {
+		diff("design count: got %d, want %d", len(got.Designs), len(want.Designs))
+	}
+	return diffs
+}
+
+func within(got, want int64, tol float64) bool {
+	return math.Abs(float64(got-want)) <= tol*math.Max(1, math.Abs(float64(want)))
+}
+
+func findSpec(name string) (synth.Spec, error) {
+	for _, s := range synth.TableII() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return synth.Spec{}, fmt.Errorf("golden: unknown testcase %q", name)
+}

@@ -1,0 +1,75 @@
+package lefdef
+
+import (
+	"bytes"
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+// FuzzLEFDEFRoundtrip feeds arbitrary bytes to both parsers. Neither may
+// panic; whenever an input parses, serialising and re-parsing it must reach
+// a fixpoint (write → read → write produces identical bytes), which pins
+// down lossless round-tripping for every input the fuzzer can construct.
+func FuzzLEFDEFRoundtrip(f *testing.F) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+
+	var lef bytes.Buffer
+	if err := WriteLEF(&lef, tc, lib.Masters()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(lef.Bytes())
+
+	opt := synth.DefaultOptions()
+	opt.Scale = 0.005
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := WriteDEF(&def, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(def.Bytes())
+	f.Add([]byte("MACRO a\nSIZE 10 BY 20 ;\nEND a\nEND LIBRARY\n"))
+	f.Add([]byte("VERSION 5.8 ;\nDESIGN x ;\nEND DESIGN\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if masters, err := ReadLEF(bytes.NewReader(data)); err == nil {
+			var w1, w2 bytes.Buffer
+			if err := WriteLEF(&w1, tc, masters); err != nil {
+				t.Fatalf("write parsed LEF: %v", err)
+			}
+			again, err := ReadLEF(bytes.NewReader(w1.Bytes()))
+			if err != nil {
+				t.Fatalf("re-read own LEF output: %v", err)
+			}
+			if err := WriteLEF(&w2, tc, again); err != nil {
+				t.Fatalf("re-write LEF: %v", err)
+			}
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatal("LEF write→read→write is not a fixpoint")
+			}
+		}
+
+		if parsed, err := ReadDEF(bytes.NewReader(data), tc, lib, LibraryResolver(lib)); err == nil {
+			var w1, w2 bytes.Buffer
+			if err := WriteDEF(&w1, parsed); err != nil {
+				t.Fatalf("write parsed DEF: %v", err)
+			}
+			again, err := ReadDEF(bytes.NewReader(w1.Bytes()), tc, lib, LibraryResolver(lib))
+			if err != nil {
+				t.Fatalf("re-read own DEF output: %v", err)
+			}
+			if err := WriteDEF(&w2, again); err != nil {
+				t.Fatalf("re-write DEF: %v", err)
+			}
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatal("DEF write→read→write is not a fixpoint")
+			}
+		}
+	})
+}

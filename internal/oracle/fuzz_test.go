@@ -1,0 +1,89 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"mthplace/internal/core"
+	"mthplace/internal/oracle"
+)
+
+// byteReader doles out fuzz input bytes, returning 0 past the end so every
+// input decodes to some model.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (b *byteReader) next() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	v := b.data[b.pos]
+	b.pos++
+	return v
+}
+
+// modelFromBytes decodes an arbitrary byte string into a small RAP model:
+// 1-5 clusters over 2-6 row pairs with slack capacity, so the instance is
+// always feasible and the oracle's state space stays tiny.
+func modelFromBytes(data []byte) *core.Model {
+	br := &byteReader{data: data}
+	nC := int(br.next())%5 + 1
+	nR := int(br.next())%5 + 2
+	nminR := int(br.next())%nR + 1
+
+	m := &core.Model{Clusters: &core.Clusters{}, NR: nR, NminR: nminR}
+	var total, maxW int64
+	for c := 0; c < nC; c++ {
+		w := int64(br.next())%100 + 1
+		m.Clusters.Width = append(m.Clusters.Width, w)
+		m.Clusters.Members = append(m.Clusters.Members, []int32{int32(c)})
+		m.Clusters.CenterX = append(m.Clusters.CenterX, float64(c))
+		m.Clusters.CenterY = append(m.Clusters.CenterY, float64(c))
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+		row := make([]float64, nR)
+		for r := range row {
+			row[r] = float64(int(br.next()) * 4)
+		}
+		m.Cost = append(m.Cost, row)
+	}
+	m.Cap = (total+int64(nminR)-1)/int64(nminR) + maxW
+	for r := 0; r < nR; r++ {
+		m.PairCenterY = append(m.PairCenterY, int64(r)*1000+500)
+	}
+	return m
+}
+
+// FuzzSolve decodes arbitrary bytes into a small feasible RAP instance and
+// checks that the greedy and exact solvers agree with the first-principles
+// feasibility audit, and that greedy never beats the oracle's optimum.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 4, 2, 50, 10, 20, 30, 40, 7, 99, 1, 2, 3, 4})
+	f.Add([]byte{5, 5, 5, 1, 1, 1, 1, 1, 255, 255, 0, 0, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := modelFromBytes(data)
+
+		exact, err := oracle.Solve(m)
+		if err != nil {
+			t.Fatalf("slack-capacity instance reported infeasible: %v", err)
+		}
+		if err := oracle.Feasibility(m, exact); err != nil {
+			t.Fatalf("oracle result fails its own audit: %v", err)
+		}
+
+		greedy, err := core.SolveGreedy(m)
+		if err != nil {
+			t.Fatalf("greedy failed on slack-capacity instance: %v", err)
+		}
+		if err := oracle.Feasibility(m, greedy); err != nil {
+			t.Fatalf("greedy result fails audit: %v", err)
+		}
+		if greedy.Objective < exact.Objective-1e-9 {
+			t.Fatalf("greedy objective %v beats exact optimum %v", greedy.Objective, exact.Objective)
+		}
+	})
+}

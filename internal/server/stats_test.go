@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"mthplace/internal/flow"
+)
+
+// TestStatsPercentiles: known latency samples produce the documented
+// nearest-rank percentiles, monotone p50 ≤ p90 ≤ p99.
+func TestStatsPercentiles(t *testing.T) {
+	st := newStats(2)
+	for i := 1; i <= 100; i++ {
+		st.recordFlow(flow.Flow5, time.Duration(i)*time.Millisecond)
+	}
+	_, _, perFlow := st.snapshot()
+	fl, ok := perFlow[flow.Flow5.String()]
+	if !ok {
+		t.Fatalf("no latency entry for %v: %v", flow.Flow5, perFlow)
+	}
+	if fl.Count != 100 {
+		t.Errorf("Count = %d, want 100", fl.Count)
+	}
+	if fl.P50ms != 50 || fl.P90ms != 90 || fl.P99ms != 99 {
+		t.Errorf("percentiles = %v/%v/%v, want 50/90/99", fl.P50ms, fl.P90ms, fl.P99ms)
+	}
+	if !(fl.P50ms <= fl.P90ms && fl.P90ms <= fl.P99ms) {
+		t.Errorf("percentiles not monotone: %+v", fl)
+	}
+}
+
+// TestStatsRingBound: the ring retains only the newest maxLatencySamples
+// but keeps counting, so Count reflects lifetime completions while the
+// percentiles reflect recent behaviour.
+func TestStatsRingBound(t *testing.T) {
+	st := newStats(1)
+	// Old slow samples that should age out entirely...
+	for i := 0; i < maxLatencySamples; i++ {
+		st.recordFlow(flow.Flow2, time.Hour)
+	}
+	// ...displaced by fast recent ones.
+	for i := 0; i < maxLatencySamples; i++ {
+		st.recordFlow(flow.Flow2, time.Millisecond)
+	}
+	_, _, perFlow := st.snapshot()
+	fl := perFlow[flow.Flow2.String()]
+	if fl.Count != 2*maxLatencySamples {
+		t.Errorf("Count = %d, want %d", fl.Count, 2*maxLatencySamples)
+	}
+	if fl.P99ms != 1 {
+		t.Errorf("P99 = %vms: old samples still retained", fl.P99ms)
+	}
+}
+
+// TestStatsLatencyAfterJobs submits real jobs and asserts /stats reports
+// populated, monotone latency percentiles and consistent worker/queue
+// gauges once they complete. (TestStatsEndpoint covers the in-flight
+// gauges with a stubbed executor; this test exercises the real path.)
+func TestStatsLatencyAfterJobs(t *testing.T) {
+	h := newHarness(t, Options{Workers: 2, QueueDepth: 8})
+
+	const n = 5
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, h.submit(JobRequest{Testcase: "aes_300", Scale: 0.01, Flows: []int{1, 5}}))
+	}
+	for _, id := range ids {
+		if st := h.waitState(id, StateDone); st != StateDone {
+			t.Fatalf("job %s finished in state %q", id, st)
+		}
+	}
+
+	code, body := h.do("GET", "/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	var workers, busy, depth int
+	var util float64
+	must := func(key string, v any) {
+		t.Helper()
+		raw, ok := body[key]
+		if !ok {
+			t.Fatalf("/stats missing %q: %v", key, body)
+		}
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("%q: %v", key, err)
+		}
+	}
+	must("workers", &workers)
+	must("busy_workers", &busy)
+	must("queue_depth", &depth)
+	must("worker_utilization", &util)
+	if workers != 2 {
+		t.Errorf("workers = %d, want 2", workers)
+	}
+	if busy != 0 || depth != 0 {
+		t.Errorf("idle server reports busy=%d depth=%d", busy, depth)
+	}
+	if util < 0 || util > 1 {
+		t.Errorf("utilization %v out of [0,1]", util)
+	}
+
+	var perFlow map[string]FlowLatency
+	must("flow_latency", &perFlow)
+	for _, id := range []flow.ID{flow.Flow1, flow.Flow5} {
+		fl, ok := perFlow[id.String()]
+		if !ok {
+			t.Fatalf("flow_latency missing %v after %d completions: %v", id, n, perFlow)
+		}
+		if fl.Count != n {
+			t.Errorf("%v: Count = %d, want %d", id, fl.Count, n)
+		}
+		if fl.P50ms <= 0 {
+			t.Errorf("%v: P50 not populated: %+v", id, fl)
+		}
+		if !(fl.P50ms <= fl.P90ms && fl.P90ms <= fl.P99ms) {
+			t.Errorf("%v: percentiles not monotone: %+v", id, fl)
+		}
+	}
+
+	var jobs map[string]int
+	must("jobs", &jobs)
+	if jobs[string(StateDone)] != n {
+		t.Errorf("jobs[done] = %d, want %d (all: %v)", jobs[string(StateDone)], n, jobs)
+	}
+}

@@ -1,0 +1,122 @@
+package mth_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mthplace/internal/errs"
+	"mthplace/internal/flow"
+	"mthplace/pkg/mth"
+)
+
+// TestErrorIdentityAcrossLayers: the three failure-class sentinels are the
+// SAME error value at every layer (errs → flow → pkg/mth), and errors.Is
+// holds through arbitrary fmt.Errorf wrapping — the contract that lets a
+// facade caller dispatch on mth.Err* no matter which internal package
+// produced the failure.
+func TestErrorIdentityAcrossLayers(t *testing.T) {
+	cases := []struct {
+		name     string
+		internal error // the root sentinel in internal/errs
+		flow     error // the flow-layer re-export
+		facade   error // the public pkg/mth re-export
+	}{
+		{"infeasible", errs.ErrInfeasible, flow.ErrInfeasible, mth.ErrInfeasible},
+		{"timeout", errs.ErrTimeout, flow.ErrTimeout, mth.ErrTimeout},
+		{"canceled", errs.ErrCanceled, flow.ErrCanceled, mth.ErrCanceled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.internal != tc.flow || tc.flow != tc.facade {
+				t.Fatalf("sentinels differ across layers: %p / %p / %p",
+					tc.internal, tc.flow, tc.facade)
+			}
+			wrapped := fmt.Errorf("solver: %w", fmt.Errorf("stage 2: %w", tc.internal))
+			if !errors.Is(wrapped, tc.facade) {
+				t.Errorf("errors.Is fails through wrapping: %v", wrapped)
+			}
+			if errors.Is(wrapped, pickOther(tc.facade)) {
+				t.Errorf("%v matched a different class", wrapped)
+			}
+		})
+	}
+
+	// Constructor helpers keep the class too.
+	if err := errs.Infeasible("cluster %d wider than row", 3); !errors.Is(err, mth.ErrInfeasible) {
+		t.Errorf("errs.Infeasible lost its class: %v", err)
+	}
+}
+
+// pickOther returns one of the sentinels that is not err.
+func pickOther(err error) error {
+	if err == mth.ErrTimeout {
+		return mth.ErrCanceled
+	}
+	return mth.ErrTimeout
+}
+
+// realRunner prepares a small runner once for the live-error subtests.
+func realRunner(t *testing.T) *mth.Runner {
+	t.Helper()
+	spec, err := mth.FindSpec("aes_300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mth.DefaultConfig()
+	cfg.Synth.Scale = 0.02
+	r, err := mth.NewRunner(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFlowErrorsMatchFacadeSentinels: errors produced by actual flow runs —
+// not hand-wrapped ones — match the facade sentinels under errors.Is.
+func TestFlowErrorsMatchFacadeSentinels(t *testing.T) {
+	r := realRunner(t)
+
+	t.Run("canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := r.Run(ctx, mth.Flow5, false)
+		if err == nil {
+			t.Fatal("run with canceled context succeeded")
+		}
+		if !errors.Is(err, mth.ErrCanceled) {
+			t.Errorf("err = %v, want errors.Is(_, mth.ErrCanceled)", err)
+		}
+		if errors.Is(err, mth.ErrTimeout) || errors.Is(err, mth.ErrInfeasible) {
+			t.Errorf("err %v matched an unrelated class", err)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := r.Run(ctx, mth.Flow5, false)
+		if err == nil {
+			t.Fatal("run with expired deadline succeeded")
+		}
+		if !errors.Is(err, mth.ErrTimeout) {
+			t.Errorf("err = %v, want errors.Is(_, mth.ErrTimeout)", err)
+		}
+		if errors.Is(err, mth.ErrCanceled) {
+			t.Errorf("expired deadline classified as cancel: %v", err)
+		}
+	})
+
+	t.Run("canceled-new-runner", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		spec, _ := mth.FindSpec("aes_300")
+		cfg := mth.DefaultConfig()
+		cfg.Synth.Scale = 0.02
+		if _, err := mth.Run(ctx, spec, cfg, mth.Flow2, false); !errors.Is(err, mth.ErrCanceled) {
+			t.Errorf("one-shot Run: err = %v, want mth.ErrCanceled", err)
+		}
+	})
+}
