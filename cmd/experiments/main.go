@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"syscall"
 
+	"mthplace/internal/errs"
 	"mthplace/internal/exp"
 	"mthplace/internal/synth"
 )
@@ -34,6 +36,7 @@ func main() {
 	var (
 		scale    = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expiry exits 124")
 		jobs     = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		only     = flag.String("only", "", "restrict to testcases whose name contains this substring")
 		verbose  = flag.Bool("v", false, "log per-testcase progress to stderr")
@@ -55,6 +58,11 @@ func main() {
 	// Ctrl-C cancels the in-flight experiment at the next stage boundary.
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := exp.Config{Scale: *scale, Seed: *seed}
 	cfg.Flow.Jobs = *jobs
@@ -81,6 +89,10 @@ func main() {
 		}
 		any = true
 		if err := f(); err != nil {
+			if errors.Is(err, errs.ErrTimeout) {
+				fmt.Fprintln(os.Stderr, "experiments: timed out after", *timeout)
+				os.Exit(124)
+			}
 			fatal(err)
 		}
 	}

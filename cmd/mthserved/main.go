@@ -8,6 +8,15 @@
 //
 // SIGINT/SIGTERM stops intake, cancels queued jobs, and drains in-flight
 // jobs (up to -drain); a second signal aborts immediately.
+//
+// Resilience (DESIGN.md §10): transient job failures are retried up to
+// -retries times with backoff; panics inside a job fail that job with a
+// structured 500 and leave the daemon running. With -journal DIR the server
+// keeps a crash-safe write-ahead log (jobs.jsonl) and re-runs
+// accepted-but-unfinished jobs, under their original IDs, on restart.
+// MTHPLACE_FAULTS (comma-separated point:kind[@hit][=delay] clauses or
+// rand:seed:rate[:kinds]) injects faults at the pipeline stage boundaries
+// for chaos testing.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"mthplace/internal/fault"
 	"mthplace/internal/server"
 )
 
@@ -30,13 +40,26 @@ func main() {
 	queue := flag.Int("queue", 16, "job queue depth beyond the workers")
 	poolJobs := flag.Int("pool-jobs", 0, "shared worker-pool bound for jobs without a private -jobs setting (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight jobs")
+	retries := flag.Int("retries", 2, "max retries for transient job failures (-1 disables)")
+	journalDir := flag.String("journal", "", "job-journal directory; unfinished jobs are re-run on restart (empty = journaling off)")
 	flag.Parse()
 
-	srv := server.New(server.Options{
+	if err := fault.InitFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "mthserved:", err)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		PoolJobs:   *poolJobs,
+		MaxRetries: *retries,
+		JournalDir: *journalDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mthserved:", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

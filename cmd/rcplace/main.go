@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"mthplace/internal/fault"
 	"mthplace/internal/lefdef"
 	"mthplace/internal/viz"
 	"mthplace/pkg/mth"
@@ -32,8 +33,14 @@ func main() {
 		defOut   = flag.String("def", "", "write the final placement to this DEF file")
 		lefOut   = flag.String("lef", "", "write the cell library to this LEF file")
 		svgOut   = flag.String("svg", "", "render the final placement to this SVG file")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expiry exits 124")
+		strict   = flag.Bool("strict", false, "fail fast instead of degrading to an anytime/greedy answer when solve budgets run out")
 	)
 	flag.Parse()
+
+	if err := fault.InitFromEnv(); err != nil {
+		fatal(err)
+	}
 
 	spec, err := mth.FindSpec(*testcase)
 	if err != nil {
@@ -50,12 +57,20 @@ func main() {
 	// Ctrl-C cancels the run at the next solver iteration boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fcfg := mth.DefaultConfig()
 	fcfg.Synth.Scale = *scale
 	fcfg.Synth.Seed = *seed
 	fcfg.Jobs = *jobs
 	fcfg.Verify = *verify
+	if *strict {
+		fcfg.Core.Solve.Degrade = mth.DegradeStrict
+	}
 	runner, err := mth.NewRunner(ctx, spec, fcfg)
 	if err != nil {
 		fatal(err)
@@ -65,6 +80,10 @@ func main() {
 		100*runner.Base.MinorityFraction(), len(runner.Base.Nets), runner.NminR)
 
 	res, err := runner.Run(ctx, mth.ID(*flowNum), *doRoute)
+	if errors.Is(err, mth.ErrTimeout) {
+		fmt.Fprintln(os.Stderr, "rcplace: timed out after", *timeout)
+		os.Exit(124)
+	}
 	if errors.Is(err, mth.ErrCanceled) {
 		fmt.Fprintln(os.Stderr, "rcplace: interrupted")
 		os.Exit(130)
@@ -76,6 +95,9 @@ func main() {
 	fmt.Printf("%v results:\n", m.Flow)
 	fmt.Printf("  displacement: %d DBU\n", m.Displacement)
 	fmt.Printf("  HPWL:         %d DBU\n", m.HPWL)
+	if m.SolveRung != "" {
+		fmt.Printf("  solve rung:   %s\n", rungLabel(m))
+	}
 	fmt.Printf("  RAP time:     %v\n", m.RAPTime)
 	fmt.Printf("  legal time:   %v\n", m.LegalTime)
 	fmt.Printf("  total time:   %v\n", m.TotalTime)
@@ -143,6 +165,23 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *lefOut)
 	}
+}
+
+// rungLabel renders the solve ladder's verdict: which rung answered, and
+// for degraded runs why the ladder moved and how far from proven optimal
+// the answer can be.
+func rungLabel(m mth.Metrics) string {
+	if !m.SolveDegraded {
+		if m.SolveRung == mth.RungILP {
+			return "ilp (proven optimal)"
+		}
+		return m.SolveRung
+	}
+	s := fmt.Sprintf("%s (degraded: %s", m.SolveRung, m.SolveDegradeReason)
+	if m.SolveGap >= 0 {
+		s += fmt.Sprintf(", gap ≤ %.2f%%", 100*m.SolveGap)
+	}
+	return s + ")"
 }
 
 func fatal(err error) {

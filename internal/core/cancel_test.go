@@ -44,8 +44,10 @@ func TestSolveILPPreCanceled(t *testing.T) {
 	}
 }
 
-// TestSolveILPDeadline: an expired deadline classifies as ErrTimeout, the
-// class the HTTP layer maps to 504.
+// TestSolveILPDeadline: an expired deadline walks the degradation ladder.
+// The default (anytime) policy returns the best feasible answer in hand —
+// here the greedy warm start, honestly labelled — while the strict policy
+// fails fast with ErrTimeout, the class the HTTP layer maps to 504.
 func TestSolveILPDeadline(t *testing.T) {
 	d, g := placedDesign(t, 0.02)
 	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
@@ -59,7 +61,19 @@ func TestSolveILPDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	<-ctx.Done()
-	if _, err := SolveILP(ctx, m, SolveOptions{}); !errors.Is(err, errs.ErrTimeout) {
-		t.Fatalf("err = %v, want ErrTimeout", err)
+
+	got, err := SolveILP(ctx, m, SolveOptions{})
+	if err != nil {
+		t.Fatalf("anytime policy on expired deadline: err = %v, want degraded result", err)
+	}
+	if !got.Stats.Degraded || got.Stats.Rung != RungGreedy {
+		t.Fatalf("anytime stats = %+v, want Degraded greedy rung", got.Stats)
+	}
+	if got.Stats.DegradeReason != "deadline" {
+		t.Errorf("DegradeReason = %q, want %q", got.Stats.DegradeReason, "deadline")
+	}
+
+	if _, err := SolveILP(ctx, m, SolveOptions{Degrade: DegradeStrict}); !errors.Is(err, errs.ErrTimeout) {
+		t.Fatalf("strict policy: err = %v, want ErrTimeout", err)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"maps"
 	"math"
@@ -29,6 +30,14 @@ type Assignment struct {
 	Stats SolveStats
 }
 
+// Ladder rungs, best to worst: the proven ILP optimum, the best incumbent
+// an interrupted branch-and-bound had in hand, the greedy heuristic.
+const (
+	RungILP     = "ilp"
+	RungAnytime = "anytime"
+	RungGreedy  = "greedy"
+)
+
 // SolveStats report how a solution was obtained.
 type SolveStats struct {
 	Method     string // "ilp" or "greedy"
@@ -40,6 +49,50 @@ type SolveStats struct {
 	Runtime    time.Duration
 	// Optimal is true when the ILP proved optimality.
 	Optimal bool
+	// Rung names the degradation-ladder rung that produced the answer:
+	// RungILP (proven optimum), RungAnytime (best incumbent of an
+	// interrupted search), or RungGreedy (heuristic fallback).
+	Rung string
+	// Degraded is true when a limit or deadline forced the solve below the
+	// RungILP it was asked for. A ForceGreedy solve is not degraded — the
+	// caller got exactly what it requested.
+	Degraded bool
+	// DegradeReason says what forced the drop: "node-limit", "time-limit"
+	// (the solver's own budgets), "deadline" (the caller's context), or
+	// "pruned-infeasible" (candidate pruning cut off every ILP solution).
+	DegradeReason string
+	// Gap is the relative optimality-gap bound of the answer: 0 when
+	// proven optimal, the (incumbent − bound)/|incumbent| bound for an
+	// anytime incumbent, and -1 when no bound is known (greedy rung).
+	Gap float64
+}
+
+// DegradePolicy selects what a RAP solve does when it cannot deliver the
+// proven ILP optimum (a budget ran out, the context deadline expired, or
+// candidate pruning made the ILP infeasible).
+type DegradePolicy int8
+
+const (
+	// DegradeAnytime (the default) walks the ladder: proven ILP optimum →
+	// the interrupted search's best incumbent (with its gap bound) → the
+	// greedy heuristic. The solve then always returns the best feasible
+	// answer it found, with Stats recording the rung, the reason and the
+	// gap; only cancellation and genuine infeasibility surface as errors.
+	DegradeAnytime DegradePolicy = iota
+	// DegradeStrict fails fast: anything short of the proven optimum is an
+	// error (ErrTimeout for an expired deadline, ErrTransient for an
+	// exhausted solver budget or a pruning artifact). The oracle and
+	// differential tests run Strict so a silently degraded solve can never
+	// masquerade as the exact answer.
+	DegradeStrict
+)
+
+// String implements fmt.Stringer.
+func (p DegradePolicy) String() string {
+	if p == DegradeStrict {
+		return "strict"
+	}
+	return "anytime"
 }
 
 // SolveOptions tune the RAP solver.
@@ -55,6 +108,8 @@ type SolveOptions struct {
 	RootCuts int
 	// ForceGreedy skips the ILP entirely (used by ablations).
 	ForceGreedy bool
+	// Degrade selects the ladder policy (default DegradeAnytime).
+	Degrade DegradePolicy
 }
 
 // SolveILP solves the RAP model exactly (Eqs. (1)–(5)) via the internal
@@ -67,8 +122,13 @@ type SolveOptions struct {
 //
 // Cancellation is honoured between the greedy warm start, each root-cut
 // round and each branch-and-bound node: a canceled ctx returns
-// errs.ErrCanceled (errs.ErrTimeout on deadline expiry) within one LP
-// solve rather than falling back to the greedy solution.
+// errs.ErrCanceled within one LP solve. Deadline expiry depends on the
+// degradation policy (opt.Degrade): the default DegradeAnytime returns the
+// best feasible answer in hand — the interrupted search's incumbent with
+// its gap bound, or the greedy warm start — with Stats recording the rung;
+// DegradeStrict surfaces errs.ErrTimeout instead (and ErrTransient when a
+// solver budget ran out), so nothing short of the proven optimum is ever
+// returned silently.
 func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, error) {
 	start := time.Now()
 	greedy, err := SolveGreedy(m)
@@ -76,6 +136,9 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 		return nil, err
 	}
 	if err := errs.FromContext(ctx); err != nil {
+		if opt.Degrade == DegradeAnytime && errors.Is(err, errs.ErrTimeout) {
+			return degradeToGreedy(greedy, start, "deadline")
+		}
 		return nil, fmt.Errorf("core: RAP solve: %w", err)
 	}
 	if opt.ForceGreedy {
@@ -169,6 +232,9 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 		totalCuts := 0
 		for round := 0; round < 6 && totalCuts < maxCuts; round++ {
 			if err := errs.FromContext(ctx); err != nil {
+				if opt.Degrade == DegradeAnytime && errors.Is(err, errs.ErrTimeout) {
+					return degradeToGreedy(greedy, start, "deadline")
+				}
 				return nil, fmt.Errorf("core: RAP root cuts: %w", err)
 			}
 			// The cut loop shares the MILP time budget: at most half of it
@@ -192,6 +258,8 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 				greedy.Stats.NumVars = prob.NumVars()
 				greedy.Stats.Optimal = true
 				greedy.Stats.MILPStatus = milp.Optimal
+				greedy.Stats.Rung = RungILP
+				greedy.Stats.Gap = 0
 				greedy.Stats.Runtime = time.Since(start)
 				return greedy, nil
 			}
@@ -258,17 +326,25 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 		}
 	}
 	res := milp.Solve(ctx, &milp.Problem{LP: prob, Binary: bins, Priority: pri}, warm, milpOpt)
-	if err := errs.FromContext(ctx); err != nil {
-		// The search stopped because the caller gave up, not because a
-		// limit ran out — do not silently degrade to the greedy fallback.
-		return nil, fmt.Errorf("core: RAP branch and bound: %w", err)
+	ctxErr := errs.FromContext(ctx)
+	if ctxErr != nil && (opt.Degrade != DegradeAnytime || !errors.Is(ctxErr, errs.ErrTimeout)) {
+		// The caller gave up (cancel), or a Strict solve refuses to hand
+		// back an unproven answer after its deadline expired.
+		return nil, fmt.Errorf("core: RAP branch and bound: %w", ctxErr)
 	}
+	reason := degradeReason(res, ctxErr)
 	if res.Status == milp.Infeasible || res.Status == milp.Limit {
-		// Fall back to greedy (pruning can in principle make the ILP
-		// infeasible; the greedy solution is always feasible).
-		greedy.Stats.Runtime = time.Since(start)
+		// No usable incumbent came out of the search (pruning can in
+		// principle make the ILP infeasible; the greedy solution is always
+		// feasible): the ladder's last rung.
+		if opt.Degrade == DegradeStrict {
+			return nil, errs.Transient("core: RAP search ended %v (%s) without a usable incumbent", res.Status, reason)
+		}
 		greedy.Stats.MILPStatus = res.Status
-		return greedy, nil
+		return degradeToGreedy(greedy, start, reason)
+	}
+	if opt.Degrade == DegradeStrict && res.Status != milp.Optimal {
+		return nil, errs.Transient("core: RAP search stopped (%s) before proving optimality", reason)
 	}
 
 	out := &Assignment{ClusterPair: make([]int, nC)}
@@ -301,12 +377,67 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 		MILPStatus: res.Status,
 		Runtime:    time.Since(start),
 		Optimal:    res.Status == milp.Optimal,
+		Rung:       RungILP,
+	}
+	if res.Status != milp.Optimal {
+		// Anytime incumbent: the search was cut short but had a feasible
+		// solution in hand; return it with its optimality-gap bound instead
+		// of throwing it away.
+		out.Stats.Rung = RungAnytime
+		out.Stats.Degraded = true
+		out.Stats.DegradeReason = reason
+		out.Stats.Gap = gapOf(res)
 	}
 	if len(out.MinorityPairs) > m.NminR {
 		return nil, fmt.Errorf("core: ILP produced %d minority pairs, budget %d", len(out.MinorityPairs), m.NminR)
 	}
 	padMinorityPairs(m, out)
 	return out, nil
+}
+
+// degradeToGreedy annotates the greedy warm start as the ladder's last
+// rung and returns it: the answer is feasible but carries no optimality
+// bound (Gap = -1).
+func degradeToGreedy(greedy *Assignment, start time.Time, reason string) (*Assignment, error) {
+	greedy.Stats.Runtime = time.Since(start)
+	greedy.Stats.Rung = RungGreedy
+	greedy.Stats.Degraded = true
+	greedy.Stats.DegradeReason = reason
+	greedy.Stats.Gap = -1
+	return greedy, nil
+}
+
+// degradeReason names what stopped the search short of a proof.
+func degradeReason(res *milp.Result, ctxErr error) string {
+	if res.Status == milp.Infeasible {
+		return "pruned-infeasible"
+	}
+	if ctxErr != nil {
+		return "deadline"
+	}
+	switch res.Stop {
+	case milp.StopNodeLimit:
+		return "node-limit"
+	case milp.StopTimeLimit:
+		return "time-limit"
+	case milp.StopContext:
+		return "deadline"
+	default:
+		return ""
+	}
+}
+
+// gapOf clamps a milp gap bound into the SolveStats convention: a finite
+// non-negative ratio, or -1 when the search produced no usable bound.
+func gapOf(res *milp.Result) float64 {
+	g := res.Gap()
+	if math.IsInf(g, 0) || math.IsNaN(g) {
+		return -1
+	}
+	if g < 0 {
+		return 0
+	}
+	return g
 }
 
 // padMinorityPairs tops the chosen set up to exactly N_minR pairs (empty
@@ -337,7 +468,7 @@ func SolveGreedy(m *Model) (*Assignment, error) {
 		for r := 0; r < m.NminR; r++ {
 			out.MinorityPairs = append(out.MinorityPairs, r)
 		}
-		out.Stats = SolveStats{Method: "greedy", Runtime: time.Since(start)}
+		out.Stats = SolveStats{Method: "greedy", Runtime: time.Since(start), Rung: RungGreedy, Gap: 0}
 		return out, nil
 	}
 
@@ -430,7 +561,7 @@ func SolveGreedy(m *Model) (*Assignment, error) {
 
 	out.MinorityPairs = pairs
 	out.Objective = objectiveOf(m, out.ClusterPair)
-	out.Stats = SolveStats{Method: "greedy", Runtime: time.Since(start)}
+	out.Stats = SolveStats{Method: "greedy", Runtime: time.Since(start), Rung: RungGreedy, Gap: -1}
 	return out, nil
 }
 

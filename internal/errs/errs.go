@@ -12,9 +12,11 @@
 package errs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 )
 
 var (
@@ -33,6 +35,18 @@ var (
 	// (context.Canceled is translated to this sentinel at the API
 	// boundary).
 	ErrCanceled = errors.New("canceled")
+
+	// ErrTransient marks a failure that is expected to go away on retry:
+	// an injected fault, a flaky downstream dependency, a resource that
+	// was briefly unavailable. The job server retries this class with
+	// exponential backoff; everything else fails immediately.
+	ErrTransient = errors.New("transient failure")
+
+	// ErrPanic marks a panic that was caught at an API boundary (flow
+	// runner, job server worker) and converted into an error so the
+	// process survives. It is never retried: a panic means a bug or an
+	// injected chaos fault, not a recoverable condition.
+	ErrPanic = errors.New("internal panic")
 )
 
 // FromContext translates ctx's termination cause into the canonical
@@ -55,4 +69,41 @@ func FromContext(ctx context.Context) error {
 // result and on anything that wraps it.
 func Infeasible(format string, args ...any) error {
 	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrInfeasible)
+}
+
+// Transient wraps a formatted message with ErrTransient so retry loops can
+// classify the failure with errors.Is.
+func Transient(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrTransient)
+}
+
+// FromPanic converts a recovered panic value into an ErrPanic-classed
+// error, including the first stack frames so the report stays actionable
+// after the goroutine's own stack is gone. Recover boundaries call it as
+//
+//	defer func() {
+//	    if r := recover(); r != nil { err = errs.FromPanic(r, "flow %v", id) }
+//	}()
+//
+// If the panic value is itself an error it is preserved in the wrap chain,
+// so a re-panicked typed error keeps its class in addition to ErrPanic.
+func FromPanic(v any, format string, args ...any) error {
+	where := fmt.Sprintf(format, args...)
+	stack := trimStack(debug.Stack())
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("%s: %w: %w\n%s", where, ErrPanic, err, stack)
+	}
+	return fmt.Errorf("%s: %w: %v\n%s", where, ErrPanic, v, stack)
+}
+
+// trimStack keeps the panic site useful without dumping the whole runtime
+// prologue: the first stackLines lines are plenty to locate the fault.
+const stackLines = 16
+
+func trimStack(b []byte) []byte {
+	lines := bytes.SplitAfterN(b, []byte("\n"), stackLines+1)
+	if len(lines) > stackLines {
+		lines = lines[:stackLines]
+	}
+	return bytes.TrimRight(bytes.Join(lines, nil), "\n")
 }

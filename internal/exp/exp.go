@@ -157,6 +157,10 @@ type Table4Row struct {
 	HPWL [5]int64
 	// Time (placement-stage total) for flows 2..5.
 	Time [4]time.Duration
+	// Degraded marks flows 2..5 whose solve settled below the proven ILP
+	// optimum (anytime incumbent or greedy fallback); the rendered table
+	// flags them with '*'.
+	Degraded [4]bool
 }
 
 // Table4Result is the regenerated Table IV.
@@ -191,6 +195,7 @@ func Table4(ctx context.Context, cfg Config) (*Table4Result, error) {
 		for k, id := range []flow.ID{flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5} {
 			row.Disp[k] = results[id].Metrics.Displacement
 			row.Time[k] = results[id].Metrics.TotalTime
+			row.Degraded[k] = results[id].Metrics.SolveDegraded
 		}
 		for k, id := range []flow.ID{flow.Flow1, flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5} {
 			row.HPWL[k] = results[id].Metrics.HPWL
@@ -236,10 +241,16 @@ func (r *Table4Result) Table() *metrics.Table {
 			"H(1)", "H(2)", "H(3)", "H(4)", "H(5)",
 			"T(2)", "T(3)", "T(4)", "T(5)"},
 	}
+	anyDegraded := false
 	for _, row := range r.Rows {
 		cells := []string{row.Name}
-		for _, v := range row.Disp {
-			cells = append(cells, metrics.F(float64(v)/1e5, 2))
+		for k, v := range row.Disp {
+			c := metrics.F(float64(v)/1e5, 2)
+			if row.Degraded[k] {
+				c += "*"
+				anyDegraded = true
+			}
+			cells = append(cells, c)
 		}
 		for _, v := range row.HPWL {
 			cells = append(cells, metrics.F(float64(v)/1e5, 2))
@@ -248,6 +259,9 @@ func (r *Table4Result) Table() *metrics.Table {
 			cells = append(cells, metrics.F(v.Seconds(), 2))
 		}
 		t.Add(cells...)
+	}
+	if anyDegraded {
+		t.Title += "; * = degraded solve (anytime/greedy rung, not proven optimal)"
 	}
 	norm := []string{"Normalized"}
 	for _, v := range r.NormDisp {

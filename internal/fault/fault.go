@@ -1,0 +1,344 @@
+// Package fault is the chaos-engineering substrate: named fault points at
+// the placement pipeline's stage boundaries, and plans that decide whether
+// a given hit of a point injects an error, a panic, or latency.
+//
+// Fault points are free when no plan is active (one atomic load plus one
+// context lookup), so they stay compiled into production binaries. Plans
+// come from two sources:
+//
+//   - a context-scoped plan (WithPlan), used by the chaos test suite and by
+//     anything that wants per-run isolation — two concurrent jobs with
+//     different plans never interfere;
+//   - a process-global plan parsed from the MTHPLACE_FAULTS environment
+//     variable (InitFromEnv), used to chaos-test the real binaries without
+//     recompiling.
+//
+// Schedules are deterministic: explicit rules fire on an exact hit count of
+// a named point, and randomized plans draw from a seeded PRNG, so a failing
+// schedule replays exactly from its seed. Injected errors are classed
+// errs.ErrTransient (they model recoverable infrastructure trouble, and the
+// job server's retry loop is part of what chaos runs exercise); injected
+// panics model bugs and must be converted to errs.ErrPanic by the recover
+// boundary above the fault point, never escape it.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mthplace/internal/errs"
+)
+
+// Kind is what an injection does at a fault point.
+type Kind uint8
+
+const (
+	// KindError makes the point return an errs.ErrTransient-classed error.
+	KindError Kind = iota + 1
+	// KindPanic makes the point panic (the layer above must recover).
+	KindPanic
+	// KindLatency makes the point sleep for the rule's delay (bounded by
+	// the context's lifetime) and then proceed normally.
+	KindLatency
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindLatency:
+		return "latency"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultLatency is the sleep injected by latency faults that do not name
+// their own delay. Small on purpose: latency faults exist to shake out
+// ordering assumptions, not to stall test suites.
+const DefaultLatency = 2 * time.Millisecond
+
+// Rule fires a specific injection at an exact hit of a named point.
+type Rule struct {
+	// Point is the fault-point name the rule arms ("flow.solve").
+	Point string
+	// Kind of injection.
+	Kind Kind
+	// Hit is the 1-based hit count of the point at which the rule fires
+	// (0 means every hit).
+	Hit int
+	// Delay overrides DefaultLatency for KindLatency rules.
+	Delay time.Duration
+}
+
+// Event records one injection a plan performed, for test assertions.
+type Event struct {
+	Point string
+	Kind  Kind
+	Hit   int
+}
+
+// Plan decides, hit by hit, what each fault point does. A Plan combines an
+// explicit rule list with an optional seeded random schedule; both are
+// deterministic given the sequence of Check calls. The zero value is an
+// empty plan that never injects. All methods are safe for concurrent use,
+// but determinism of a randomized schedule is only meaningful when the
+// plan's points are hit in a deterministic order (sequential stages).
+type Plan struct {
+	mu     sync.Mutex
+	rules  []Rule
+	counts map[string]int
+	rng    *rand.Rand
+	rate   float64
+	kinds  []Kind
+	delay  time.Duration
+	events []Event
+}
+
+// NewPlan builds a plan from explicit rules.
+func NewPlan(rules ...Rule) *Plan {
+	return &Plan{rules: rules}
+}
+
+// NewRandomPlan builds a seeded randomized schedule: every hit of every
+// point independently injects with probability rate, choosing uniformly
+// among kinds (all three when empty). The schedule is a pure function of
+// the seed and the hit sequence, so a crashing schedule replays from its
+// seed alone.
+func NewRandomPlan(seed int64, rate float64, kinds ...Kind) *Plan {
+	if len(kinds) == 0 {
+		kinds = []Kind{KindError, KindPanic, KindLatency}
+	}
+	return &Plan{
+		rng:   rand.New(rand.NewSource(seed)),
+		rate:  rate,
+		kinds: kinds,
+		delay: DefaultLatency,
+	}
+}
+
+// Events returns the injections performed so far, in order.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// check decides the injection for one hit of point; nil means proceed.
+func (p *Plan) check(point string) *Rule {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.counts == nil {
+		p.counts = map[string]int{}
+	}
+	p.counts[point]++
+	hit := p.counts[point]
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Point != point && r.Point != "*" && r.Point != "" {
+			continue
+		}
+		if r.Hit != 0 && r.Hit != hit {
+			continue
+		}
+		p.events = append(p.events, Event{Point: point, Kind: r.Kind, Hit: hit})
+		return r
+	}
+	if p.rng != nil && p.rng.Float64() < p.rate {
+		k := p.kinds[p.rng.Intn(len(p.kinds))]
+		p.events = append(p.events, Event{Point: point, Kind: k, Hit: hit})
+		return &Rule{Point: point, Kind: k, Delay: p.delay}
+	}
+	return nil
+}
+
+// global is the process-wide plan (nil when chaos is off), armed by
+// Install/InitFromEnv. The atomic pointer keeps the disabled fast path at
+// one load.
+var global atomic.Pointer[Plan]
+
+// Install arms p as the process-global plan and returns a restore function
+// that re-arms whatever was active before (tests defer it).
+func Install(p *Plan) (restore func()) {
+	old := global.Swap(p)
+	return func() { global.Store(old) }
+}
+
+// InitFromEnv arms the global plan described by the MTHPLACE_FAULTS
+// environment variable, if set. The binaries call it at startup so any
+// deployment can be chaos-tested without a rebuild.
+func InitFromEnv() error {
+	spec := os.Getenv("MTHPLACE_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	p, err := ParseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("fault: MTHPLACE_FAULTS: %w", err)
+	}
+	Install(p)
+	return nil
+}
+
+// ParseSpec parses a fault schedule. Comma-separated clauses:
+//
+//	point:kind[@hit][=delay]   explicit rule; kind is error|panic|latency,
+//	                           hit is the 1-based hit count (default: every
+//	                           hit), delay applies to latency rules.
+//	rand:seed:rate[:kinds]     seeded random schedule; rate in (0,1], kinds
+//	                           a +-separated subset of error+panic+latency
+//	                           (default all).
+//
+// Examples:
+//
+//	MTHPLACE_FAULTS="flow.solve:error@2"
+//	MTHPLACE_FAULTS="flow.legalize:latency=5ms,flow.route:panic@1"
+//	MTHPLACE_FAULTS="rand:42:0.05:error+latency"
+func ParseSpec(spec string) (*Plan, error) {
+	plan := &Plan{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if parts[0] == "rand" {
+			if len(parts) < 3 || len(parts) > 4 {
+				return nil, fmt.Errorf("rand clause %q: want rand:seed:rate[:kinds]", clause)
+			}
+			seed, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rand clause %q: bad seed: %w", clause, err)
+			}
+			rate, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || rate <= 0 || rate > 1 {
+				return nil, fmt.Errorf("rand clause %q: rate must be in (0,1]", clause)
+			}
+			var kinds []Kind
+			if len(parts) == 4 {
+				for _, ks := range strings.Split(parts[3], "+") {
+					k, err := parseKind(ks)
+					if err != nil {
+						return nil, fmt.Errorf("rand clause %q: %w", clause, err)
+					}
+					kinds = append(kinds, k)
+				}
+			}
+			rp := NewRandomPlan(seed, rate, kinds...)
+			plan.rng, plan.rate, plan.kinds, plan.delay = rp.rng, rp.rate, rp.kinds, rp.delay
+			continue
+		}
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("clause %q: want point:kind[@hit][=delay]", clause)
+		}
+		rule := Rule{Point: parts[0]}
+		ks := parts[1]
+		if i := strings.IndexByte(ks, '='); i >= 0 {
+			d, err := time.ParseDuration(ks[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("clause %q: bad delay: %w", clause, err)
+			}
+			rule.Delay = d
+			ks = ks[:i]
+		}
+		if i := strings.IndexByte(ks, '@'); i >= 0 {
+			hit, err := strconv.Atoi(ks[i+1:])
+			if err != nil || hit < 1 {
+				return nil, fmt.Errorf("clause %q: bad hit count", clause)
+			}
+			rule.Hit = hit
+			ks = ks[:i]
+		}
+		k, err := parseKind(ks)
+		if err != nil {
+			return nil, fmt.Errorf("clause %q: %w", clause, err)
+		}
+		rule.Kind = k
+		plan.rules = append(plan.rules, rule)
+	}
+	return plan, nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "error":
+		return KindError, nil
+	case "panic":
+		return KindPanic, nil
+	case "latency":
+		return KindLatency, nil
+	default:
+		return 0, fmt.Errorf("unknown fault kind %q", s)
+	}
+}
+
+// planKey carries a *Plan in a context.
+type planKey struct{}
+
+// WithPlan returns a context carrying p; fault points under it consult p
+// instead of the process-global plan. A nil p returns ctx unchanged.
+func WithPlan(ctx context.Context, p *Plan) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, planKey{}, p)
+}
+
+// Active reports whether any plan (context-scoped or global) governs ctx.
+func Active(ctx context.Context) bool { return from(ctx) != nil }
+
+func from(ctx context.Context) *Plan {
+	if ctx != nil {
+		if p, ok := ctx.Value(planKey{}).(*Plan); ok {
+			return p
+		}
+	}
+	return global.Load()
+}
+
+// Inject is the fault point. Stage boundaries call it with their point
+// name; the active plan (context-scoped first, then global) decides the
+// outcome: nil (proceed), an errs.ErrTransient-classed error, a sleep
+// (latency, bounded by ctx), or a panic. With no active plan the cost is
+// one atomic load.
+func Inject(ctx context.Context, point string) error {
+	p := from(ctx)
+	if p == nil {
+		return nil
+	}
+	r := p.check(point)
+	if r == nil {
+		return nil
+	}
+	switch r.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	case KindLatency:
+		d := r.Delay
+		if d <= 0 {
+			d = DefaultLatency
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		return nil
+	default:
+		return errs.Transient("fault: injected error at %s", point)
+	}
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mthplace/internal/errs"
+)
+
+func TestNoPlanIsFree(t *testing.T) {
+	if err := Inject(context.Background(), "flow.solve"); err != nil {
+		t.Fatalf("no plan: err = %v", err)
+	}
+	if Active(context.Background()) {
+		t.Fatal("Active with no plan installed")
+	}
+}
+
+func TestExplicitRuleFiresOnExactHit(t *testing.T) {
+	p := NewPlan(Rule{Point: "flow.solve", Kind: KindError, Hit: 2})
+	ctx := WithPlan(context.Background(), p)
+	if err := Inject(ctx, "flow.solve"); err != nil {
+		t.Fatalf("hit 1: err = %v, want nil", err)
+	}
+	err := Inject(ctx, "flow.solve")
+	if !errors.Is(err, errs.ErrTransient) {
+		t.Fatalf("hit 2: err = %v, want ErrTransient", err)
+	}
+	if err := Inject(ctx, "flow.solve"); err != nil {
+		t.Fatalf("hit 3: err = %v, want nil", err)
+	}
+	if err := Inject(ctx, "flow.other"); err != nil {
+		t.Fatalf("other point: err = %v, want nil", err)
+	}
+	ev := p.Events()
+	if len(ev) != 1 || ev[0] != (Event{Point: "flow.solve", Kind: KindError, Hit: 2}) {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestEveryHitRule(t *testing.T) {
+	p := NewPlan(Rule{Point: "x", Kind: KindError})
+	ctx := WithPlan(context.Background(), p)
+	for i := 0; i < 3; i++ {
+		if err := Inject(ctx, "x"); !errors.Is(err, errs.ErrTransient) {
+			t.Fatalf("hit %d: err = %v, want ErrTransient", i+1, err)
+		}
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	ctx := WithPlan(context.Background(), NewPlan(Rule{Point: "x", Kind: KindPanic}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	_ = Inject(ctx, "x")
+}
+
+func TestLatencyInjectionRespectsContext(t *testing.T) {
+	p := NewPlan(Rule{Point: "x", Kind: KindLatency, Delay: time.Hour})
+	ctx, cancel := context.WithCancel(WithPlan(context.Background(), p))
+	cancel()
+	start := time.Now()
+	if err := Inject(ctx, "x"); err != nil {
+		t.Fatalf("latency: err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("latency fault ignored canceled context (%v)", elapsed)
+	}
+}
+
+// TestRandomPlanDeterministic: two plans with the same seed produce the
+// same injections over the same hit sequence.
+func TestRandomPlanDeterministic(t *testing.T) {
+	run := func() []Event {
+		p := NewRandomPlan(7, 0.5, KindError, KindLatency)
+		ctx := WithPlan(context.Background(), p)
+		for i := 0; i < 50; i++ {
+			_ = Inject(ctx, "a")
+			_ = Inject(ctx, "b")
+		}
+		return p.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("rate 0.5 over 100 hits injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGlobalInstallAndRestore(t *testing.T) {
+	restore := Install(NewPlan(Rule{Point: "g", Kind: KindError}))
+	if err := Inject(context.Background(), "g"); !errors.Is(err, errs.ErrTransient) {
+		t.Fatalf("global plan: err = %v, want ErrTransient", err)
+	}
+	restore()
+	if err := Inject(context.Background(), "g"); err != nil {
+		t.Fatalf("after restore: err = %v", err)
+	}
+}
+
+// TestContextPlanShadowsGlobal: a per-run plan wins over the process plan,
+// so concurrent jobs with different plans never interfere.
+func TestContextPlanShadowsGlobal(t *testing.T) {
+	restore := Install(NewPlan(Rule{Point: "p", Kind: KindError}))
+	defer restore()
+	ctx := WithPlan(context.Background(), NewPlan()) // empty: never injects
+	if err := Inject(ctx, "p"); err != nil {
+		t.Fatalf("scoped empty plan: err = %v, want nil", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("flow.solve:error@2, flow.legalize:latency=5ms, flow.route:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Point: "flow.solve", Kind: KindError, Hit: 2},
+		{Point: "flow.legalize", Kind: KindLatency, Delay: 5 * time.Millisecond},
+		{Point: "flow.route", Kind: KindPanic},
+	}
+	if len(p.rules) != len(want) {
+		t.Fatalf("rules = %+v, want %+v", p.rules, want)
+	}
+	for i := range want {
+		if p.rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, p.rules[i], want[i])
+		}
+	}
+
+	p, err = ParseSpec("rand:42:0.25:error+panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.rng == nil || p.rate != 0.25 || len(p.kinds) != 2 {
+		t.Fatalf("rand plan = %+v", p)
+	}
+
+	for _, bad := range []string{
+		"flow.solve", "x:frob", "x:error@0", "x:latency=nope",
+		"rand:x:0.5", "rand:1:2", "rand:1:0.5:error+frob", "rand:1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInitFromEnv(t *testing.T) {
+	t.Setenv("MTHPLACE_FAULTS", "e:error@1")
+	if err := InitFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	defer Install(nil)
+	if err := Inject(context.Background(), "e"); !errors.Is(err, errs.ErrTransient) {
+		t.Fatalf("env plan: err = %v, want ErrTransient", err)
+	}
+
+	t.Setenv("MTHPLACE_FAULTS", "broken")
+	if err := InitFromEnv(); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

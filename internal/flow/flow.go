@@ -27,6 +27,7 @@ import (
 	"mthplace/internal/check"
 	"mthplace/internal/core"
 	"mthplace/internal/errs"
+	"mthplace/internal/fault"
 	"mthplace/internal/geom"
 	"mthplace/internal/lefdef"
 	"mthplace/internal/legalize"
@@ -49,10 +50,27 @@ import (
 //	                instance unsatisfiable; retrying won't help, fix the spec.
 //	ErrTimeout    — a context deadline expired mid-stage.
 //	ErrCanceled   — the caller canceled the context mid-stage.
+//	ErrTransient  — a recoverable infrastructure failure (injected faults
+//	                included); the job server retries this class.
+//	ErrPanic      — a panic caught at the runner boundary; the process
+//	                survives and the run reports a typed failure.
 var (
 	ErrInfeasible = errs.ErrInfeasible
 	ErrTimeout    = errs.ErrTimeout
 	ErrCanceled   = errs.ErrCanceled
+	ErrTransient  = errs.ErrTransient
+	ErrPanic      = errs.ErrPanic
+)
+
+// Fault points at the runner's stage boundaries (see internal/fault and
+// DESIGN.md §10). Each is checked once per stage entry; with no active
+// fault plan the cost is one atomic load.
+const (
+	PointParse    = "flow.parse"
+	PointCluster  = "flow.cluster"
+	PointSolve    = "flow.solve"
+	PointLegalize = "flow.legalize"
+	PointRoute    = "flow.route"
 )
 
 // ID names a flow.
@@ -158,6 +176,14 @@ type Metrics struct {
 	NumMinority int
 	NminR       int
 	ILPVars     int
+	// Degradation provenance of the RAP solve (DESIGN.md §10): the ladder
+	// rung that produced the row assignment ("ilp", "anytime", "greedy"),
+	// whether that was a forced degradation, why, and the optimality-gap
+	// bound (-1 = unknown). Empty for Flow (1), which runs no assignment.
+	SolveRung          string
+	SolveDegraded      bool
+	SolveDegradeReason string
+	SolveGap           float64
 	// Post-route (Table V); populated when routing was requested.
 	Routed   bool
 	RoutedWL int64
@@ -201,13 +227,24 @@ type Runner struct {
 
 // NewRunner generates the testcase and the unconstrained initial placement.
 // The context bounds the preparation work (its worker pool is taken from the
-// config, not the context) and cancellation aborts between stages.
-func NewRunner(ctx context.Context, spec synth.Spec, cfg Config) (*Runner, error) {
+// config, not the context) and cancellation aborts between stages. A panic
+// in any preparation stage is caught at this boundary and returned as an
+// ErrPanic-classed error, so a faulty (or fault-injected) stage can never
+// take the calling process down.
+func NewRunner(ctx context.Context, spec synth.Spec, cfg Config) (r *Runner, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r, err = nil, errs.FromPanic(rec, "flow: prepare %s", spec.Name())
+		}
+	}()
 	pool := cfg.EffectivePool()
 	ctx = par.WithPool(ctx, pool)
 	start := time.Now()
 	tc := tech.Default()
 	lib := celllib.New(tc)
+	if err := fault.Inject(ctx, PointParse); err != nil {
+		return nil, fmt.Errorf("flow: prepare: %w", err)
+	}
 	d, err := synth.Generate(tc, lib, spec, cfg.Synth)
 	if err != nil {
 		return nil, err
@@ -227,7 +264,7 @@ func NewRunner(ctx context.Context, spec synth.Spec, cfg Config) (*Runner, error
 	if err := errs.FromContext(ctx); err != nil {
 		return nil, fmt.Errorf("flow: prepare: %w", err)
 	}
-	r := &Runner{
+	r = &Runner{
 		Spec: spec, Cfg: cfg, Tech: tc, Lib: lib,
 		Base: d, Grid: g, RefPos: d.Positions(),
 		pool: pool,
@@ -256,8 +293,17 @@ func (r *Runner) withPool(ctx context.Context) context.Context {
 // Run executes one flow. withRoute additionally routes the result and fills
 // the post-route metrics. Cancellation of ctx aborts the run within one
 // solver/Lloyd iteration (or one legalization pass) and surfaces as
-// ErrCanceled (deadline expiry as ErrTimeout).
-func (r *Runner) Run(ctx context.Context, id ID, withRoute bool) (*Result, error) {
+// ErrCanceled (deadline expiry as ErrTimeout). A panic in any stage —
+// worker-pool panics included, since the pool re-raises them on this
+// goroutine — is caught here and returned as an ErrPanic-classed error:
+// the runner either returns a verified placement or a typed failure, never
+// unwinds the caller.
+func (r *Runner) Run(ctx context.Context, id ID, withRoute bool) (res *Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, errs.FromPanic(rec, "flow: %v", id)
+		}
+	}()
 	ctx = r.withPool(ctx)
 	switch id {
 	case Flow1:
@@ -320,14 +366,39 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 	var seedY map[int32]int64
 	var cellPair map[int32]int
 	if id.UsesILP() {
+		// The proposed assignment, staged explicitly (rather than through
+		// core.AssignRows) so clustering and the RAP solve sit behind their
+		// own fault points.
 		rapStart := time.Now()
-		ra, err := core.AssignRows(ctx, d, r.Grid, r.NminR, r.Cfg.Core)
+		if err := fault.Inject(ctx, PointCluster); err != nil {
+			return nil, fmt.Errorf("clustering: %w", err)
+		}
+		cl, err := core.BuildClusters(ctx, d, r.Cfg.Core.S, r.Cfg.Core.KMeansIters)
+		if err != nil {
+			return nil, fmt.Errorf("row assignment: %w", err)
+		}
+		model, err := core.BuildModel(ctx, d, r.Grid, cl, r.NminR, r.Cfg.Core.Cost)
+		if err != nil {
+			return nil, fmt.Errorf("row assignment: %w", err)
+		}
+		if err := fault.Inject(ctx, PointSolve); err != nil {
+			return nil, fmt.Errorf("row assignment: %w", err)
+		}
+		sol, err := core.SolveILP(ctx, model, r.Cfg.Core.Solve)
+		if err != nil {
+			return nil, fmt.Errorf("row assignment: %w", err)
+		}
+		ra, err := core.Finalize(d, r.Grid, model, cl, sol)
 		if err != nil {
 			return nil, fmt.Errorf("row assignment: %w", err)
 		}
 		met.RAPTime = time.Since(rapStart)
 		met.NumClusters = ra.Clusters.N()
 		met.ILPVars = ra.Assignment.Stats.NumVars
+		met.SolveRung = ra.Assignment.Stats.Rung
+		met.SolveDegraded = ra.Assignment.Stats.Degraded
+		met.SolveDegradeReason = ra.Assignment.Stats.DegradeReason
+		met.SolveGap = ra.Assignment.Stats.Gap
 		stack = ra.Stack
 		seedY = ra.SeedY
 		cellPair = ra.CellPair
@@ -336,12 +407,16 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		// N_minR; recompute against this clone's identical placement to
 		// charge its runtime).
 		rapStart := time.Now()
+		if err := fault.Inject(ctx, PointSolve); err != nil {
+			return nil, fmt.Errorf("baseline assignment: %w", err)
+		}
 		ba, err := baseline.AssignRows(d, r.Grid, r.Cfg.Baseline)
 		if err != nil {
 			return nil, fmt.Errorf("baseline assignment: %w", err)
 		}
 		met.RAPTime = time.Since(rapStart)
 		met.NumClusters = ba.NminR
+		met.SolveRung = "baseline"
 		stack = ba.Stack
 		seedY = ba.SeedY
 		cellPair = ba.CellPair
@@ -353,6 +428,9 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 	// Back to true mixed-height cells, then legalize under row-constraint.
 	if err := lefdef.Revert(d); err != nil {
 		return nil, err
+	}
+	if err := fault.Inject(ctx, PointLegalize); err != nil {
+		return nil, fmt.Errorf("legalization: %w", err)
 	}
 	legalStart := time.Now()
 	if id.UsesFenceLegalization() {
@@ -399,6 +477,9 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 // cancellation is only checked between them.
 func (r *Runner) routeAndSign(ctx context.Context, res *Result) error {
 	if err := errs.FromContext(ctx); err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	if err := fault.Inject(ctx, PointRoute); err != nil {
 		return fmt.Errorf("route: %w", err)
 	}
 	rt, err := route.Route(res.Design, r.Cfg.Route)

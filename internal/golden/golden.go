@@ -28,7 +28,7 @@ import (
 // seconds while still exercising clustering, the RAP ILP, restacking and
 // legalization on three differently shaped designs.
 const (
-	Schema = 1
+	Schema = 2
 	Scale  = 0.02
 	Seed   = 1
 	// DefaultTol is the relative tolerance applied per metric. The flows
@@ -42,10 +42,31 @@ const (
 // Designs are the Table II testcases in the corpus.
 var Designs = []string{"aes_300", "fpu_4000", "des3_210"}
 
+// Degraded-entry parameters: one design re-run with the branch-and-bound
+// budget pinned to a single node and root cuts disabled, which
+// deterministically stops the search before optimality is proven and
+// forces the solve ladder onto its anytime rung. Pinning this entry keeps
+// the ladder itself — not just the happy path — under regression control.
+const (
+	DegradedDesign   = "aes_300"
+	DegradedMaxNodes = 1
+)
+
+// DegradedFlows are the ILP flows captured in the degraded entry.
+var DegradedFlows = []flow.ID{flow.Flow4, flow.Flow5}
+
 // FlowMetrics is one flow's snapshot on one design.
 type FlowMetrics struct {
 	Displacement int64 `json:"disp"`
 	HPWL         int64 `json:"hpwl"`
+	// Rung is the solve-ladder rung that produced the metrics ("baseline"
+	// for Flow 1, "ilp" for proven-optimal solves, "anytime"/"greedy" for
+	// degraded ones). Compared exactly: a ladder regression that silently
+	// changes which rung answers is precisely what this field catches.
+	Rung string `json:"rung,omitempty"`
+	// Gap is the recorded optimality-gap bound of a degraded solve
+	// (0 for proven optimum, -1 for unknown).
+	Gap float64 `json:"gap,omitempty"`
 }
 
 // DesignSnapshot holds one design's shape and per-flow metrics.
@@ -62,6 +83,9 @@ type Snapshot struct {
 	Scale   float64          `json:"scale"`
 	Seed    int64            `json:"seed"`
 	Designs []DesignSnapshot `json:"designs"`
+	// Degraded pins the anytime rung of the solve ladder: DegradedDesign
+	// re-run with a single-node search budget (see the Degraded* consts).
+	Degraded *DesignSnapshot `json:"degraded,omitempty"`
 }
 
 // FlowKey names a flow in the snapshot ("flow1".."flow5").
@@ -99,11 +123,60 @@ func Compute(ctx context.Context) (*Snapshot, error) {
 			ds.Flows[FlowKey(id)] = FlowMetrics{
 				Displacement: res.Metrics.Displacement,
 				HPWL:         res.Metrics.HPWL,
+				Rung:         res.Metrics.SolveRung,
+				Gap:          res.Metrics.SolveGap,
 			}
 		}
 		s.Designs = append(s.Designs, ds)
 	}
+	deg, err := computeDegraded(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.Degraded = deg
 	return s, nil
+}
+
+// computeDegraded runs the degraded-entry flows with the search budget
+// deterministically exhausted (node limit 1, no root cuts), so the solve
+// ladder must answer from its anytime rung. The budget is a node count,
+// not wall-clock, so the entry reproduces exactly on any machine. Each run
+// still executes under Config.Verify: a degraded answer must be a legal
+// placement like any other.
+func computeDegraded(ctx context.Context) (*DesignSnapshot, error) {
+	spec, err := findSpec(DegradedDesign)
+	if err != nil {
+		return nil, err
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Synth.Scale = Scale
+	cfg.Synth.Seed = Seed
+	cfg.Verify = true
+	cfg.Core.Solve.MILP.MaxNodes = DegradedMaxNodes
+	cfg.Core.Solve.RootCuts = -1
+	r, err := flow.NewRunner(ctx, spec, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("golden: degraded %s: %w", DegradedDesign, err)
+	}
+	ds := &DesignSnapshot{
+		Name:  DegradedDesign,
+		Cells: len(r.Base.Insts),
+		Nets:  len(r.Base.Nets),
+		Flows: map[string]FlowMetrics{},
+	}
+	for _, id := range DegradedFlows {
+		res, err := r.Run(ctx, id, false)
+		if err != nil {
+			return nil, fmt.Errorf("golden: degraded %s %v: %w", DegradedDesign, id, err)
+		}
+		ds.Flows[FlowKey(id)] = FlowMetrics{
+			Displacement: res.Metrics.Displacement,
+			HPWL:         res.Metrics.HPWL,
+			Rung:         res.Metrics.SolveRung,
+			Gap:          res.Metrics.SolveGap,
+		}
+	}
+	return ds, nil
 }
 
 // Load reads a snapshot from disk.
@@ -152,36 +225,57 @@ func Compare(got, want *Snapshot, tol float64) []string {
 			diff("%s: missing from computed snapshot", w.Name)
 			continue
 		}
-		if g.Cells != w.Cells || g.Nets != w.Nets {
-			diff("%s: shape drift: got %d cells/%d nets, want %d cells/%d nets",
-				w.Name, g.Cells, g.Nets, w.Cells, w.Nets)
-		}
-		keys := make([]string, 0, len(w.Flows))
-		for k := range w.Flows {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			wm := w.Flows[k]
-			gm, ok := g.Flows[k]
-			if !ok {
-				diff("%s/%s: missing from computed snapshot", w.Name, k)
-				continue
-			}
-			if !within(gm.Displacement, wm.Displacement, tol) {
-				diff("%s/%s: displacement drift: got %d, want %d (tol %.2f%%)",
-					w.Name, k, gm.Displacement, wm.Displacement, 100*tol)
-			}
-			if !within(gm.HPWL, wm.HPWL, tol) {
-				diff("%s/%s: HPWL drift: got %d, want %d (tol %.2f%%)",
-					w.Name, k, gm.HPWL, wm.HPWL, 100*tol)
-			}
-		}
+		compareDesign(diff, w.Name, g, w, tol)
 	}
 	if len(got.Designs) != len(want.Designs) {
 		diff("design count: got %d, want %d", len(got.Designs), len(want.Designs))
 	}
+	switch {
+	case want.Degraded == nil:
+	case got.Degraded == nil:
+		diff("degraded: missing from computed snapshot")
+	default:
+		compareDesign(diff, "degraded/"+want.Degraded.Name, got.Degraded, want.Degraded, tol)
+	}
 	return diffs
+}
+
+// compareDesign diffs one design's shape and per-flow metrics. The rung is
+// compared exactly — a ladder that answers from a different rung is a
+// behaviour change even when the metrics happen to agree.
+func compareDesign(diff func(string, ...any), label string, g, w *DesignSnapshot, tol float64) {
+	if g.Cells != w.Cells || g.Nets != w.Nets {
+		diff("%s: shape drift: got %d cells/%d nets, want %d cells/%d nets",
+			label, g.Cells, g.Nets, w.Cells, w.Nets)
+	}
+	keys := make([]string, 0, len(w.Flows))
+	for k := range w.Flows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		wm := w.Flows[k]
+		gm, ok := g.Flows[k]
+		if !ok {
+			diff("%s/%s: missing from computed snapshot", label, k)
+			continue
+		}
+		if !within(gm.Displacement, wm.Displacement, tol) {
+			diff("%s/%s: displacement drift: got %d, want %d (tol %.2f%%)",
+				label, k, gm.Displacement, wm.Displacement, 100*tol)
+		}
+		if !within(gm.HPWL, wm.HPWL, tol) {
+			diff("%s/%s: HPWL drift: got %d, want %d (tol %.2f%%)",
+				label, k, gm.HPWL, wm.HPWL, 100*tol)
+		}
+		if gm.Rung != wm.Rung {
+			diff("%s/%s: solve rung drift: got %q, want %q", label, k, gm.Rung, wm.Rung)
+		}
+		if math.Abs(gm.Gap-wm.Gap) > tol*math.Max(1, math.Abs(wm.Gap)) {
+			diff("%s/%s: gap drift: got %g, want %g (tol %.2f%%)",
+				label, k, gm.Gap, wm.Gap, 100*tol)
+		}
+	}
 }
 
 func within(got, want int64, tol float64) bool {

@@ -1,0 +1,134 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func entry(seq int64, job, event string) Entry {
+	e := Entry{Seq: seq, Job: job, Event: event}
+	if event == EventSubmitted {
+		e.Request = json.RawMessage(`{"testcase":"aes_300"}`)
+	}
+	return e
+}
+
+func TestAppendAndReadAll(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		entry(1, "job-1", EventSubmitted),
+		entry(1, "job-1", EventStarted),
+		entry(1, "job-1", EventDone),
+	}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadAll(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadAll: err=%v skipped=%d", err, skipped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Job != want[i].Job || got[i].Event != want[i].Event || got[i].Seq != want[i].Seq {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Time.IsZero() {
+			t.Errorf("entry %d: Append did not stamp a time", i)
+		}
+	}
+}
+
+func TestReadAllMissingFileIsEmpty(t *testing.T) {
+	got, skipped, err := ReadAll(t.TempDir())
+	if err != nil || skipped != 0 || len(got) != 0 {
+		t.Fatalf("missing journal: got=%v skipped=%d err=%v", got, skipped, err)
+	}
+}
+
+// TestReadAllToleratesTornTail: a crash mid-Append leaves a partial final
+// line; recovery must keep every complete entry and count the torn one.
+func TestReadAllToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(entry(1, "job-1", EventSubmitted)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"job":"job-2","ev`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, skipped, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || skipped != 1 {
+		t.Fatalf("got %d entries, %d skipped; want 1 and 1", len(got), skipped)
+	}
+	pending, maxSeq := Pending(got)
+	if len(pending) != 1 || pending[0].ID != "job-1" || maxSeq != 1 {
+		t.Fatalf("pending = %+v, maxSeq = %d", pending, maxSeq)
+	}
+}
+
+func TestPending(t *testing.T) {
+	entries := []Entry{
+		entry(1, "job-1", EventSubmitted),
+		entry(2, "job-2", EventSubmitted),
+		entry(3, "job-3", EventSubmitted),
+		entry(1, "job-1", EventStarted),
+		entry(1, "job-1", EventDone),
+		entry(3, "job-3", EventCanceled),
+		entry(2, "job-2", EventStarted), // started but never finished
+	}
+	pending, maxSeq := Pending(entries)
+	if maxSeq != 3 {
+		t.Errorf("maxSeq = %d, want 3", maxSeq)
+	}
+	if len(pending) != 1 || pending[0].ID != "job-2" || pending[0].Seq != 2 {
+		t.Fatalf("pending = %+v, want just job-2", pending)
+	}
+	if len(pending[0].Request) == 0 {
+		t.Error("pending job lost its request payload")
+	}
+}
+
+func TestPendingOrdersBySeq(t *testing.T) {
+	entries := []Entry{
+		entry(5, "job-5", EventSubmitted),
+		entry(2, "job-2", EventSubmitted),
+		entry(9, "job-9", EventSubmitted),
+	}
+	pending, maxSeq := Pending(entries)
+	if maxSeq != 9 || len(pending) != 3 {
+		t.Fatalf("pending = %+v, maxSeq = %d", pending, maxSeq)
+	}
+	for i, want := range []string{"job-2", "job-5", "job-9"} {
+		if pending[i].ID != want {
+			t.Errorf("pending[%d] = %s, want %s", i, pending[i].ID, want)
+		}
+	}
+}

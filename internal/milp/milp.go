@@ -90,14 +90,52 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// StopReason records why the search ended before exhausting the tree; it
+// distinguishes the solver's own budgets (nodes, wall-clock) from the
+// caller's context so degradation policies can report honest provenance.
+type StopReason int8
+
+const (
+	// StopNone: the tree was exhausted (or the gap closed); nothing was cut
+	// short.
+	StopNone StopReason = iota
+	// StopNodeLimit: Options.MaxNodes ran out.
+	StopNodeLimit
+	// StopTimeLimit: Options.TimeLimit expired.
+	StopTimeLimit
+	// StopContext: the caller's context was canceled or its deadline
+	// expired mid-search.
+	StopContext
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopNone:
+		return "none"
+	case StopNodeLimit:
+		return "node-limit"
+	case StopTimeLimit:
+		return "time-limit"
+	case StopContext:
+		return "context"
+	default:
+		return "unknown"
+	}
+}
+
 // Result of a solve.
 type Result struct {
 	Status Status
+	// Stop explains an early exit; StopNone when the search ran to proof.
+	Stop StopReason
 	// X is the incumbent solution (valid for Optimal/Feasible).
 	X []float64
 	// Obj is the incumbent objective.
 	Obj float64
-	// Bound is the best proven lower bound on the optimum.
+	// Bound is the best proven lower bound on the optimum. At a limit it is
+	// the tightest bound among the still-open nodes; -Inf means the search
+	// stopped before any node produced a usable bound.
 	Bound float64
 	// Nodes explored.
 	Nodes int
@@ -105,9 +143,11 @@ type Result struct {
 	LPIters int
 }
 
-// Gap returns the relative optimality gap of the result.
+// Gap returns the relative optimality gap of the result: 0 at proven
+// optimality, +Inf when there is no incumbent or no finite bound to measure
+// against (an anytime caller should then report the gap as unknown).
 func (r *Result) Gap() float64 {
-	if len(r.X) == 0 {
+	if len(r.X) == 0 || math.IsInf(r.Bound, -1) {
 		return math.Inf(1)
 	}
 	return (r.Obj - r.Bound) / math.Max(1, math.Abs(r.Obj))
@@ -177,20 +217,21 @@ func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Resul
 
 	h := &nodeHeap{{bound: math.Inf(-1)}}
 	seq := 1
-	bestBound := math.Inf(1) // min over open nodes tracked lazily via heap top
 
 	for h.Len() > 0 {
 		if res.Nodes >= opt.MaxNodes {
+			res.Stop = StopNodeLimit
 			break
 		}
 		if ctx.Err() != nil {
+			res.Stop = StopContext
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Stop = StopTimeLimit
 			break
 		}
 		nd := heap.Pop(h).(*node)
-		bestBound = nd.bound
 		if len(res.X) > 0 && nd.bound >= res.Obj-gapAbs(opt, res.Obj) {
 			// Bound-dominated; since the heap is bound-ordered, all
 			// remaining nodes are dominated too.
@@ -267,8 +308,12 @@ func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Resul
 		}
 		return res
 	}
-	// Limit hit: report the tightest open bound.
-	res.Bound = bestBound
+	// Limit hit: the heap minimum is the tightest valid lower bound on the
+	// optimum — every open subtree's optimum is at least its node's bound,
+	// and closed subtrees are dominated by the incumbent. -Inf (the root's
+	// placeholder bound) means no node was solved before the limit, so the
+	// gap is honestly unknown.
+	res.Bound = (*h)[0].bound
 	if len(res.X) > 0 {
 		res.Status = Feasible
 	}

@@ -23,6 +23,10 @@ func exactOptions() core.SolveOptions {
 	return core.SolveOptions{
 		CandidateRows: 0,
 		MILP:          milp.Options{MaxNodes: 5_000_000},
+		// Strict forbids the degradation ladder: anything short of the
+		// proven optimum is an error, so a silently degraded solve can
+		// never slip through the differential comparison.
+		Degrade: core.DegradeStrict,
 	}
 }
 

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mustPanic runs fn and returns the recovered panic value, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) (v any) {
+	t.Helper()
+	defer func() { v = recover() }()
+	fn()
+	t.Fatal("no panic propagated to the caller")
+	return nil
+}
+
+// TestNestedPoolPanicPropagates: a panic in an inner pool's worker must
+// climb through both pool layers to the outermost caller — the inner run
+// re-raises it on the outer worker, whose own recover hands it to the
+// outer caller. One recover at the API boundary is then enough no matter
+// how deep the parallel nesting goes, which is exactly what the flow
+// runner and job server rely on.
+func TestNestedPoolPanicPropagates(t *testing.T) {
+	outer, inner := NewPool(4), NewPool(4)
+	v := mustPanic(t, func() {
+		outer.For(8, func(i int) {
+			inner.For(8, func(j int) {
+				if i == 3 && j == 5 {
+					panic("inner worker 3/5")
+				}
+			})
+		})
+	})
+	if v != "inner worker 3/5" {
+		t.Fatalf("panic value = %v, want the inner worker's", v)
+	}
+}
+
+// TestPoolSurvivesPanic: after a propagated panic the pool's extra-worker
+// budget is fully released and later parallel work still completes; a
+// panicking job must not poison the shared pool for its neighbours.
+func TestPoolSurvivesPanic(t *testing.T) {
+	p := NewPool(4)
+	for round := 0; round < 3; round++ {
+		mustPanic(t, func() {
+			p.For(64, func(i int) {
+				if i == 17 {
+					panic("round trip")
+				}
+			})
+		})
+		if got := p.extraInUse.Load(); got != 0 {
+			t.Fatalf("round %d: %d extra workers still held after panic", round, got)
+		}
+	}
+	var ran atomic.Int64
+	p.For(128, func(int) { ran.Add(1) })
+	if ran.Load() != 128 {
+		t.Fatalf("post-panic For ran %d/128 iterations", ran.Load())
+	}
+}
+
+// TestSequentialPanicPropagates: the Jobs=1 fast path runs on the calling
+// goroutine and must panic just as loudly.
+func TestSequentialPanicPropagates(t *testing.T) {
+	p := NewPool(1)
+	if v := mustPanic(t, func() {
+		p.For(4, func(i int) {
+			if i == 2 {
+				panic("sequential")
+			}
+		})
+	}); v != "sequential" {
+		t.Fatalf("panic value = %v", v)
+	}
+}
+
+// TestPanicLeavesNoGoroutines: recruited workers exit even when the body
+// panics; the goroutine count settles back to its baseline.
+func TestPanicLeavesNoGoroutines(t *testing.T) {
+	p := NewPool(8)
+	base := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		mustPanic(t, func() {
+			p.For(32, func(i int) {
+				if i%7 == 0 {
+					panic(i)
+				}
+			})
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines leaked: %d running, baseline %d", n, base)
+	}
+}

@@ -126,7 +126,8 @@ func (r *JobRequest) config(shared *par.Pool) flow.Config {
 // Job is one placement run through the service. All mutable fields are
 // guarded by mu; JSON rendering goes through view().
 type Job struct {
-	ID string
+	ID   string
+	seqn int64 // journal sequence; immutable after construction
 
 	mu        sync.Mutex
 	state     State
@@ -139,6 +140,9 @@ type Job struct {
 	err       error
 	results   map[flow.ID]flow.Metrics
 	cancel    context.CancelFunc
+	attempts  int  // executions so far (1 + retries)
+	degraded  bool // some flow settled below the ILP-optimum rung
+	replayed  bool // re-queued from the journal after a crash
 }
 
 // JobView is the wire representation of a job for GET /jobs[/{id}].
@@ -151,6 +155,13 @@ type JobView struct {
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
+	// Attempts counts executions; >1 means transient failures were retried.
+	Attempts int `json:"attempts,omitempty"`
+	// Degraded marks a job whose solve settled below the proven ILP
+	// optimum (anytime incumbent or greedy fallback).
+	Degraded bool `json:"degraded,omitempty"`
+	// Replayed marks a job recovered from the journal after a crash.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -176,7 +187,24 @@ func (j *Job) view() JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
+	v.Attempts = j.attempts
+	v.Degraded = j.degraded
+	v.Replayed = j.replayed
 	return v
+}
+
+// noteAttempt counts one execution of the job's flows.
+func (j *Job) noteAttempt() {
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+}
+
+// noteDegraded marks the job as having settled below the ILP optimum.
+func (j *Job) noteDegraded() {
+	j.mu.Lock()
+	j.degraded = true
+	j.mu.Unlock()
 }
 
 // snapshot returns the fields the result endpoint needs.

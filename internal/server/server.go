@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"runtime"
 	"sync"
@@ -30,6 +31,7 @@ import (
 
 	"mthplace/internal/errs"
 	"mthplace/internal/flow"
+	"mthplace/internal/journal"
 	"mthplace/internal/par"
 )
 
@@ -47,6 +49,17 @@ type Options struct {
 	// PoolJobs bounds the shared worker pool that jobs without a private
 	// Jobs setting draw from (default GOMAXPROCS).
 	PoolJobs int
+	// MaxRetries is how many times a job failing with errs.ErrTransient is
+	// re-run before the failure is reported (default 2; negative disables
+	// retries). Panics, timeouts, cancels and infeasibility never retry.
+	MaxRetries int
+	// RetryBase is the first backoff delay; attempt n waits
+	// RetryBase·2ⁿ plus a deterministic jitter (default 25ms).
+	RetryBase time.Duration
+	// JournalDir, when set, enables the crash-safe job journal: accepted
+	// jobs are recorded before queueing, and on startup any job the
+	// journal shows unfinished is re-queued with its original ID.
+	JournalDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +72,15 @@ func (o Options) withDefaults() Options {
 	if o.PoolJobs <= 0 {
 		o.PoolJobs = runtime.GOMAXPROCS(0)
 	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
 	return o
 }
 
@@ -67,6 +89,7 @@ type Server struct {
 	opt   Options
 	pool  *par.Pool // shared budget for jobs without a private bound
 	stats *stats
+	jrnl  *journal.Journal // nil when journaling is off
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -84,9 +107,11 @@ type Server struct {
 	wg sync.WaitGroup // worker goroutines
 }
 
-// New starts a server with opt.Workers worker goroutines. Call Shutdown to
-// stop it.
-func New(opt Options) *Server {
+// New starts a server with opt.Workers worker goroutines. When a journal
+// directory is configured, jobs the journal shows accepted but unfinished
+// (a previous process crashed under them) are re-queued, with their
+// original IDs, before the workers start. Call Shutdown to stop it.
+func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -96,15 +121,61 @@ func New(opt Options) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
-		queue:      make(chan *Job, opt.QueueDepth),
 		accepting:  true,
 	}
 	s.execFn = s.execute
+
+	var pending []journal.PendingJob
+	if opt.JournalDir != "" {
+		entries, _, err := journal.ReadAll(opt.JournalDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		var maxSeq int64
+		pending, maxSeq = journal.Pending(entries)
+		s.seq.Store(maxSeq)
+		if s.jrnl, err = journal.Open(opt.JournalDir); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	// Replayed jobs must all fit ahead of live traffic, so the queue is
+	// sized past its configured depth by however many the journal owes us.
+	s.queue = make(chan *Job, opt.QueueDepth+len(pending))
+	s.replay(pending)
+
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// replay re-queues journaled jobs. A request that no longer validates —
+// possible only if the journal was edited or the format drifted — is
+// journaled as failed rather than wedging recovery.
+func (s *Server) replay(pending []journal.PendingJob) {
+	for _, p := range pending {
+		jb := &Job{ID: p.ID, state: StateQueued, submitted: time.Now(), replayed: true}
+		var err error
+		if uerr := json.Unmarshal(p.Request, &jb.req); uerr != nil {
+			err = fmt.Errorf("journal replay: %w", uerr)
+		} else if jb.spec, jb.flows, err = jb.req.validate(); err != nil {
+			err = fmt.Errorf("journal replay: %w", err)
+		}
+		if err != nil {
+			jb.state = StateFailed
+			jb.err = err
+			jb.finished = time.Now()
+			_ = s.jrnl.Append(journal.Entry{Seq: p.Seq, Job: jb.ID, Event: journal.EventFailed, Error: err.Error()})
+		}
+		s.jobs[jb.ID] = jb
+		s.order = append(s.order, jb.ID)
+		if jb.state == StateQueued {
+			s.queue <- jb
+		}
+	}
 }
 
 // Shutdown gracefully stops the server: intake closes immediately (new
@@ -126,12 +197,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
-		if j.state == StateQueued {
+		canceled := j.state == StateQueued
+		if canceled {
 			j.state = StateCanceled
 			j.err = errs.ErrCanceled
 			j.finished = time.Now()
 		}
 		j.mu.Unlock()
+		if canceled {
+			s.journal(j, journal.EventCanceled, errs.ErrCanceled)
+		}
 	}
 	s.mu.Unlock()
 
@@ -142,10 +217,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		_ = s.jrnl.Close()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel() // abort in-flight jobs
 		<-done
+		_ = s.jrnl.Close()
 		return ctx.Err()
 	}
 }
@@ -160,7 +237,9 @@ func (s *Server) worker() {
 
 // runJob executes one job's flows sequentially on a shared Runner, exactly
 // like a direct flow.Runner caller would — which is what makes HTTP results
-// byte-identical to library results.
+// byte-identical to library results. Transient failures are retried with
+// exponential backoff; a panic anywhere under the job is converted to a
+// typed error so the daemon survives it.
 func (s *Server) runJob(jb *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if jb.req.TimeoutMS > 0 {
@@ -170,14 +249,110 @@ func (s *Server) runJob(jb *Job) {
 	if !jb.begin(cancel) {
 		return // canceled while queued
 	}
+	s.journal(jb, journal.EventStarted, nil)
 	s.stats.jobStarted()
 	start := time.Now()
-	results, err := s.execFn(ctx, jb)
-	if err == nil {
-		err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
+
+	var results map[flow.ID]flow.Metrics
+	var err error
+	for attempt := 0; ; attempt++ {
+		jb.noteAttempt()
+		results, err = s.safeExec(ctx, jb)
+		if err == nil {
+			err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
+		}
+		if !s.shouldRetry(ctx, err, attempt) {
+			break
+		}
+		s.stats.jobRetried()
+		select {
+		case <-time.After(backoff(s.opt.RetryBase, jb.ID, attempt)):
+		case <-ctx.Done():
+		}
+	}
+	if err == nil && degradedResults(results) {
+		jb.noteDegraded()
+		s.stats.jobDegraded()
 	}
 	jb.finish(results, err)
+	s.journal(jb, terminalEvent(jb), err)
 	s.stats.jobFinished(time.Since(start))
+}
+
+// safeExec runs the job's flows behind a recover boundary. The flow layer
+// has its own boundary, so this one catches what remains: bugs in the
+// server itself, test stubs, and anything a future execFn does wrong. One
+// panicking job must cost exactly one 500, never the daemon.
+func (s *Server) safeExec(ctx context.Context, jb *Job) (results map[flow.ID]flow.Metrics, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.jobPanicked()
+			err = errs.FromPanic(rec, "server: job %s", jb.ID)
+		}
+	}()
+	return s.execFn(ctx, jb)
+}
+
+// shouldRetry allows another attempt only for transient failures, within
+// the retry budget, while the job's context is still live. Panics are
+// excluded even when the panic value carried a transient error: a panic
+// means a bug, and re-running bugs is chaos of the wrong kind.
+func (s *Server) shouldRetry(ctx context.Context, err error, attempt int) bool {
+	return attempt < s.opt.MaxRetries &&
+		err != nil &&
+		errors.Is(err, errs.ErrTransient) &&
+		!errors.Is(err, errs.ErrPanic) &&
+		ctx.Err() == nil
+}
+
+// backoff is the delay before retry attempt+1: base·2ᵃᵗᵗᵉᵐᵖᵗ plus a jitter
+// in [0, base) derived from the job ID, so concurrent retries de-correlate
+// without the schedule becoming nondeterministic for a given job.
+func backoff(base time.Duration, jobID string, attempt int) time.Duration {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(jobID))
+	_, _ = h.Write([]byte{byte(attempt)})
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return base<<uint(attempt) + jitter
+}
+
+// degradedResults reports whether any flow in the job settled on a lower
+// rung of the solve ladder than the proven ILP optimum.
+func degradedResults(results map[flow.ID]flow.Metrics) bool {
+	for _, m := range results {
+		if m.SolveDegraded {
+			return true
+		}
+	}
+	return false
+}
+
+// journal appends a lifecycle event for jb; a nil journal is a no-op.
+// Post-acceptance events are best-effort: losing one means a deterministic
+// job may be re-run after a crash, which is safe.
+func (s *Server) journal(jb *Job, event string, err error) {
+	if s.jrnl == nil {
+		return
+	}
+	e := journal.Entry{Seq: jb.seqn, Job: jb.ID, Event: event}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	_ = s.jrnl.Append(e)
+}
+
+// terminalEvent maps a finished job's state to its journal event.
+func terminalEvent(jb *Job) string {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	switch jb.state {
+	case StateCanceled:
+		return journal.EventCanceled
+	case StateFailed:
+		return journal.EventFailed
+	default:
+		return journal.EventDone
+	}
 }
 
 func (s *Server) execute(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
@@ -204,6 +379,7 @@ func (s *Server) execute(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics
 var (
 	errQueueFull    = errors.New("job queue full")
 	errNotAccepting = errors.New("server is shutting down")
+	errJournal      = errors.New("job journal write failed")
 )
 
 func (s *Server) submit(req JobRequest) (*Job, error) {
@@ -211,8 +387,10 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	seq := s.seq.Add(1)
 	jb := &Job{
-		ID:        fmt.Sprintf("job-%d", s.seq.Add(1)),
+		ID:        fmt.Sprintf("job-%d", seq),
+		seqn:      seq,
 		state:     StateQueued,
 		req:       req,
 		flows:     ids,
@@ -223,6 +401,26 @@ func (s *Server) submit(req JobRequest) (*Job, error) {
 	defer s.mu.Unlock()
 	if !s.accepting {
 		return nil, errNotAccepting
+	}
+	// Reject over-capacity before journaling: a 429'd job must leave no
+	// acceptance record, or a later restart would replay work the client
+	// was told we refused. Only submit (under mu) adds to the queue, so the
+	// room observed here cannot vanish before the send below.
+	if len(s.queue) >= cap(s.queue) {
+		return nil, errQueueFull
+	}
+	if s.jrnl != nil {
+		// The acceptance record must be durable before the job is visible:
+		// this is the one journal write whose failure rejects the request,
+		// because a job we cannot promise to replay is a job we must not
+		// accept.
+		raw, err := json.Marshal(req)
+		if err == nil {
+			err = s.jrnl.Append(journal.Entry{Seq: seq, Job: jb.ID, Event: journal.EventSubmitted, Request: raw})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", errJournal, err)
+		}
 	}
 	select {
 	case s.queue <- jb:
@@ -282,6 +480,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, errNotAccepting):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errJournal):
+		writeError(w, http.StatusInternalServerError, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -357,6 +557,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job already finished")
 		return
 	}
+	// A job canceled while still queued goes terminal right here, with no
+	// worker to journal it; a running one is journaled when it unwinds.
+	if state, _, _ := jb.snapshot(); state.terminal() {
+		s.journal(jb, journal.EventCanceled, errs.ErrCanceled)
+	}
 	writeJSON(w, http.StatusOK, jb.view())
 }
 
@@ -373,6 +578,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	busy, util, perFlow := s.stats.snapshot()
+	degraded, retries, panics := s.stats.resilience()
 	s.mu.Lock()
 	depth := len(s.queue)
 	counts := map[State]int{}
@@ -391,6 +597,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"worker_utilization": util,
 		"pool_jobs":          s.pool.Jobs(),
 		"jobs":               counts,
+		"jobs_degraded":      degraded,
+		"job_retries":        retries,
+		"job_panics":         panics,
 		"flow_latency":       perFlow,
 	})
 }

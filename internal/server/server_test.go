@@ -25,7 +25,10 @@ type testHarness struct {
 
 func newHarness(t *testing.T, opt Options) *testHarness {
 	t.Helper()
-	s := New(opt)
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	web := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		web.Close()
@@ -288,7 +291,10 @@ func TestErrorMapping(t *testing.T) {
 // TestGracefulShutdown: intake stops, queued jobs are canceled, the
 // in-flight job drains to completion, and Shutdown returns clean.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Options{Workers: 1, QueueDepth: 4})
+	s, err := New(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	s.execFn = blockingExec(release)
 	web := httptest.NewServer(s.Handler())
@@ -340,7 +346,10 @@ func TestGracefulShutdown(t *testing.T) {
 // TestShutdownDeadlineAbortsInFlight: when the drain budget expires, the
 // in-flight job's context is canceled and Shutdown reports the deadline.
 func TestShutdownDeadlineAbortsInFlight(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{}) // never closed: the job only ends by cancel
 	s.execFn = blockingExec(release)
 	web := httptest.NewServer(s.Handler())

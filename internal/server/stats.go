@@ -64,6 +64,9 @@ type stats struct {
 	busy      int           // workers currently running a job
 	busyNanos time.Duration // accumulated busy time of finished jobs
 	perFlow   map[flow.ID]*latencyRing
+	degraded  int64 // jobs that settled below the ILP-optimum rung
+	retries   int64 // transient-failure re-executions
+	panics    int64 // panics recovered at the worker boundary
 }
 
 func newStats(workers int) *stats {
@@ -81,6 +84,31 @@ func (s *stats) jobFinished(busyFor time.Duration) {
 	s.busy--
 	s.busyNanos += busyFor
 	s.mu.Unlock()
+}
+
+func (s *stats) jobDegraded() {
+	s.mu.Lock()
+	s.degraded++
+	s.mu.Unlock()
+}
+
+func (s *stats) jobRetried() {
+	s.mu.Lock()
+	s.retries++
+	s.mu.Unlock()
+}
+
+func (s *stats) jobPanicked() {
+	s.mu.Lock()
+	s.panics++
+	s.mu.Unlock()
+}
+
+// resilience returns the degradation/retry/panic counters for /stats.
+func (s *stats) resilience() (degraded, retries, panics int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.retries, s.panics
 }
 
 func (s *stats) recordFlow(id flow.ID, d time.Duration) {

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 
+	"mthplace/internal/core"
 	"mthplace/internal/flow"
 	"mthplace/internal/par"
 	"mthplace/internal/synth"
@@ -68,6 +69,28 @@ var (
 	ErrInfeasible = flow.ErrInfeasible
 	ErrTimeout    = flow.ErrTimeout
 	ErrCanceled   = flow.ErrCanceled
+	// ErrTransient marks failures expected to clear on retry (injected
+	// faults, briefly unavailable resources).
+	ErrTransient = flow.ErrTransient
+	// ErrPanic marks a panic caught at the flow boundary and converted to
+	// an error; it is a bug report, never a retry candidate.
+	ErrPanic = flow.ErrPanic
+)
+
+// Degradation policies for Config.Core.Solve.Degrade: the default anytime
+// policy walks the ladder (ILP optimum → anytime incumbent → greedy) when
+// budgets run out, honestly labelling the result in Metrics; the strict
+// policy fails fast instead, for callers that must have the proven optimum.
+const (
+	DegradeAnytime = core.DegradeAnytime
+	DegradeStrict  = core.DegradeStrict
+)
+
+// Solve-ladder rung names as they appear in Metrics.SolveRung.
+const (
+	RungILP     = core.RungILP
+	RungAnytime = core.RungAnytime
+	RungGreedy  = core.RungGreedy
 )
 
 // DefaultConfig mirrors the paper's experimental setup.
