@@ -29,6 +29,7 @@ import (
 
 	"mthplace/internal/errs"
 	"mthplace/internal/exp"
+	"mthplace/internal/obs"
 	"mthplace/internal/synth"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		only     = flag.String("only", "", "restrict to testcases whose name contains this substring")
 		verbose  = flag.Bool("v", false, "log per-testcase progress to stderr")
+		quiet    = flag.Bool("q", false, "quiet: warnings and errors only on stderr")
 		table2   = flag.Bool("table2", false, "regenerate Table II")
 		table4   = flag.Bool("table4", false, "regenerate Table IV")
 		table5   = flag.Bool("table5", false, "regenerate Table V")
@@ -67,7 +69,9 @@ func main() {
 	cfg := exp.Config{Scale: *scale, Seed: *seed}
 	cfg.Flow.Jobs = *jobs
 	if *verbose {
-		cfg.Log = os.Stderr
+		// Per-testcase progress stays opt-in: tables land on stdout, the
+		// structured progress log on stderr.
+		cfg.Log = obs.NewCLILogger(os.Stderr, false, *quiet)
 	}
 	if *only != "" {
 		var specs []synth.Spec

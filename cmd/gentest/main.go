@@ -19,6 +19,7 @@ import (
 	"mthplace/internal/celllib"
 	"mthplace/internal/golden"
 	"mthplace/internal/lefdef"
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 	"mthplace/internal/synth"
 	"mthplace/internal/tech"
@@ -33,8 +34,15 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
 		doGolden  = flag.Bool("golden", false, "regenerate the golden regression corpus instead of writing LEF/DEF")
 		goldenOut = flag.String("golden-out", filepath.Join("internal", "golden", "testdata", "golden.json"), "corpus path written by -golden")
+		verbose   = flag.Bool("v", false, "verbose diagnostics (debug level) on stderr")
+		quiet     = flag.Bool("q", false, "quiet: warnings and errors only on stderr")
 	)
 	flag.Parse()
+
+	// File paths and per-file notes are diagnostics, not machine output:
+	// they go to stderr through the logger so pipelines consuming stdout
+	// stay clean.
+	lg := obs.NewCLILogger(os.Stderr, *verbose, *quiet)
 
 	if *doGolden {
 		snap, err := golden.Compute(context.Background())
@@ -44,8 +52,8 @@ func main() {
 		if err := snap.Save(*goldenOut); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s (%d designs × 5 flows, scale %g, seed %d)\n",
-			*goldenOut, len(snap.Designs), snap.Scale, snap.Seed)
+		lg.Info("wrote golden corpus", "file", *goldenOut,
+			"designs", len(snap.Designs), "scale", snap.Scale, "seed", snap.Seed)
 		return
 	}
 
@@ -54,7 +62,7 @@ func main() {
 		fatal(err)
 	}
 	for _, f := range files {
-		fmt.Printf("wrote %s: %s\n", f.path, f.note)
+		lg.Info("wrote", "file", f.path, "note", f.note)
 	}
 }
 

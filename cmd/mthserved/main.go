@@ -17,35 +17,48 @@
 // MTHPLACE_FAULTS (comma-separated point:kind[@hit][=delay] clauses or
 // rand:seed:rate[:kinds]) injects faults at the pipeline stage boundaries
 // for chaos testing.
+//
+// Observability (DESIGN.md §11): GET /metrics on the main address serves
+// the Prometheus text exposition (job lifecycle counters, flow stage
+// latency histograms, solve-rung counters). -debug-addr additionally binds
+// a debug listener with net/http/pprof under /debug/pprof/ plus the same
+// /metrics — keep it loopback-only in production. -v/-q tune the
+// structured log level on stderr.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mthplace/internal/fault"
+	"mthplace/internal/obs"
 	"mthplace/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for /debug/pprof/ and /metrics (empty = disabled)")
 	workers := flag.Int("workers", 2, "concurrent placement jobs")
 	queue := flag.Int("queue", 16, "job queue depth beyond the workers")
 	poolJobs := flag.Int("pool-jobs", 0, "shared worker-pool bound for jobs without a private -jobs setting (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight jobs")
 	retries := flag.Int("retries", 2, "max retries for transient job failures (-1 disables)")
 	journalDir := flag.String("journal", "", "job-journal directory; unfinished jobs are re-run on restart (empty = journaling off)")
+	verbose := flag.Bool("v", false, "verbose diagnostics (debug level) on stderr")
+	quiet := flag.Bool("q", false, "quiet: warnings and errors only")
 	flag.Parse()
 
+	lg := obs.NewCLILogger(os.Stderr, *verbose, *quiet)
+
 	if err := fault.InitFromEnv(); err != nil {
-		fmt.Fprintln(os.Stderr, "mthserved:", err)
+		lg.Error("mthserved: bad MTHPLACE_FAULTS", "err", err)
 		os.Exit(2)
 	}
 
@@ -55,41 +68,71 @@ func main() {
 		PoolJobs:   *poolJobs,
 		MaxRetries: *retries,
 		JournalDir: *journalDir,
+		Logger:     lg,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mthserved:", err)
+		lg.Error("mthserved: startup failed", "err", err)
 		os.Exit(1)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: debugMux(srv)}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
-		fmt.Fprintf(os.Stderr, "mthserved: listening on %s (%d workers, queue %d)\n",
-			*addr, *workers, *queue)
+		lg.Info("mthserved: listening", "addr", *addr, "workers", *workers, "queue", *queue)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+	if dbgSrv != nil {
+		go func() {
+			lg.Info("mthserved: debug listener up (pprof + metrics)", "addr", *debugAddr)
+			errCh <- dbgSrv.ListenAndServe()
+		}()
+	}
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "mthserved:", err)
+			lg.Error("mthserved: listener failed", "err", err)
 			os.Exit(1)
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills us
-		fmt.Fprintln(os.Stderr, "mthserved: shutting down, draining in-flight jobs")
+		lg.Info("mthserved: shutting down, draining in-flight jobs")
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "mthserved: http shutdown:", err)
+			lg.Warn("mthserved: http shutdown", "err", err)
+		}
+		if dbgSrv != nil {
+			if err := dbgSrv.Shutdown(drainCtx); err != nil {
+				lg.Warn("mthserved: debug shutdown", "err", err)
+			}
 		}
 		if err := srv.Shutdown(drainCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "mthserved: job drain:", err)
+			lg.Error("mthserved: job drain failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "mthserved: drained cleanly")
+		lg.Info("mthserved: drained cleanly")
 	}
+}
+
+// debugMux serves the profiling and metrics endpoints on the debug
+// listener. pprof is registered explicitly (not via the package's
+// DefaultServeMux side effect) so the main API mux never exposes it.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", srv.MetricsHandler())
+	return mux
 }

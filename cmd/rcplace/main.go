@@ -4,6 +4,15 @@
 //
 //	rcplace -testcase aes_360 -flow 5 -route
 //	rcplace -testcase des3_210 -flow 2 -scale 0.2 -def out.def -lef out.lef
+//	rcplace -testcase aes_360 -flow 5 -trace trace.json -progress
+//
+// The results block is machine-consumable and goes to stdout; everything
+// diagnostic (the testcase preamble, progress events, file-written notes)
+// goes to stderr through the structured logger, tunable with -v/-q.
+// -trace records a Chrome trace_event file (open in chrome://tracing or
+// https://ui.perfetto.dev) with one span per flow stage plus solver
+// sub-spans; -progress streams solver events (MILP incumbents, k-means
+// iteration movement) to stderr as they happen.
 package main
 
 import (
@@ -11,12 +20,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"mthplace/internal/fault"
 	"mthplace/internal/lefdef"
+	"mthplace/internal/obs"
 	"mthplace/internal/viz"
 	"mthplace/pkg/mth"
 )
@@ -33,10 +44,16 @@ func main() {
 		defOut   = flag.String("def", "", "write the final placement to this DEF file")
 		lefOut   = flag.String("lef", "", "write the cell library to this LEF file")
 		svgOut   = flag.String("svg", "", "render the final placement to this SVG file")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		progress = flag.Bool("progress", false, "stream solver progress events (stage transitions, MILP incumbents, k-means iterations) to stderr")
+		verbose  = flag.Bool("v", false, "verbose diagnostics (debug level) on stderr")
+		quiet    = flag.Bool("q", false, "quiet: warnings and errors only on stderr")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expiry exits 124")
 		strict   = flag.Bool("strict", false, "fail fast instead of degrading to an anytime/greedy answer when solve budgets run out")
 	)
 	flag.Parse()
+
+	lg := obs.NewCLILogger(os.Stderr, *verbose, *quiet)
 
 	if err := fault.InitFromEnv(); err != nil {
 		fatal(err)
@@ -63,6 +80,19 @@ func main() {
 		defer cancel()
 	}
 
+	// Observability hooks ride the context: absent flags cost nothing.
+	ctx = obs.WithLogger(ctx, lg)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *progress {
+		ctx = obs.WithProgress(ctx, func(e obs.Event) {
+			fmt.Fprintln(os.Stderr, "rcplace:", e.String())
+		})
+	}
+
 	fcfg := mth.DefaultConfig()
 	fcfg.Synth.Scale = *scale
 	fcfg.Synth.Seed = *seed
@@ -75,11 +105,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("testcase %s: %d cells, %d minority (%.1f%%), %d nets, N_minR=%d\n",
-		spec.Name(), len(runner.Base.Insts), len(runner.Base.MinorityInstances()),
-		100*runner.Base.MinorityFraction(), len(runner.Base.Nets), runner.NminR)
+	lg.Info("testcase prepared",
+		"testcase", spec.Name(),
+		"cells", len(runner.Base.Insts),
+		"minority", len(runner.Base.MinorityInstances()),
+		"minority_frac", fmt.Sprintf("%.3f", runner.Base.MinorityFraction()),
+		"nets", len(runner.Base.Nets),
+		"nminr", runner.NminR)
 
 	res, err := runner.Run(ctx, mth.ID(*flowNum), *doRoute)
+	writeTrace(tracer, *traceOut, lg) // even on failure: partial traces localize the failure
 	if errors.Is(err, mth.ErrTimeout) {
 		fmt.Fprintln(os.Stderr, "rcplace: timed out after", *timeout)
 		os.Exit(124)
@@ -136,7 +171,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *defOut)
+		lg.Info("wrote DEF", "file", *defOut)
 	}
 	if *svgOut != "" {
 		f, err := os.Create(*svgOut)
@@ -150,7 +185,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *svgOut)
+		lg.Info("wrote SVG", "file", *svgOut)
 	}
 	if *lefOut != "" {
 		f, err := os.Create(*lefOut)
@@ -163,8 +198,30 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *lefOut)
+		lg.Info("wrote LEF", "file", *lefOut)
 	}
+}
+
+// writeTrace flushes the collected spans to the -trace file; nil tracer is
+// a no-op.
+func writeTrace(tracer *obs.Tracer, path string, lg *slog.Logger) {
+	if tracer == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		lg.Warn("trace not written", "err", err)
+		return
+	}
+	err = tracer.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		lg.Warn("trace not written", "err", err)
+		return
+	}
+	lg.Info("wrote trace", "file", path, "events", tracer.Len())
 }
 
 // rungLabel renders the solve ladder's verdict: which rung answered, and

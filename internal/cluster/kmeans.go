@@ -13,7 +13,9 @@ import (
 	"context"
 	"math"
 	"sort"
+	"time"
 
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 )
 
@@ -119,12 +121,23 @@ func KMeans2D(ctx context.Context, pts []Point2, k, maxIter int) *Result {
 	for i := range assign {
 		assign[i] = -1
 	}
+	// Observability: one span per clustering, one progress event per Lloyd
+	// iteration (movement = samples that switched cluster). Disabled sinks
+	// cost two context lookups for the whole call; the moved counter itself
+	// is deterministic bookkeeping with no effect on the clustering.
+	span := obs.StartSpan(ctx, "cluster.kmeans2d")
+	span.SetArg("samples", len(pts))
+	span.SetArg("k", k)
+	sink := obs.Progress(ctx)
+	start := time.Now()
+
 	// Per-chunk partial reductions of the assignment scan. Chunk boundaries
 	// depend only on len(pts), never on the worker count — that fixes the
 	// float summation order of the centroid accumulators.
 	type partial struct {
 		sizes   []int
 		sx, sy  []float64
+		moved   int
 		changed bool
 	}
 	parts := make([]partial, par.NumChunks(len(pts)))
@@ -148,6 +161,7 @@ func KMeans2D(ctx context.Context, pts []Point2, k, maxIter int) *Result {
 				pt.sizes[c], pt.sx[c], pt.sy[c] = 0, 0, 0
 			}
 			pt.changed = false
+			pt.moved = 0
 			for i := lo; i < hi; i++ {
 				p := pts[i]
 				best, bestD := 0, math.Inf(1)
@@ -160,6 +174,7 @@ func KMeans2D(ctx context.Context, pts []Point2, k, maxIter int) *Result {
 				if assign[i] != best {
 					assign[i] = best
 					pt.changed = true
+					pt.moved++
 				}
 				pt.sizes[best]++
 				pt.sx[best] += p.X
@@ -168,16 +183,22 @@ func KMeans2D(ctx context.Context, pts []Point2, k, maxIter int) *Result {
 		})
 		// Deterministic merge in chunk order.
 		changed := false
+		moved := 0
 		for c := 0; c < k; c++ {
 			sizes[c], sx[c], sy[c] = 0, 0, 0
 		}
 		for ci := range parts {
 			changed = changed || parts[ci].changed
+			moved += parts[ci].moved
 			for c := 0; c < k; c++ {
 				sizes[c] += parts[ci].sizes[c]
 				sx[c] += parts[ci].sx[c]
 				sy[c] += parts[ci].sy[c]
 			}
+		}
+		if sink != nil {
+			sink(obs.Event{Source: "kmeans", Kind: "iteration", Iter: iters + 1,
+				Moved: moved, ElapsedMS: float64(time.Since(start).Microseconds()) / 1000})
 		}
 		if !changed && iters > 0 {
 			break
@@ -190,6 +211,8 @@ func KMeans2D(ctx context.Context, pts []Point2, k, maxIter int) *Result {
 		}
 		reseedEmpty(pts, cent, assign, sizes)
 	}
+	span.SetArg("iterations", iters)
+	span.End()
 	return &Result{Assign: assign, Centroids: cent, Sizes: sizes, Iterations: iters}
 }
 

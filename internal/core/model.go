@@ -24,6 +24,7 @@ import (
 	"mthplace/internal/errs"
 	"mthplace/internal/geom"
 	"mthplace/internal/netlist"
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 	"mthplace/internal/rowgrid"
 	"mthplace/internal/tech"
@@ -208,6 +209,10 @@ func BuildModel(ctx context.Context, d *netlist.Design, g rowgrid.PairGrid, cl *
 	if err := errs.FromContext(ctx); err != nil {
 		return nil, fmt.Errorf("core: cost model: %w", err)
 	}
+	span := obs.StartSpan(ctx, "core.buildmodel")
+	span.SetArg("clusters", cl.N())
+	span.SetArg("rows", g.N)
+	defer span.End()
 
 	// Every cluster's cost row is independent of the others, so the outer
 	// loop runs on the context's worker pool. Each worker precomputes its

@@ -14,6 +14,7 @@ import (
 	"mthplace/internal/lp"
 	"mthplace/internal/milp"
 	"mthplace/internal/netlist"
+	"mthplace/internal/obs"
 	"mthplace/internal/rowgrid"
 	"mthplace/internal/tech"
 )
@@ -261,6 +262,16 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 				greedy.Stats.Rung = RungILP
 				greedy.Stats.Gap = 0
 				greedy.Stats.Runtime = time.Since(start)
+				// The root relaxation proved the warm start optimal, so the
+				// branch and bound never runs: report the proof as the solve's
+				// one (and final) incumbent so progress consumers always see
+				// the winning objective.
+				obs.Emit(ctx, obs.Event{Source: "milp", Kind: "incumbent",
+					Objective: greedy.Objective, Gap: 0,
+					ElapsedMS: float64(time.Since(start).Microseconds()) / 1000})
+				obs.Instant(ctx, "milp.incumbent", map[string]any{
+					"objective": greedy.Objective, "gap": 0.0, "root_proof": true,
+				})
 				return greedy, nil
 			}
 			type viol struct {

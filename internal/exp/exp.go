@@ -14,8 +14,7 @@ package exp
 import (
 	"context"
 	"fmt"
-	"io"
-	"sync"
+	"log/slog"
 	"time"
 
 	"mthplace/internal/celllib"
@@ -36,8 +35,8 @@ type Config struct {
 	Specs []synth.Spec
 	// Flow overrides stage options (zero value = paper defaults).
 	Flow flow.Config
-	// Log receives progress lines; nil discards them.
-	Log io.Writer
+	// Log receives per-testcase progress; nil discards it.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -64,17 +63,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// logMu serialises progress lines: specs run concurrently, and interleaved
-// partial writes to a shared io.Writer would be garbled otherwise. Line
-// order may vary with completion order; result tables never do (rows are
-// collected in spec order).
-var logMu sync.Mutex
-
+// logf emits one progress line through the structured logger. Specs run
+// concurrently, so line order may vary with completion order; result tables
+// never do (rows are collected in spec order). slog handlers serialise
+// their writes, so no extra mutex is needed.
 func (c Config) logf(format string, args ...any) {
 	if c.Log != nil {
-		logMu.Lock()
-		defer logMu.Unlock()
-		fmt.Fprintf(c.Log, format+"\n", args...)
+		c.Log.Info(fmt.Sprintf(format, args...))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"mthplace/internal/obs"
 	"mthplace/internal/synth"
 )
 
@@ -197,7 +198,7 @@ func TestProfile(t *testing.T) {
 func TestConfigLogging(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tiny(t)
-	cfg.Log = &buf
+	cfg.Log = obs.NewCLILogger(&buf, false, false)
 	if _, err := Table2(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}

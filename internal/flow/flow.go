@@ -32,6 +32,7 @@ import (
 	"mthplace/internal/lefdef"
 	"mthplace/internal/legalize"
 	"mthplace/internal/netlist"
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 	"mthplace/internal/placer"
 	"mthplace/internal/power"
@@ -240,43 +241,50 @@ func NewRunner(ctx context.Context, spec synth.Spec, cfg Config) (r *Runner, err
 	pool := cfg.EffectivePool()
 	ctx = par.WithPool(ctx, pool)
 	start := time.Now()
-	tc := tech.Default()
-	lib := celllib.New(tc)
-	if err := fault.Inject(ctx, PointParse); err != nil {
-		return nil, fmt.Errorf("flow: prepare: %w", err)
-	}
-	d, err := synth.Generate(tc, lib, spec, cfg.Synth)
-	if err != nil {
+	if err := stage(ctx, "parse", func() error {
+		tc := tech.Default()
+		lib := celllib.New(tc)
+		if err := fault.Inject(ctx, PointParse); err != nil {
+			return fmt.Errorf("flow: prepare: %w", err)
+		}
+		d, err := synth.Generate(tc, lib, spec, cfg.Synth)
+		if err != nil {
+			return err
+		}
+		m, err := lefdef.ApplyMLEF(d)
+		if err != nil {
+			return err
+		}
+		if err := errs.FromContext(ctx); err != nil {
+			return fmt.Errorf("flow: prepare: %w", err)
+		}
+		placer.Global(d, cfg.Placer)
+		g := rowgrid.Uniform(d.Die, m.PairH)
+		if err := legalize.Uniform(d, g); err != nil {
+			return err
+		}
+		if err := errs.FromContext(ctx); err != nil {
+			return fmt.Errorf("flow: prepare: %w", err)
+		}
+		r = &Runner{
+			Spec: spec, Cfg: cfg, Tech: tc, Lib: lib,
+			Base: d, Grid: g, RefPos: d.Positions(),
+			pool: pool,
+		}
+		// Flow (2)'s assignment fixes N_minR for every row-constraint flow.
+		ba, err := baseline.AssignRows(d, g, cfg.Baseline)
+		if err != nil {
+			return fmt.Errorf("flow: baseline row assignment: %w", err)
+		}
+		r.baseAssign = ba
+		r.NminR = ba.NminR
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	m, err := lefdef.ApplyMLEF(d)
-	if err != nil {
-		return nil, err
-	}
-	if err := errs.FromContext(ctx); err != nil {
-		return nil, fmt.Errorf("flow: prepare: %w", err)
-	}
-	placer.Global(d, cfg.Placer)
-	g := rowgrid.Uniform(d.Die, m.PairH)
-	if err := legalize.Uniform(d, g); err != nil {
-		return nil, err
-	}
-	if err := errs.FromContext(ctx); err != nil {
-		return nil, fmt.Errorf("flow: prepare: %w", err)
-	}
-	r = &Runner{
-		Spec: spec, Cfg: cfg, Tech: tc, Lib: lib,
-		Base: d, Grid: g, RefPos: d.Positions(),
-		pool: pool,
-	}
-	// Flow (2)'s assignment fixes N_minR for every row-constraint flow.
-	ba, err := baseline.AssignRows(d, g, cfg.Baseline)
-	if err != nil {
-		return nil, fmt.Errorf("flow: baseline row assignment: %w", err)
-	}
-	r.baseAssign = ba
-	r.NminR = ba.NminR
 	r.InitTime = time.Since(start)
+	obs.Log(ctx).Info("flow: testcase prepared", "testcase", spec.Name(),
+		"cells", len(r.Base.Insts), "nets", len(r.Base.Nets), "nminr", r.NminR, "dur", r.InitTime)
 	return r, nil
 }
 
@@ -288,6 +296,31 @@ func (r *Runner) Pool() *par.Pool { return r.pool }
 // resolves the same scoped bound.
 func (r *Runner) withPool(ctx context.Context) context.Context {
 	return par.WithPool(ctx, r.pool)
+}
+
+// stage runs fn under one stage's instrumentation: a progress event at
+// entry, a "flow.<name>" span (the same five boundaries the fault injector
+// arms), an mth_stage_seconds observation, and a debug log line. The
+// instrumentation is read-only — fn's result is returned untouched — and
+// with no sinks installed the cost is two context lookups plus two atomic
+// histogram updates per stage.
+func stage(ctx context.Context, name string, fn func() error) error {
+	obs.Emit(ctx, obs.Event{Source: "flow", Kind: "stage", Stage: name})
+	sp := obs.StartSpan(ctx, "flow."+name)
+	start := time.Now()
+	err := fn()
+	dur := time.Since(start)
+	if err != nil {
+		sp.SetArg("error", err.Error())
+	}
+	sp.End()
+	obs.StageSeconds(name).Observe(dur.Seconds())
+	if err != nil {
+		obs.Log(ctx).Debug("flow stage failed", "stage", name, "dur", dur, "err", err)
+	} else {
+		obs.Log(ctx).Debug("flow stage done", "stage", name, "dur", dur)
+	}
+	return err
 }
 
 // Run executes one flow. withRoute additionally routes the result and fills
@@ -368,29 +401,40 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 	if id.UsesILP() {
 		// The proposed assignment, staged explicitly (rather than through
 		// core.AssignRows) so clustering and the RAP solve sit behind their
-		// own fault points.
+		// own fault points and stage spans.
 		rapStart := time.Now()
-		if err := fault.Inject(ctx, PointCluster); err != nil {
-			return nil, fmt.Errorf("clustering: %w", err)
+		var cl *core.Clusters
+		var model *core.Model
+		if err := stage(ctx, "cluster", func() error {
+			if err := fault.Inject(ctx, PointCluster); err != nil {
+				return fmt.Errorf("clustering: %w", err)
+			}
+			var err error
+			if cl, err = core.BuildClusters(ctx, d, r.Cfg.Core.S, r.Cfg.Core.KMeansIters); err != nil {
+				return fmt.Errorf("row assignment: %w", err)
+			}
+			if model, err = core.BuildModel(ctx, d, r.Grid, cl, r.NminR, r.Cfg.Core.Cost); err != nil {
+				return fmt.Errorf("row assignment: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		cl, err := core.BuildClusters(ctx, d, r.Cfg.Core.S, r.Cfg.Core.KMeansIters)
-		if err != nil {
-			return nil, fmt.Errorf("row assignment: %w", err)
-		}
-		model, err := core.BuildModel(ctx, d, r.Grid, cl, r.NminR, r.Cfg.Core.Cost)
-		if err != nil {
-			return nil, fmt.Errorf("row assignment: %w", err)
-		}
-		if err := fault.Inject(ctx, PointSolve); err != nil {
-			return nil, fmt.Errorf("row assignment: %w", err)
-		}
-		sol, err := core.SolveILP(ctx, model, r.Cfg.Core.Solve)
-		if err != nil {
-			return nil, fmt.Errorf("row assignment: %w", err)
-		}
-		ra, err := core.Finalize(d, r.Grid, model, cl, sol)
-		if err != nil {
-			return nil, fmt.Errorf("row assignment: %w", err)
+		var ra *core.RowAssignment
+		if err := stage(ctx, "solve", func() error {
+			if err := fault.Inject(ctx, PointSolve); err != nil {
+				return fmt.Errorf("row assignment: %w", err)
+			}
+			sol, err := core.SolveILP(ctx, model, r.Cfg.Core.Solve)
+			if err != nil {
+				return fmt.Errorf("row assignment: %w", err)
+			}
+			if ra, err = core.Finalize(d, r.Grid, model, cl, sol); err != nil {
+				return fmt.Errorf("row assignment: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		met.RAPTime = time.Since(rapStart)
 		met.NumClusters = ra.Clusters.N()
@@ -407,37 +451,42 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		// N_minR; recompute against this clone's identical placement to
 		// charge its runtime).
 		rapStart := time.Now()
-		if err := fault.Inject(ctx, PointSolve); err != nil {
-			return nil, fmt.Errorf("baseline assignment: %w", err)
-		}
-		ba, err := baseline.AssignRows(d, r.Grid, r.Cfg.Baseline)
-		if err != nil {
-			return nil, fmt.Errorf("baseline assignment: %w", err)
+		if err := stage(ctx, "solve", func() error {
+			if err := fault.Inject(ctx, PointSolve); err != nil {
+				return fmt.Errorf("baseline assignment: %w", err)
+			}
+			ba, err := baseline.AssignRows(d, r.Grid, r.Cfg.Baseline)
+			if err != nil {
+				return fmt.Errorf("baseline assignment: %w", err)
+			}
+			met.NumClusters = ba.NminR
+			stack = ba.Stack
+			seedY = ba.SeedY
+			cellPair = ba.CellPair
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		met.RAPTime = time.Since(rapStart)
-		met.NumClusters = ba.NminR
 		met.SolveRung = "baseline"
-		stack = ba.Stack
-		seedY = ba.SeedY
-		cellPair = ba.CellPair
 	}
 	if err := errs.FromContext(ctx); err != nil {
 		return nil, fmt.Errorf("row assignment: %w", err)
 	}
+	obs.SolveTotal(met.SolveRung).Inc()
 
 	// Back to true mixed-height cells, then legalize under row-constraint.
 	if err := lefdef.Revert(d); err != nil {
 		return nil, err
 	}
-	if err := fault.Inject(ctx, PointLegalize); err != nil {
-		return nil, fmt.Errorf("legalization: %w", err)
-	}
 	legalStart := time.Now()
-	if id.UsesFenceLegalization() {
-		if err := legalize.FenceAware(ctx, d, stack, seedY, r.Cfg.FencePasses); err != nil {
-			return nil, err
+	if err := stage(ctx, "legalize", func() error {
+		if err := fault.Inject(ctx, PointLegalize); err != nil {
+			return fmt.Errorf("legalization: %w", err)
 		}
-	} else {
+		if id.UsesFenceLegalization() {
+			return legalize.FenceAware(ctx, d, stack, seedY, r.Cfg.FencePasses)
+		}
 		// [10]-style: move minority cells to their assigned rows, then
 		// displacement-minimising Abacus with each cell bound to its
 		// assigned pair (overflow spills, at a price).
@@ -446,9 +495,9 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 				d.Insts[i].Pos.Y = y
 			}
 		}
-		if err := legalize.RowConstraintAssigned(ctx, d, stack, cellPair); err != nil {
-			return nil, err
-		}
+		return legalize.RowConstraintAssigned(ctx, d, stack, cellPair)
+	}); err != nil {
+		return nil, err
 	}
 	met.LegalTime = time.Since(legalStart)
 	if err := legalize.VerifyMixed(d, stack); err != nil {
@@ -457,6 +506,8 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 	met.TotalTime = time.Since(start)
 	met.Displacement = d.Displacement(r.RefPos)
 	met.HPWL = d.TotalHPWL()
+	obs.Log(ctx).Debug("flow completed", "flow", id.String(), "rung", met.SolveRung,
+		"displacement", met.Displacement, "hpwl", met.HPWL, "dur", met.TotalTime)
 
 	res := &Result{Design: d, Stack: stack, Metrics: met}
 	if r.Cfg.Verify {
@@ -476,35 +527,37 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 // The route/STA/power substrates are fast relative to the solve stages, so
 // cancellation is only checked between them.
 func (r *Runner) routeAndSign(ctx context.Context, res *Result) error {
-	if err := errs.FromContext(ctx); err != nil {
-		return fmt.Errorf("route: %w", err)
-	}
-	if err := fault.Inject(ctx, PointRoute); err != nil {
-		return fmt.Errorf("route: %w", err)
-	}
-	rt, err := route.Route(res.Design, r.Cfg.Route)
-	if err != nil {
-		return err
-	}
-	staOpt := r.Cfg.STA
-	staOpt.NetLength = rt.NetLength
-	timing, err := sta.Analyze(res.Design, staOpt)
-	if err != nil {
-		return err
-	}
-	pwrOpt := r.Cfg.Power
-	pwrOpt.NetLength = rt.NetLength
-	pwr, err := power.Analyze(res.Design, pwrOpt)
-	if err != nil {
-		return err
-	}
-	res.Metrics.Routed = true
-	res.Metrics.RoutedWL = rt.WirelengthDBU
-	res.Metrics.Overflow = rt.Overflow
-	res.Metrics.WNSps = timing.WNSps
-	res.Metrics.TNSps = timing.TNSps
-	res.Metrics.PowerMW = pwr.TotalMW()
-	return nil
+	return stage(ctx, "route", func() error {
+		if err := errs.FromContext(ctx); err != nil {
+			return fmt.Errorf("route: %w", err)
+		}
+		if err := fault.Inject(ctx, PointRoute); err != nil {
+			return fmt.Errorf("route: %w", err)
+		}
+		rt, err := route.Route(res.Design, r.Cfg.Route)
+		if err != nil {
+			return err
+		}
+		staOpt := r.Cfg.STA
+		staOpt.NetLength = rt.NetLength
+		timing, err := sta.Analyze(res.Design, staOpt)
+		if err != nil {
+			return err
+		}
+		pwrOpt := r.Cfg.Power
+		pwrOpt.NetLength = rt.NetLength
+		pwr, err := power.Analyze(res.Design, pwrOpt)
+		if err != nil {
+			return err
+		}
+		res.Metrics.Routed = true
+		res.Metrics.RoutedWL = rt.WirelengthDBU
+		res.Metrics.Overflow = rt.Overflow
+		res.Metrics.WNSps = timing.WNSps
+		res.Metrics.TNSps = timing.TNSps
+		res.Metrics.PowerMW = pwr.TotalMW()
+		return nil
+	})
 }
 
 // VerifyResult runs the independent internal/check auditors on a completed

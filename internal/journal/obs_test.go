@@ -1,0 +1,76 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Entry{Job: "job-1", Event: EventDone}); err != nil {
+		t.Errorf("nil Append returned %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil Close returned %v", err)
+	}
+}
+
+func TestOpenFailsWhenDirIsAFile(t *testing.T) {
+	base := t.TempDir()
+	blocked := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(blocked); err == nil {
+		t.Error("Open over a plain file should fail")
+	}
+}
+
+func TestReadAllSkipsOverlongGarbageLine(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Seq: 1, Job: "job-1", Event: EventSubmitted, Request: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A garbage line longer than the scanner's 1 MiB buffer simulates a
+	// pathologically torn tail; it must be skipped, not fatal.
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(strings.Repeat("x", 2<<20)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	entries, skipped, err := ReadAll(dir)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Job != "job-1" {
+		t.Errorf("entries = %+v, want the one intact line", entries)
+	}
+	if skipped == 0 {
+		t.Error("over-long garbage not counted as skipped")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Job: "job-1", Event: EventDone}); err == nil {
+		t.Error("Append after Close should fail")
+	}
+}

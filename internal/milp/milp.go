@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mthplace/internal/lp"
+	"mthplace/internal/obs"
 )
 
 // Status reports the outcome of a MILP solve.
@@ -190,9 +191,44 @@ func (h *nodeHeap) Pop() any     { old := *h; n := old[len(old)-1]; *h = old[:le
 func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Result {
 	opt = opt.withDefaults()
 	res := &Result{Status: Limit, Bound: math.Inf(-1), Obj: math.Inf(1)}
+	start := time.Now()
 	deadline := time.Time{}
 	if opt.TimeLimit > 0 {
-		deadline = time.Now().Add(opt.TimeLimit)
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	// Observability (read-only: the search is identical with or without
+	// consumers). Incumbent improvements stream to the progress sink and as
+	// trace instant events; the whole search is one span.
+	sink := obs.Progress(ctx)
+	tracer := obs.TracerFrom(ctx)
+	span := obs.StartSpan(ctx, "milp.bnb")
+	defer func() {
+		span.SetArg("status", res.Status.String())
+		span.SetArg("nodes", res.Nodes)
+		span.SetArg("lp_iters", res.LPIters)
+		span.End()
+	}()
+	emitIncumbent := func(h *nodeHeap) {
+		if sink == nil && tracer == nil {
+			return
+		}
+		gap := -1.0
+		if h.Len() > 0 && !math.IsInf((*h)[0].bound, -1) {
+			if g := (res.Obj - (*h)[0].bound) / math.Max(1, math.Abs(res.Obj)); g >= 0 {
+				gap = g
+			} else {
+				gap = 0
+			}
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		if sink != nil {
+			sink(obs.Event{Source: "milp", Kind: "incumbent",
+				Objective: res.Obj, Gap: gap, Nodes: res.Nodes, ElapsedMS: elapsed})
+		}
+		tracer.Instant("milp.incumbent", map[string]any{
+			"objective": res.Obj, "gap": gap, "nodes": res.Nodes,
+		})
 	}
 
 	// Save original bounds to restore at the end.
@@ -209,14 +245,15 @@ func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Resul
 		}
 	}()
 
+	h := &nodeHeap{{bound: math.Inf(-1)}}
+	seq := 1
+
 	if warmX != nil && p.LP.CheckFeasible(warmX, 1e-6) && integral(p, warmX, opt.IntTol) {
 		res.X = append([]float64(nil), warmX...)
 		res.Obj = p.LP.Objective(warmX)
 		res.Status = Feasible
+		emitIncumbent(h)
 	}
-
-	h := &nodeHeap{{bound: math.Inf(-1)}}
-	seq := 1
 
 	for h.Len() > 0 {
 		if res.Nodes >= opt.MaxNodes {
@@ -272,6 +309,7 @@ func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Resul
 				res.X = append(res.X[:0], sol.X...)
 				res.Obj = sol.Obj
 				res.Status = Feasible
+				emitIncumbent(h)
 			}
 			continue
 		}
@@ -283,6 +321,7 @@ func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Resul
 				res.X = append(res.X[:0], cand...)
 				res.Obj = obj
 				res.Status = Feasible
+				emitIncumbent(h)
 			}
 		}
 

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", nil)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "queue depth", nil)
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Labels{"k": "v"})
+	b := r.Counter("x_total", "x", Labels{"k": "v"})
+	if a != b {
+		t.Error("same (name, labels) must return the same series")
+	}
+	other := r.Counter("x_total", "x", Labels{"k": "w"})
+	if other == a {
+		t.Error("different labels must return a different series")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "first", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("dual", "second", nil)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-55.65) > 1e-9 {
+		t.Errorf("sum = %v, want 55.65", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative counts: ≤0.1 holds 0.05 and 0.1 (SearchFloat64s puts an
+	// exactly-equal sample in its bound's bucket), ≤1 adds 0.5, ≤10 adds 5,
+	// +Inf adds 50.
+	for _, line := range []string{
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mth_solve_total", "solves", Labels{"rung": "ilp"}).Add(7)
+	r.Gauge("jobs_inflight", "inflight", nil).Set(2)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		"# HELP mth_solve_total solves",
+		"# TYPE mth_solve_total counter",
+		`mth_solve_total{rung="ilp"} 7`,
+		"# TYPE jobs_inflight gauge",
+		"jobs_inflight 2",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// Families must be sorted by name: jobs_inflight before mth_solve_total.
+	if strings.Index(out, "jobs_inflight") > strings.Index(out, "mth_solve_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "a_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n", nil)
+	g := r.Gauge("v", "v", nil)
+	h := r.Histogram("d", "d", []float64{1}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+				// Concurrent re-registration must return the same series.
+				r.Counter("n_total", "n", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000 (lost updates)", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000 (lost CAS updates)", g.Value())
+	}
+	if h.Count() != 8000 || h.Sum() != 4000 {
+		t.Errorf("histogram count=%d sum=%v, want 8000/4000", h.Count(), h.Sum())
+	}
+}
+
+func TestCanonicalHelpers(t *testing.T) {
+	// The canonical series live in Default; helpers must be idempotent.
+	if SolveTotal("test-rung") != SolveTotal("test-rung") {
+		t.Error("SolveTotal not idempotent")
+	}
+	if StageSeconds("test-stage") != StageSeconds("test-stage") {
+		t.Error("StageSeconds not idempotent")
+	}
+	SolveTotal("test-rung").Inc()
+	StageSeconds("test-stage").Observe(0.01)
+	var buf bytes.Buffer
+	if err := Default.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `mth_solve_total{rung="test-rung"}`) {
+		t.Error("mth_solve_total series missing from Default")
+	}
+	if !strings.Contains(out, `mth_stage_seconds_bucket{stage="test-stage",le="0.025"}`) {
+		t.Errorf("mth_stage_seconds histogram missing from Default:\n%s", out)
+	}
+}

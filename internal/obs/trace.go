@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer collects spans and instant events for one run and exports them in
+// Chrome trace_event JSON (the format chrome://tracing and Perfetto read).
+// All methods are safe for concurrent use; span timestamps come from the
+// tracer's monotonic start, so traces from one tracer share a timeline.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one Chrome trace_event record. Complete spans use ph "X"
+// (ts + dur); instant events use ph "i" with thread scope.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUS  int64          `json:"ts"`
+	DurUS int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer starts an empty trace whose timeline begins now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// WithTracer installs tr as the context's tracer.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, tr)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey).(*Tracer)
+	return tr
+}
+
+// Span is one timed region of a trace. The zero of a disabled trace is a
+// nil *Span: every method is nil-safe, so instrumented code never checks
+// whether tracing is on.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	args  map[string]any
+}
+
+// StartSpan opens a span on the context's tracer; with no tracer installed
+// it returns nil (all Span methods are nil-safe no-ops).
+func StartSpan(ctx context.Context, name string) *Span {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return nil
+	}
+	return &Span{tr: tr, name: name, start: time.Now()}
+}
+
+// SetArg attaches one key/value to the span (rendered in the trace viewer's
+// args pane).
+func (s *Span) SetArg(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = value
+}
+
+// End closes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.tr.mu.Lock()
+	s.tr.events = append(s.tr.events, traceEvent{
+		Name:  s.name,
+		Phase: "X",
+		TsUS:  s.start.Sub(s.tr.start).Microseconds(),
+		DurUS: now.Sub(s.start).Microseconds(),
+		PID:   1,
+		TID:   1,
+		Args:  s.args,
+	})
+	s.tr.mu.Unlock()
+}
+
+// Instant records a zero-duration event ("thought bubble" in the viewer) —
+// used for MILP incumbents and other point-in-time markers.
+func (t *Tracer) Instant(name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		Name:  name,
+		Phase: "i",
+		TsUS:  time.Since(t.start).Microseconds(),
+		PID:   1,
+		TID:   1,
+		Scope: "t",
+		Args:  args,
+	})
+	t.mu.Unlock()
+}
+
+// Instant records an instant event on the context's tracer, if any.
+func Instant(ctx context.Context, name string, args map[string]any) {
+	TracerFrom(ctx).Instant(name, args)
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Spans returns the names of all recorded events, in record order (tests and
+// progress summaries; the authoritative export is WriteJSON).
+func (t *Tracer) Spans() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.events))
+	for i, e := range t.events {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// WriteJSON exports the trace as a Chrome trace_event JSON object
+// ({"traceEvents": [...]}) — load it in chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"mthplace/internal/errs"
 	"mthplace/internal/flow"
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 	"mthplace/internal/synth"
 )
@@ -143,6 +144,44 @@ type Job struct {
 	attempts  int  // executions so far (1 + retries)
 	degraded  bool // some flow settled below the ILP-optimum rung
 	replayed  bool // re-queued from the journal after a crash
+	progress  JobProgress
+}
+
+// JobProgress is the live solver-progress snapshot of a running job, fed by
+// the observability event stream (flow stage transitions, MILP incumbents,
+// k-means iterations). All fields are cumulative over the job's flows.
+type JobProgress struct {
+	// Stage is the flow stage most recently entered
+	// (parse/cluster/solve/legalize/route).
+	Stage string `json:"stage,omitempty"`
+	// KMeansIterations counts Lloyd iterations across all clusterings.
+	KMeansIterations int `json:"kmeans_iterations,omitempty"`
+	// Incumbents counts MILP incumbent improvements observed.
+	Incumbents int `json:"incumbents,omitempty"`
+	// BestObjective is the objective of the latest incumbent.
+	BestObjective float64 `json:"best_objective,omitempty"`
+	// Gap is the latest incumbent's optimality gap (-1 when unknown).
+	Gap float64 `json:"gap,omitempty"`
+	// Events counts every progress event received.
+	Events int `json:"events,omitempty"`
+}
+
+// noteProgress is the job's obs.SinkFunc: it folds the event stream into
+// the JobProgress snapshot surfaced by GET /jobs/{id}.
+func (j *Job) noteProgress(e obs.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.Events++
+	switch {
+	case e.Source == "flow" && e.Kind == "stage":
+		j.progress.Stage = e.Stage
+	case e.Source == "kmeans" && e.Kind == "iteration":
+		j.progress.KMeansIterations++
+	case e.Source == "milp" && e.Kind == "incumbent":
+		j.progress.Incumbents++
+		j.progress.BestObjective = e.Objective
+		j.progress.Gap = e.Gap
+	}
 }
 
 // JobView is the wire representation of a job for GET /jobs[/{id}].
@@ -162,6 +201,9 @@ type JobView struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Replayed marks a job recovered from the journal after a crash.
 	Replayed bool `json:"replayed,omitempty"`
+	// Progress is the live solver-progress snapshot; present once the job
+	// has produced at least one observability event.
+	Progress *JobProgress `json:"progress,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -190,6 +232,10 @@ func (j *Job) view() JobView {
 	v.Attempts = j.attempts
 	v.Degraded = j.degraded
 	v.Replayed = j.replayed
+	if j.progress.Events > 0 {
+		p := j.progress
+		v.Progress = &p
+	}
 	return v
 }
 

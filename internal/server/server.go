@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"mthplace/internal/errs"
 	"mthplace/internal/flow"
 	"mthplace/internal/journal"
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 )
 
@@ -60,6 +62,9 @@ type Options struct {
 	// jobs are recorded before queueing, and on startup any job the
 	// journal shows unfinished is re-queued with its original ID.
 	JournalDir string
+	// Logger receives the server's structured diagnostics (journal replay,
+	// job lifecycle). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +95,19 @@ type Server struct {
 	pool  *par.Pool // shared budget for jobs without a private bound
 	stats *stats
 	jrnl  *journal.Journal // nil when journaling is off
+	log   *slog.Logger
+
+	// reg is this server's private metric registry: job-lifecycle series
+	// live here (not in obs.Default) so multiple servers in one process —
+	// the normal situation in tests — never cross-accumulate. GET /metrics
+	// renders reg first, then the process-wide obs.Default.
+	reg       *obs.Registry
+	mStarted  *obs.Counter
+	mFinished *obs.Counter
+	mDegraded *obs.Counter
+	mRetries  *obs.Counter
+	mPanics   *obs.Counter
+	mInflight *obs.Gauge
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -118,23 +136,40 @@ func New(opt Options) (*Server, error) {
 		opt:        opt,
 		pool:       par.NewPool(opt.PoolJobs),
 		stats:      newStats(opt.Workers),
+		log:        opt.Logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
 		accepting:  true,
 	}
+	if s.log == nil {
+		s.log = obs.Nop()
+	}
+	s.reg = obs.NewRegistry()
+	s.mStarted = s.reg.Counter("jobs_started_total", "Jobs handed to a worker since server start.", nil)
+	s.mFinished = s.reg.Counter("jobs_finished_total", "Jobs that reached a terminal state since server start.", nil)
+	s.mDegraded = s.reg.Counter("jobs_degraded", "Jobs that settled below the ILP-optimum solve rung.", nil)
+	s.mRetries = s.reg.Counter("job_retries", "Transient-failure re-executions.", nil)
+	s.mPanics = s.reg.Counter("job_panics", "Panics recovered at the worker boundary.", nil)
+	s.mInflight = s.reg.Gauge("jobs_inflight", "Jobs currently running (started minus finished).", nil)
 	s.execFn = s.execute
 
 	var pending []journal.PendingJob
 	if opt.JournalDir != "" {
-		entries, _, err := journal.ReadAll(opt.JournalDir)
+		entries, skipped, err := journal.ReadAll(opt.JournalDir)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
+		if skipped > 0 {
+			s.log.Warn("journal: skipped unparseable lines", "dir", opt.JournalDir, "lines", skipped)
+		}
 		var maxSeq int64
 		pending, maxSeq = journal.Pending(entries)
 		s.seq.Store(maxSeq)
+		if len(pending) > 0 {
+			s.log.Info("journal: replaying unfinished jobs", "dir", opt.JournalDir, "jobs", len(pending))
+		}
 		if s.jrnl, err = journal.Open(opt.JournalDir); err != nil {
 			cancel()
 			return nil, err
@@ -169,6 +204,9 @@ func (s *Server) replay(pending []journal.PendingJob) {
 			jb.err = err
 			jb.finished = time.Now()
 			_ = s.jrnl.Append(journal.Entry{Seq: p.Seq, Job: jb.ID, Event: journal.EventFailed, Error: err.Error()})
+			s.log.Warn("journal: replayed job failed validation", "job", jb.ID, "err", err)
+		} else {
+			s.log.Info("journal: re-queued job", "job", jb.ID, "testcase", jb.spec.Name())
 		}
 		s.jobs[jb.ID] = jb
 		s.order = append(s.order, jb.ID)
@@ -251,6 +289,8 @@ func (s *Server) runJob(jb *Job) {
 	}
 	s.journal(jb, journal.EventStarted, nil)
 	s.stats.jobStarted()
+	s.mStarted.Inc()
+	s.log.Debug("job started", "job", jb.ID, "testcase", jb.spec.Name())
 	start := time.Now()
 
 	var results map[flow.ID]flow.Metrics
@@ -265,6 +305,8 @@ func (s *Server) runJob(jb *Job) {
 			break
 		}
 		s.stats.jobRetried()
+		s.mRetries.Inc()
+		s.log.Warn("job retrying after transient failure", "job", jb.ID, "attempt", attempt+1, "err", err)
 		select {
 		case <-time.After(backoff(s.opt.RetryBase, jb.ID, attempt)):
 		case <-ctx.Done():
@@ -273,10 +315,17 @@ func (s *Server) runJob(jb *Job) {
 	if err == nil && degradedResults(results) {
 		jb.noteDegraded()
 		s.stats.jobDegraded()
+		s.mDegraded.Inc()
 	}
 	jb.finish(results, err)
 	s.journal(jb, terminalEvent(jb), err)
 	s.stats.jobFinished(time.Since(start))
+	s.mFinished.Inc()
+	if err != nil {
+		s.log.Warn("job finished with error", "job", jb.ID, "state", terminalEvent(jb), "err", err, "dur", time.Since(start))
+	} else {
+		s.log.Info("job done", "job", jb.ID, "dur", time.Since(start))
+	}
 }
 
 // safeExec runs the job's flows behind a recover boundary. The flow layer
@@ -287,6 +336,7 @@ func (s *Server) safeExec(ctx context.Context, jb *Job) (results map[flow.ID]flo
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.stats.jobPanicked()
+			s.mPanics.Inc()
 			err = errs.FromPanic(rec, "server: job %s", jb.ID)
 		}
 	}()
@@ -356,6 +406,11 @@ func terminalEvent(jb *Job) string {
 }
 
 func (s *Server) execute(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	// Solver progress (stage transitions, MILP incumbents, k-means
+	// iterations) streams into the job's live view; the job's logger is
+	// scoped with its ID so concurrent jobs' diagnostics stay attributable.
+	ctx = obs.WithProgress(ctx, jb.noteProgress)
+	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID))
 	cfg := jb.req.config(s.pool)
 	r, err := flow.NewRunner(ctx, jb.spec, cfg)
 	if err != nil {
@@ -449,6 +504,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -579,6 +635,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	busy, util, perFlow := s.stats.snapshot()
 	degraded, retries, panics := s.stats.resilience()
+	started, finished, inflight := s.stats.inflight()
 	s.mu.Lock()
 	depth := len(s.queue)
 	counts := map[State]int{}
@@ -590,6 +647,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":     s.stats.uptime().Seconds(),
 		"queue_depth":        depth,
 		"queue_capacity":     s.opt.QueueDepth,
 		"workers":            s.opt.Workers,
@@ -597,9 +655,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"worker_utilization": util,
 		"pool_jobs":          s.pool.Jobs(),
 		"jobs":               counts,
+		"jobs_started":       started,
+		"jobs_finished":      finished,
+		"jobs_inflight":      inflight,
 		"jobs_degraded":      degraded,
 		"job_retries":        retries,
 		"job_panics":         panics,
 		"flow_latency":       perFlow,
 	})
+}
+
+// MetricsHandler returns the /metrics endpoint standalone, for mounting on
+// a separate debug listener alongside pprof.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
+}
+
+// handleMetrics renders the server's registry followed by the process-wide
+// default registry (flow stage histograms, solve counters) in Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, _, inflight := s.stats.inflight()
+	s.mInflight.Set(float64(inflight))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
+	_ = obs.Default.WriteProm(w)
 }

@@ -61,7 +61,8 @@ type stats struct {
 	workers int
 
 	mu        sync.Mutex
-	busy      int           // workers currently running a job
+	started   int64         // jobs ever started (monotonic)
+	finished  int64         // jobs ever finished (monotonic)
 	busyNanos time.Duration // accumulated busy time of finished jobs
 	perFlow   map[flow.ID]*latencyRing
 	degraded  int64 // jobs that settled below the ILP-optimum rung
@@ -75,15 +76,28 @@ func newStats(workers int) *stats {
 
 func (s *stats) jobStarted() {
 	s.mu.Lock()
-	s.busy++
+	s.started++
 	s.mu.Unlock()
 }
 
 func (s *stats) jobFinished(busyFor time.Duration) {
 	s.mu.Lock()
-	s.busy--
+	s.finished++
 	s.busyNanos += busyFor
 	s.mu.Unlock()
+}
+
+// uptime is the wall clock since server start.
+func (s *stats) uptime() time.Duration { return time.Since(s.start) }
+
+// inflight derives the jobs-in-flight gauge from the two monotonic
+// start/finish counters, so it can never go negative or drift: the gauge is
+// a difference of monotones, not an up/down counter that a missed decrement
+// could corrupt.
+func (s *stats) inflight() (started, finished, inflight int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started, s.finished, s.started - s.finished
 }
 
 func (s *stats) jobDegraded() {
@@ -153,5 +167,5 @@ func (s *stats) snapshot() (busyWorkers int, utilization float64, perFlow map[st
 			P99ms: float64(r.percentile(sorted, 99)) / float64(time.Millisecond),
 		}
 	}
-	return s.busy, util, out
+	return int(s.started - s.finished), util, out
 }
