@@ -1,0 +1,307 @@
+// Command benchrap compares the RAP solver backends (DESIGN.md §12) and
+// writes the results to a JSON file. For each golden testcase it solves the
+// same clustered model with the MILP branch-and-bound and with the
+// structure-aware rap backend, checks the objectives agree at proven
+// optimality, and records the wall-clock ratio. It then measures the
+// incremental re-solve: warm re-solves after single-cluster perturbations
+// against cold solves of the identical perturbed instance.
+//
+//	benchrap                    # write BENCH_rap.json in the cwd
+//	benchrap -quick             # CI smoke: smallest case, one rep
+//	benchrap -scale 0.05 -o /tmp/bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mthplace/internal/core"
+	"mthplace/internal/flow"
+	"mthplace/internal/milp"
+	"mthplace/internal/rap"
+	"mthplace/internal/synth"
+)
+
+// Report is the schema of BENCH_rap.json.
+type Report struct {
+	Host struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Scale float64 `json:"scale"`
+	Reps  int     `json:"reps"`
+	// Solves compares the two exact backends per testcase.
+	Solves []SolveCase `json:"solves"`
+	// Incremental measures warm-vs-cold re-solves after perturbations.
+	Incremental []IncrementalCase `json:"incremental"`
+}
+
+// SolveCase is one backend comparison: both solvers prove optimality on the
+// same model, objectives must match, and speedup is milp/rap wall clock.
+type SolveCase struct {
+	Name      string  `json:"name"`
+	Clusters  int     `json:"clusters"`
+	Rows      int     `json:"rows"`
+	NminR     int     `json:"nmin_r"`
+	MILPMS    float64 `json:"milp_ms"`
+	RAPMS     float64 `json:"rap_ms"`
+	Speedup   float64 `json:"speedup"`
+	Objective float64 `json:"objective"`
+	RAPNodes  int     `json:"rap_nodes"`
+	Optimal   bool    `json:"both_optimal"`
+}
+
+// IncrementalCase is one warm-start measurement: after a single-cluster
+// cost-row perturbation, a warm re-solve from the previous duals and
+// incumbent against a cold solve of the identical perturbed instance.
+type IncrementalCase struct {
+	Name          string  `json:"name"`
+	Perturbations int     `json:"perturbations"`
+	ColdMS        float64 `json:"cold_ms"`
+	WarmMS        float64 `json:"warm_ms"`
+	Speedup       float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "CI smoke: smallest testcase only, one rep")
+		reps  = flag.Int("reps", 3, "repetitions per measurement (best is kept)")
+		scale = flag.Float64("scale", 0.02, "testcase cell-count scale")
+		out   = flag.String("o", "BENCH_rap.json", "output file")
+	)
+	flag.Parse()
+
+	names := []string{"aes_300", "fpu_4000", "des3_210"}
+	if *quick {
+		names = names[:1]
+		*reps = 1
+	}
+
+	var rep Report
+	rep.Host.GoVersion = runtime.Version()
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Scale = *scale
+	rep.Reps = *reps
+
+	ctx := context.Background()
+	for _, name := range names {
+		m := buildModel(ctx, name, *scale)
+		sc := compareBackends(ctx, name, m, *reps)
+		rep.Solves = append(rep.Solves, sc)
+		fmt.Printf("%-10s %4d clusters × %3d rows  milp %9.2f ms  rap %8.2f ms  speedup %6.1fx  obj %.1f\n",
+			sc.Name, sc.Clusters, sc.Rows, sc.MILPMS, sc.RAPMS, sc.Speedup, sc.Objective)
+		if !sc.Optimal {
+			fatal(fmt.Errorf("%s: a backend failed to prove optimality", name))
+		}
+
+		ic := benchIncremental(ctx, name, m, *reps, *quick)
+		rep.Incremental = append(rep.Incremental, ic)
+		fmt.Printf("%-10s incremental (%d single-cluster perturbations)  cold %8.2f ms  warm %8.2f ms  speedup %6.1fx\n",
+			ic.Name, ic.Perturbations, ic.ColdMS, ic.WarmMS, ic.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (host: %d CPU)\n", *out, rep.Host.NumCPU)
+}
+
+// buildModel prepares the clustered RAP model for one golden testcase the
+// same way the flow does: synth → initial placement → k-means → cost model.
+func buildModel(ctx context.Context, name string, scale float64) *core.Model {
+	var spec synth.Spec
+	found := false
+	for _, s := range synth.TableII() {
+		if s.Name() == name {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown testcase %s", name))
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Synth.Scale = scale
+	cfg.Synth.Seed = 1
+	r, err := flow.NewRunner(ctx, spec, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	d := r.Base.Clone()
+	cl, err := core.BuildClusters(ctx, d, cfg.Core.S, cfg.Core.KMeansIters)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.BuildModel(ctx, d, r.Grid, cl, r.NminR, cfg.Core.Cost)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+// solveOptions is the exact-proof configuration both backends run under.
+func solveOptions(backend string) core.SolveOptions {
+	opt := flow.DefaultConfig().Core.Solve
+	opt.Backend = backend
+	opt.MILP = milp.Options{MaxNodes: 2_000_000, RelGap: 1e-6, TimeLimit: 60 * time.Second}
+	opt.Degrade = core.DegradeStrict
+	return opt
+}
+
+// compareBackends times both exact backends on m, keeping the best of reps.
+func compareBackends(ctx context.Context, name string, m *core.Model, reps int) SolveCase {
+	sc := SolveCase{Name: name, Clusters: m.Clusters.N(), Rows: m.NR, NminR: m.NminR, Optimal: true}
+	var milpObj, rapObj float64
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		a, err := core.Solve(ctx, m, solveOptions(core.BackendMILP))
+		if err != nil {
+			fatal(fmt.Errorf("%s milp: %w", name, err))
+		}
+		if ms := msSince(t0); i == 0 || ms < sc.MILPMS {
+			sc.MILPMS = ms
+		}
+		milpObj = a.Objective
+		sc.Optimal = sc.Optimal && a.Stats.Optimal
+
+		t0 = time.Now()
+		b, err := core.Solve(ctx, m, solveOptions(core.BackendRAP))
+		if err != nil {
+			fatal(fmt.Errorf("%s rap: %w", name, err))
+		}
+		if ms := msSince(t0); i == 0 || ms < sc.RAPMS {
+			sc.RAPMS = ms
+		}
+		rapObj = b.Objective
+		sc.RAPNodes = b.Stats.Nodes
+		sc.Optimal = sc.Optimal && b.Stats.Optimal
+	}
+	if diff := milpObj - rapObj; diff > 1e-6 || diff < -1e-6 {
+		fatal(fmt.Errorf("%s: objective mismatch milp %.6f vs rap %.6f", name, milpObj, rapObj))
+	}
+	sc.Objective = rapObj
+	sc.Speedup = sc.MILPMS / sc.RAPMS
+	return sc
+}
+
+// rapInstance converts a dense model into the sparse arc form (all rows
+// kept: the incremental benchmark measures the solver, not the pruning).
+func rapInstance(m *core.Model) *rap.Instance {
+	in := &rap.Instance{
+		NR: m.NR, NminR: m.NminR, Cap: m.Cap, Width: m.Clusters.Width,
+		Cand: make([][]rap.Arc, m.Clusters.N()),
+	}
+	for c := range in.Cand {
+		arcs := make([]rap.Arc, m.NR)
+		for r := 0; r < m.NR; r++ {
+			arcs[r] = rap.Arc{Row: int32(r), Cost: m.Cost[c][r]}
+		}
+		in.Cand[c] = arcs
+	}
+	return in
+}
+
+// benchIncremental measures warm re-solves after single-cluster cost-row
+// perturbations against cold solves of the identical perturbed instance.
+// Each perturbation inflates one cluster's costs by 10% on a window of rows
+// — enough to move the optimum occasionally, small enough that the
+// inherited duals stay near-optimal (the workload incremental re-solve
+// exists for). Warm and cold must agree on the objective at every step.
+func benchIncremental(ctx context.Context, name string, m *core.Model, reps int, quick bool) IncrementalCase {
+	nC := m.Clusters.N()
+	perturbs := 8
+	if quick {
+		perturbs = 2
+	}
+	opt := rap.Options{MaxNodes: 10_000_000, RelGap: 1e-6}
+	ic := IncrementalCase{Name: name, Perturbations: perturbs}
+
+	for rep := 0; rep < reps; rep++ {
+		// Live cost copy: cold instances are rebuilt from it so both sides
+		// solve the identical cumulatively-perturbed problem.
+		cost := make([][]float64, nC)
+		for c := range cost {
+			cost[c] = append([]float64(nil), m.Cost[c]...)
+		}
+		s, err := rap.NewSolver(rapInstance(m))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := s.Solve(ctx, opt); err != nil {
+			fatal(fmt.Errorf("%s incremental prime: %w", name, err))
+		}
+
+		var warm, cold time.Duration
+		for p := 0; p < perturbs; p++ {
+			c := (p * 7919) % nC
+			lo := (p * 13) % m.NR
+			for r := lo; r < lo+4 && r < m.NR; r++ {
+				cost[c][r] *= 1.05
+			}
+			arcs := make([]rap.Arc, m.NR)
+			for r := 0; r < m.NR; r++ {
+				arcs[r] = rap.Arc{Row: int32(r), Cost: cost[c][r]}
+			}
+			if err := s.SetClusterArcs(c, arcs); err != nil {
+				fatal(err)
+			}
+
+			t0 := time.Now()
+			wres, err := s.Solve(ctx, opt)
+			warm += time.Since(t0)
+			if err != nil {
+				fatal(fmt.Errorf("%s warm re-solve %d: %w", name, p, err))
+			}
+
+			coldIn := rapInstance(m)
+			for cc := range coldIn.Cand {
+				for i := range coldIn.Cand[cc] {
+					coldIn.Cand[cc][i].Cost = cost[cc][i]
+				}
+			}
+			t0 = time.Now()
+			cres, err := rap.Solve(ctx, coldIn, nil, opt)
+			cold += time.Since(t0)
+			if err != nil {
+				fatal(fmt.Errorf("%s cold re-solve %d: %w", name, p, err))
+			}
+			if diff := wres.Obj - cres.Obj; diff > 1e-6 || diff < -1e-6 {
+				fatal(fmt.Errorf("%s perturbation %d: warm objective %.6f vs cold %.6f",
+					name, p, wres.Obj, cres.Obj))
+			}
+		}
+		warmMS := float64(warm.Microseconds()) / 1000
+		coldMS := float64(cold.Microseconds()) / 1000
+		if rep == 0 || warmMS < ic.WarmMS {
+			ic.WarmMS = warmMS
+		}
+		if rep == 0 || coldMS < ic.ColdMS {
+			ic.ColdMS = coldMS
+		}
+	}
+	ic.Speedup = ic.ColdMS / ic.WarmMS
+	return ic
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrap:", err)
+	os.Exit(1)
+}

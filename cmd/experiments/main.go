@@ -31,6 +31,7 @@ import (
 	"mthplace/internal/exp"
 	"mthplace/internal/obs"
 	"mthplace/internal/synth"
+	"mthplace/pkg/mth"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expiry exits 124")
 		jobs     = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		only     = flag.String("only", "", "restrict to testcases whose name contains this substring")
+		solver   = flag.String("solver", "", "RAP solver backend: milp (default), rap (structure-aware Lagrangian branch and bound), or greedy")
 		verbose  = flag.Bool("v", false, "log per-testcase progress to stderr")
 		quiet    = flag.Bool("q", false, "quiet: warnings and errors only on stderr")
 		table2   = flag.Bool("table2", false, "regenerate Table II")
@@ -66,8 +68,13 @@ func main() {
 		defer cancel()
 	}
 
+	if err := mth.ValidBackend(*solver); err != nil {
+		fatal(err)
+	}
+
 	cfg := exp.Config{Scale: *scale, Seed: *seed}
 	cfg.Flow.Jobs = *jobs
+	cfg.Flow.Core.Solve.Backend = *solver
 	if *verbose {
 		// Per-testcase progress stays opt-in: tables land on stdout, the
 		// structured progress log on stderr.

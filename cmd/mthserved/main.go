@@ -51,6 +51,7 @@ func main() {
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight jobs")
 	retries := flag.Int("retries", 2, "max retries for transient job failures (-1 disables)")
 	journalDir := flag.String("journal", "", "job-journal directory; unfinished jobs are re-run on restart (empty = journaling off)")
+	solver := flag.String("solver", "", `default RAP solver backend for jobs that name none: milp (default), rap, or greedy; per-job override via the request's "solver" field`)
 	verbose := flag.Bool("v", false, "verbose diagnostics (debug level) on stderr")
 	quiet := flag.Bool("q", false, "quiet: warnings and errors only")
 	flag.Parse()
@@ -63,12 +64,13 @@ func main() {
 	}
 
 	srv, err := server.New(server.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		PoolJobs:   *poolJobs,
-		MaxRetries: *retries,
-		JournalDir: *journalDir,
-		Logger:     lg,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		PoolJobs:      *poolJobs,
+		MaxRetries:    *retries,
+		JournalDir:    *journalDir,
+		DefaultSolver: *solver,
+		Logger:        lg,
 	})
 	if err != nil {
 		lg.Error("mthserved: startup failed", "err", err)

@@ -50,8 +50,13 @@ func main() {
 		quiet    = flag.Bool("q", false, "quiet: warnings and errors only on stderr")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expiry exits 124")
 		strict   = flag.Bool("strict", false, "fail fast instead of degrading to an anytime/greedy answer when solve budgets run out")
+		solver   = flag.String("solver", "", "RAP solver backend: milp (default), rap (structure-aware Lagrangian branch and bound), or greedy")
 	)
 	flag.Parse()
+
+	if err := mth.ValidBackend(*solver); err != nil {
+		fatal(err)
+	}
 
 	lg := obs.NewCLILogger(os.Stderr, *verbose, *quiet)
 
@@ -101,6 +106,7 @@ func main() {
 	if *strict {
 		fcfg.Core.Solve.Degrade = mth.DegradeStrict
 	}
+	fcfg.Core.Solve.Backend = *solver
 	runner, err := mth.NewRunner(ctx, spec, fcfg)
 	if err != nil {
 		fatal(err)
@@ -130,6 +136,9 @@ func main() {
 	fmt.Printf("%v results:\n", m.Flow)
 	fmt.Printf("  displacement: %d DBU\n", m.Displacement)
 	fmt.Printf("  HPWL:         %d DBU\n", m.HPWL)
+	if m.Solver != "" {
+		fmt.Printf("  solver:       %s\n", m.Solver)
+	}
 	if m.SolveRung != "" {
 		fmt.Printf("  solve rung:   %s\n", rungLabel(m))
 	}

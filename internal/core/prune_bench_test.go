@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pruneModel builds a synthetic cost matrix sized like a mid-range testcase
+// so the benchmark measures pruning alone, not the cost-model build.
+func pruneModel(nC, nR int) (*Model, *Assignment) {
+	rng := rand.New(rand.NewSource(7))
+	m := &Model{
+		Clusters: &Clusters{Members: make([][]int32, nC)},
+		NR:       nR,
+		Cost:     make([][]float64, nC),
+	}
+	for c := range m.Cost {
+		row := make([]float64, nR)
+		for r := range row {
+			row[r] = rng.Float64() * 1e5
+		}
+		m.Cost[c] = row
+	}
+	g := &Assignment{ClusterPair: make([]int, nC)}
+	for c := range g.ClusterPair {
+		g.ClusterPair[c] = rng.Intn(nR)
+	}
+	return m, g
+}
+
+// BenchmarkCandidatePruning covers the per-cluster row-ranking hot path that
+// feeds both solver backends. The slices.SortFunc over one reused index
+// buffer replaced a per-cluster sort.Slice closure that allocated its header
+// on every call.
+func BenchmarkCandidatePruning(b *testing.B) {
+	for _, sz := range []struct {
+		name   string
+		nC, nR int
+		k      int
+	}{
+		{"C100xR200k16", 100, 200, 16},
+		{"C400xR800k32", 400, 800, 32},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			m, g := pruneModel(sz.nC, sz.nR)
+			b.ReportAllocs()
+			for b.Loop() {
+				pruneCandidates(m, g, sz.k)
+			}
+		})
+	}
+}

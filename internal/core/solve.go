@@ -15,6 +15,7 @@ import (
 	"mthplace/internal/milp"
 	"mthplace/internal/netlist"
 	"mthplace/internal/obs"
+	"mthplace/internal/rap"
 	"mthplace/internal/rowgrid"
 	"mthplace/internal/tech"
 )
@@ -96,8 +97,27 @@ func (p DegradePolicy) String() string {
 	return "anytime"
 }
 
+// Solver backends selectable through SolveOptions.Backend. All of them
+// solve the same Eqs. (3)–(5) instance behind the same Solve entry point
+// and degradation ladder; they differ in how.
+const (
+	// BackendMILP (the default) linearises the RAP into a mixed-binary LP
+	// and runs the generic internal/milp branch and bound with root cuts.
+	BackendMILP = "milp"
+	// BackendRAP runs the structure-aware internal/rap solver: sparse
+	// per-cluster candidate lists, Lagrangian capacity bounds, and branch
+	// and bound on cluster→row arcs.
+	BackendRAP = "rap"
+	// BackendGreedy runs only the greedy heuristic (the same ablation as
+	// ForceGreedy, as a named backend).
+	BackendGreedy = "greedy"
+)
+
 // SolveOptions tune the RAP solver.
 type SolveOptions struct {
+	// Backend selects the solver implementation behind Solve: BackendMILP
+	// (default when empty), BackendRAP, or BackendGreedy.
+	Backend string
 	// CandidateRows prunes each cluster's x_cr variables to its K cheapest
 	// pairs (0 = keep all N_R). The union always keeps enough capacity;
 	// pruning is a runtime/optimality trade documented in DESIGN.md.
@@ -111,6 +131,134 @@ type SolveOptions struct {
 	ForceGreedy bool
 	// Degrade selects the ladder policy (default DegradeAnytime).
 	Degrade DegradePolicy
+}
+
+// Solve solves the RAP model with the backend selected by opt.Backend,
+// behind one contract: identical Assignment/SolveStats semantics, the same
+// degradation ladder, and objective-equal results at proven optimality
+// (both exact backends search the same pruned candidate space). An unknown
+// backend name is an error.
+func Solve(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, error) {
+	switch opt.Backend {
+	case "", BackendMILP:
+		return SolveILP(ctx, m, opt)
+	case BackendRAP:
+		return SolveRAP(ctx, m, opt)
+	case BackendGreedy:
+		opt.ForceGreedy = true
+		return SolveILP(ctx, m, opt)
+	default:
+		return nil, fmt.Errorf("core: unknown solver backend %q (want %s, %s or %s)",
+			opt.Backend, BackendMILP, BackendRAP, BackendGreedy)
+	}
+}
+
+// rapNodeScale converts the MILP node budget into a rap one: a rap node
+// costs a few subgradient sweeps over the sparse arcs, where a MILP node
+// costs a dense LP solve, so the same "effort" knob buys far more of them.
+const rapNodeScale = 500
+
+// SolveRAP solves the RAP model with the structure-aware internal/rap
+// backend: the same greedy warm start and candidate pruning as SolveILP,
+// then Lagrangian-bounded branch and bound on the sparse arc instance.
+// Budgets, cancellation semantics and the degradation ladder mirror
+// SolveILP exactly (opt.MILP supplies RelGap and TimeLimit; MaxNodes is
+// scaled by rapNodeScale).
+func SolveRAP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, error) {
+	start := time.Now()
+	greedy, err := SolveGreedy(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := errs.FromContext(ctx); err != nil {
+		if opt.Degrade == DegradeAnytime && errors.Is(err, errs.ErrTimeout) {
+			return degradeToGreedy(greedy, start, "deadline")
+		}
+		return nil, fmt.Errorf("core: RAP solve: %w", err)
+	}
+	nC := m.Clusters.N()
+	if opt.ForceGreedy || nC == 0 {
+		greedy.Stats.Runtime = time.Since(start)
+		return greedy, nil
+	}
+
+	cand := pruneCandidates(m, greedy, opt.CandidateRows)
+	inst := &rap.Instance{
+		NR:    m.NR,
+		NminR: m.NminR,
+		Cap:   m.Cap,
+		Width: m.Clusters.Width,
+		Cand:  make([][]rap.Arc, nC),
+	}
+	warm := make([]int32, nC)
+	for c := 0; c < nC; c++ {
+		arcs := make([]rap.Arc, len(cand[c]))
+		for i, r := range cand[c] {
+			arcs[i] = rap.Arc{Row: int32(r), Cost: m.Cost[c][r]}
+		}
+		inst.Cand[c] = arcs
+		warm[c] = int32(greedy.ClusterPair[c])
+	}
+	ropt := rap.Options{
+		MaxNodes: opt.MILP.MaxNodes * rapNodeScale,
+		RelGap:   opt.MILP.RelGap,
+	}
+	if opt.MILP.TimeLimit > 0 {
+		ropt.TimeLimit = opt.MILP.TimeLimit - time.Since(start)
+		if ropt.TimeLimit < time.Second {
+			ropt.TimeLimit = time.Second
+		}
+	}
+	res, err := rap.Solve(ctx, inst, warm, ropt)
+	if err != nil {
+		return nil, fmt.Errorf("core: RAP solve: %w", err)
+	}
+	ctxErr := errs.FromContext(ctx)
+	if ctxErr != nil && (opt.Degrade != DegradeAnytime || !errors.Is(ctxErr, errs.ErrTimeout)) {
+		return nil, fmt.Errorf("core: RAP branch and bound: %w", ctxErr)
+	}
+	reason := degradeReasonFrom(res.Status, res.Stop, ctxErr)
+	if res.Status == milp.Infeasible || res.Status == milp.Limit {
+		if opt.Degrade == DegradeStrict {
+			return nil, errs.Transient("core: RAP search ended %v (%s) without a usable incumbent", res.Status, reason)
+		}
+		greedy.Stats.MILPStatus = res.Status
+		return degradeToGreedy(greedy, start, reason)
+	}
+	if opt.Degrade == DegradeStrict && res.Status != milp.Optimal {
+		return nil, errs.Transient("core: RAP search stopped (%s) before proving optimality", reason)
+	}
+
+	out := &Assignment{ClusterPair: make([]int, nC)}
+	chosen := map[int]bool{}
+	for c := 0; c < nC; c++ {
+		out.ClusterPair[c] = int(res.Assign[c])
+		chosen[out.ClusterPair[c]] = true
+	}
+	out.MinorityPairs = slices.Sorted(maps.Keys(chosen))
+	out.Objective = objectiveOf(m, out.ClusterPair)
+	out.Stats = SolveStats{
+		Method:     "rap",
+		NumVars:    inst.NumArcs() + m.NR,
+		NumBinary:  inst.NumArcs() + m.NR,
+		Nodes:      res.Nodes,
+		LPIters:    res.Iters,
+		MILPStatus: res.Status,
+		Runtime:    time.Since(start),
+		Optimal:    res.Status == milp.Optimal,
+		Rung:       RungILP,
+	}
+	if res.Status != milp.Optimal {
+		out.Stats.Rung = RungAnytime
+		out.Stats.Degraded = true
+		out.Stats.DegradeReason = reason
+		out.Stats.Gap = gapOf(res)
+	}
+	if len(out.MinorityPairs) > m.NminR {
+		return nil, fmt.Errorf("core: RAP produced %d minority pairs, budget %d", len(out.MinorityPairs), m.NminR)
+	}
+	padMinorityPairs(m, out)
+	return out, nil
 }
 
 // SolveILP solves the RAP model exactly (Eqs. (1)–(5)) via the internal
@@ -152,29 +300,7 @@ func SolveILP(ctx context.Context, m *Model, opt SolveOptions) (*Assignment, err
 		return greedy, nil
 	}
 
-	// Candidate pruning: per cluster keep the K cheapest pairs plus the
-	// greedy-chosen pair (keeps the warm start representable).
-	cand := make([][]int, nC)
-	for c := 0; c < nC; c++ {
-		idx := indexSeq(nR)
-		if opt.CandidateRows <= 0 || opt.CandidateRows >= nR {
-			cand[c] = idx
-			continue
-		}
-		costs := m.Cost[c]
-		sort.Slice(idx, func(a, b int) bool {
-			if costs[idx[a]] != costs[idx[b]] {
-				return costs[idx[a]] < costs[idx[b]]
-			}
-			return idx[a] < idx[b]
-		})
-		keep := idx[:opt.CandidateRows:opt.CandidateRows]
-		if !slices.Contains(keep, greedy.ClusterPair[c]) {
-			keep = append(keep, greedy.ClusterPair[c])
-		}
-		slices.Sort(keep)
-		cand[c] = keep
-	}
+	cand := pruneCandidates(m, greedy, opt.CandidateRows)
 
 	prob := lp.NewProblem()
 	xVar := make([]map[int]int, nC) // cluster -> row -> var
@@ -418,15 +544,64 @@ func degradeToGreedy(greedy *Assignment, start time.Time, reason string) (*Assig
 	return greedy, nil
 }
 
+// pruneCandidates keeps each cluster's k cheapest pairs plus its
+// greedy-chosen pair (so the warm start stays representable), each list
+// sorted ascending by pair index. k <= 0 or k >= N_R keeps every pair.
+// Both exact backends search exactly this candidate space, which is what
+// makes their proven optima objective-equal. One index buffer is resorted
+// per cluster, so the hot path allocates only the kept lists (see
+// BenchmarkCandidatePruning).
+func pruneCandidates(m *Model, greedy *Assignment, k int) [][]int {
+	nC, nR := m.Clusters.N(), m.NR
+	cand := make([][]int, nC)
+	if k <= 0 || k >= nR {
+		all := indexSeq(nR) // shared: candidate lists are read-only
+		for c := range cand {
+			cand[c] = all
+		}
+		return cand
+	}
+	idx := make([]int, nR)
+	for c := 0; c < nC; c++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		costs := m.Cost[c]
+		slices.SortFunc(idx, func(a, b int) int {
+			if costs[a] != costs[b] {
+				if costs[a] < costs[b] {
+					return -1
+				}
+				return 1
+			}
+			return a - b
+		})
+		keep := make([]int, k, k+1)
+		copy(keep, idx[:k])
+		if !slices.Contains(keep, greedy.ClusterPair[c]) {
+			keep = append(keep, greedy.ClusterPair[c])
+		}
+		slices.Sort(keep)
+		cand[c] = keep
+	}
+	return cand
+}
+
 // degradeReason names what stopped the search short of a proof.
 func degradeReason(res *milp.Result, ctxErr error) string {
-	if res.Status == milp.Infeasible {
+	return degradeReasonFrom(res.Status, res.Stop, ctxErr)
+}
+
+// degradeReasonFrom is the backend-agnostic form over the shared anytime
+// types.
+func degradeReasonFrom(status milp.Status, stop milp.StopReason, ctxErr error) string {
+	if status == milp.Infeasible {
 		return "pruned-infeasible"
 	}
 	if ctxErr != nil {
 		return "deadline"
 	}
-	switch res.Stop {
+	switch stop {
 	case milp.StopNodeLimit:
 		return "node-limit"
 	case milp.StopTimeLimit:
@@ -438,9 +613,10 @@ func degradeReason(res *milp.Result, ctxErr error) string {
 	}
 }
 
-// gapOf clamps a milp gap bound into the SolveStats convention: a finite
-// non-negative ratio, or -1 when the search produced no usable bound.
-func gapOf(res *milp.Result) float64 {
+// gapOf clamps a solver gap bound into the SolveStats convention: a finite
+// non-negative ratio, or -1 when the search produced no usable bound. Both
+// backends' results implement the same Gap convention.
+func gapOf(res interface{ Gap() float64 }) float64 {
 	g := res.Gap()
 	if math.IsInf(g, 0) || math.IsNaN(g) {
 		return -1

@@ -50,9 +50,10 @@ func (c Config) withDefaults() Config {
 		c.Specs = synth.TableII()
 	}
 	if c.Flow.FencePasses == 0 {
-		jobs := c.Flow.Jobs
+		jobs, backend := c.Flow.Jobs, c.Flow.Core.Solve.Backend
 		c.Flow = flow.DefaultConfig()
 		c.Flow.Jobs = jobs
+		c.Flow.Core.Solve.Backend = backend
 	}
 	c.Flow.Synth.Scale = c.Scale
 	c.Flow.Synth.Seed = c.Seed

@@ -185,6 +185,10 @@ type Metrics struct {
 	SolveDegraded      bool
 	SolveDegradeReason string
 	SolveGap           float64
+	// Solver names the backend that ran the assignment: "milp", "rap" or
+	// "greedy" for the constraint-aware flows, "baseline" for Flows (2)/(3),
+	// empty for Flow (1).
+	Solver string
 	// Post-route (Table V); populated when routing was requested.
 	Routed   bool
 	RoutedWL int64
@@ -425,7 +429,7 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 			if err := fault.Inject(ctx, PointSolve); err != nil {
 				return fmt.Errorf("row assignment: %w", err)
 			}
-			sol, err := core.SolveILP(ctx, model, r.Cfg.Core.Solve)
+			sol, err := core.Solve(ctx, model, r.Cfg.Core.Solve)
 			if err != nil {
 				return fmt.Errorf("row assignment: %w", err)
 			}
@@ -443,6 +447,10 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		met.SolveDegraded = ra.Assignment.Stats.Degraded
 		met.SolveDegradeReason = ra.Assignment.Stats.DegradeReason
 		met.SolveGap = ra.Assignment.Stats.Gap
+		met.Solver = r.Cfg.Core.Solve.Backend
+		if met.Solver == "" {
+			met.Solver = core.BackendMILP
+		}
 		stack = ra.Stack
 		seedY = ra.SeedY
 		cellPair = ra.CellPair
@@ -469,11 +477,12 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		}
 		met.RAPTime = time.Since(rapStart)
 		met.SolveRung = "baseline"
+		met.Solver = "baseline"
 	}
 	if err := errs.FromContext(ctx); err != nil {
 		return nil, fmt.Errorf("row assignment: %w", err)
 	}
-	obs.SolveTotal(met.SolveRung).Inc()
+	obs.SolveTotal(met.SolveRung, met.Solver).Inc()
 
 	// Back to true mixed-height cells, then legalize under row-constraint.
 	if err := lefdef.Revert(d); err != nil {

@@ -271,11 +271,13 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// SolveTotal is the canonical per-rung RAP solve counter
-// (mth_solve_total{rung="ilp|anytime|greedy|baseline"}).
-func SolveTotal(rung string) *Counter {
+// SolveTotal is the canonical RAP solve counter, labelled by
+// degradation-ladder rung and solver backend
+// (mth_solve_total{rung="ilp|anytime|greedy|baseline",solver="milp|rap|greedy|baseline"}).
+func SolveTotal(rung, solver string) *Counter {
 	return Default.Counter("mth_solve_total",
-		"RAP solves completed, by degradation-ladder rung.", Labels{"rung": rung})
+		"RAP solves completed, by degradation-ladder rung and solver backend.",
+		Labels{"rung": rung, "solver": solver})
 }
 
 // StageSeconds is the canonical flow stage-duration histogram

@@ -154,20 +154,20 @@ func TestMetricsConcurrent(t *testing.T) {
 
 func TestCanonicalHelpers(t *testing.T) {
 	// The canonical series live in Default; helpers must be idempotent.
-	if SolveTotal("test-rung") != SolveTotal("test-rung") {
+	if SolveTotal("test-rung", "test-solver") != SolveTotal("test-rung", "test-solver") {
 		t.Error("SolveTotal not idempotent")
 	}
 	if StageSeconds("test-stage") != StageSeconds("test-stage") {
 		t.Error("StageSeconds not idempotent")
 	}
-	SolveTotal("test-rung").Inc()
+	SolveTotal("test-rung", "test-solver").Inc()
 	StageSeconds("test-stage").Observe(0.01)
 	var buf bytes.Buffer
 	if err := Default.WriteProm(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, `mth_solve_total{rung="test-rung"}`) {
+	if !strings.Contains(out, `mth_solve_total{rung="test-rung",solver="test-solver"}`) {
 		t.Error("mth_solve_total series missing from Default")
 	}
 	if !strings.Contains(out, `mth_stage_seconds_bucket{stage="test-stage",le="0.025"}`) {

@@ -146,14 +146,45 @@ func (p *Pool) releaseExtra(n int) {
 	}
 }
 
+// blocksPerWorker sets the scheduling granularity: the grain is chosen so a
+// full run hands out about this many blocks to every worker. Larger values
+// balance uneven iteration costs better; smaller values cut atomic traffic
+// on the shared claim counter. Eight bounds the load imbalance from the last
+// uneven block at ~1/(8·workers) of the run while already amortizing the
+// counter to a negligible cost for cheap iterations.
+const blocksPerWorker = 8
+
+// grainFor returns the number of consecutive iterations a worker claims per
+// fetch on the shared counter. It is GOMAXPROCS-aware through workers (the
+// pool bound): enough blocks remain for dynamic load balancing across every
+// worker, but cheap micro-iterations (per-cell loops in legalization, row
+// scans) are claimed hundreds at a time instead of one atomic RMW each.
+// Scheduling order never affects results — For/Map iterations write only
+// their own slot — so the grain can depend on the worker count even though
+// reduction chunk boundaries (chunkSize) must not.
+func grainFor(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	g := n / (workers * blocksPerWorker)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // run executes body(i) for i in [0, n) with dynamic scheduling across the
-// caller plus up to extra recruited workers. Worker panics are captured and
-// re-raised on the calling goroutine. stop aborts the claiming of further
-// iterations (used by ForErr).
+// caller plus up to extra recruited workers. Workers claim blocks of
+// grainFor(n, Jobs()) consecutive iterations from a shared counter. Worker
+// panics are captured and re-raised on the calling goroutine. stop aborts
+// the claiming of further iterations (used by ForErr).
 func (p *Pool) run(n int, stop *atomic.Bool, body func(i int)) {
+	grain := grainFor(n, p.Jobs())
 	extra := 0
 	if n > 1 {
-		extra = p.acquireExtra(n - 1)
+		// No point recruiting more workers than there are blocks to claim.
+		blocks := (n + grain - 1) / grain
+		extra = p.acquireExtra(blocks - 1)
 	}
 	if extra == 0 {
 		// Sequential fast path on the calling goroutine; panics propagate
@@ -186,11 +217,20 @@ func (p *Pool) run(n int, stop *atomic.Bool, body func(i int)) {
 			if stop != nil && stop.Load() {
 				return
 			}
-			i := int(next.Add(1)) - 1
-			if i >= n {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
 				return
 			}
-			body(i)
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if stop != nil && stop.Load() {
+					return
+				}
+				body(i)
+			}
 		}
 	}
 	var wg sync.WaitGroup

@@ -192,6 +192,46 @@ func TestSetJobsRoundTrip(t *testing.T) {
 	SetJobs(old)
 }
 
+func TestGrainFor(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{0, 8, 1},
+		{1, 8, 1},
+		{100, 8, 1},                     // fewer iterations than blocks: unit grain
+		{8 * blocksPerWorker * 8, 8, 8}, // exactly blocksPerWorker blocks per worker
+		{1 << 20, 4, 1 << 20 / (4 * 8)},
+		{1 << 20, 0, 1 << 20 / 8}, // degenerate worker count clamps to 1
+	}
+	for _, c := range cases {
+		if got := grainFor(c.n, c.workers); got != c.want {
+			t.Errorf("grainFor(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+	// Whatever the grain, every worker must still see work: the block count
+	// at the chosen grain is at least the worker count for large n.
+	for _, w := range []int{1, 2, 8, 64} {
+		n := 1 << 16
+		g := grainFor(n, w)
+		if blocks := (n + g - 1) / g; blocks < w {
+			t.Errorf("workers=%d: only %d blocks at grain %d", w, blocks, g)
+		}
+	}
+}
+
+// BenchmarkForCheapIterations measures the scheduling overhead on
+// micro-iterations, the case the claim grain exists for.
+func BenchmarkForCheapIterations(b *testing.B) {
+	var sink atomic.Int64
+	for b.Loop() {
+		For(1<<16, func(i int) {
+			if i&1023 == 0 {
+				sink.Add(1)
+			}
+		})
+	}
+}
+
 // TestStress hammers nested For/Map under the race detector.
 func TestStress(t *testing.T) {
 	withJobs(t, 8)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mthplace/internal/core"
 	"mthplace/internal/errs"
 	"mthplace/internal/flow"
 	"mthplace/internal/obs"
@@ -56,6 +57,9 @@ type JobRequest struct {
 	Route bool `json:"route,omitempty"`
 	// TimeoutMS bounds the whole job; expiry surfaces as ErrTimeout (504).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Solver selects the RAP solver backend for this job: "milp", "rap" or
+	// "greedy". Empty uses the server's default (Options.DefaultSolver).
+	Solver string `json:"solver,omitempty"`
 }
 
 // validate resolves the spec and flow list, returning a client error when
@@ -101,11 +105,19 @@ func (r *JobRequest) validate() (synth.Spec, []flow.ID, error) {
 	if r.Jobs < 0 || r.TimeoutMS < 0 || r.FencePasses < 0 {
 		return spec, nil, errors.New("jobs, fence_passes and timeout_ms must be >= 0")
 	}
+	switch r.Solver {
+	case "", core.BackendMILP, core.BackendRAP, core.BackendGreedy:
+	default:
+		return spec, nil, fmt.Errorf("unknown solver %q (want %s, %s or %s)",
+			r.Solver, core.BackendMILP, core.BackendRAP, core.BackendGreedy)
+	}
 	return spec, ids, nil
 }
 
 // config builds this job's flow configuration on top of the defaults.
-func (r *JobRequest) config(shared *par.Pool) flow.Config {
+// defaultSolver is the server-wide backend applied when the request names
+// none.
+func (r *JobRequest) config(shared *par.Pool, defaultSolver string) flow.Config {
 	cfg := flow.DefaultConfig()
 	if r.Scale > 0 {
 		cfg.Synth.Scale = r.Scale
@@ -120,6 +132,10 @@ func (r *JobRequest) config(shared *par.Pool) flow.Config {
 		cfg.Jobs = r.Jobs
 	} else {
 		cfg.Pool = shared
+	}
+	cfg.Core.Solve.Backend = r.Solver
+	if cfg.Core.Solve.Backend == "" {
+		cfg.Core.Solve.Backend = defaultSolver
 	}
 	return cfg
 }

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mthplace/internal/core"
 	"mthplace/internal/errs"
 	"mthplace/internal/flow"
 	"mthplace/internal/journal"
@@ -62,6 +63,9 @@ type Options struct {
 	// jobs are recorded before queueing, and on startup any job the
 	// journal shows unfinished is re-queued with its original ID.
 	JournalDir string
+	// DefaultSolver is the RAP solver backend applied to jobs that name
+	// none: "milp" (the default when empty), "rap" or "greedy".
+	DefaultSolver string
 	// Logger receives the server's structured diagnostics (journal replay,
 	// job lifecycle). Nil discards them.
 	Logger *slog.Logger
@@ -131,6 +135,12 @@ type Server struct {
 // original IDs, before the workers start. Call Shutdown to stop it.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
+	switch opt.DefaultSolver {
+	case "", core.BackendMILP, core.BackendRAP, core.BackendGreedy:
+	default:
+		return nil, fmt.Errorf("server: unknown default solver %q (want %s, %s or %s)",
+			opt.DefaultSolver, core.BackendMILP, core.BackendRAP, core.BackendGreedy)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opt:        opt,
@@ -411,7 +421,7 @@ func (s *Server) execute(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics
 	// scoped with its ID so concurrent jobs' diagnostics stay attributable.
 	ctx = obs.WithProgress(ctx, jb.noteProgress)
 	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID))
-	cfg := jb.req.config(s.pool)
+	cfg := jb.req.config(s.pool, s.opt.DefaultSolver)
 	r, err := flow.NewRunner(ctx, jb.spec, cfg)
 	if err != nil {
 		return nil, err
