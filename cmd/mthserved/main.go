@@ -6,6 +6,14 @@
 //
 //	mthserved -addr :8080 -workers 2 -queue 16 -pool-jobs 8
 //
+// The service is layered (DESIGN.md §13): the HTTP transport accepts jobs
+// under /v1/ (plus unversioned aliases and POST /v1/jobs:batch), the
+// scheduler routes them across -backends execution lanes by consistent hash
+// of their content-addressed instance keys, and the result store keeps a
+// -cache-entries LRU solve cache so a repeated instance is answered
+// bit-identically without re-solving (per-request opt-out via Cache-Control
+// or the body's "cache" field).
+//
 // SIGINT/SIGTERM stops intake, cancels queued jobs, and drains in-flight
 // jobs (up to -drain); a second signal aborts immediately.
 //
@@ -45,8 +53,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for /debug/pprof/ and /metrics (empty = disabled)")
-	workers := flag.Int("workers", 2, "concurrent placement jobs")
-	queue := flag.Int("queue", 16, "job queue depth beyond the workers")
+	workers := flag.Int("workers", 2, "concurrent placement jobs (split across -backends lanes)")
+	queue := flag.Int("queue", 16, "job queue depth beyond the workers (split across -backends lanes)")
+	backends := flag.Int("backends", 1, "execution lanes; jobs route to a lane by consistent hash of their instance keys")
+	cacheEntries := flag.Int("cache-entries", 512, "content-addressed solve-cache capacity in flow results (0 = cache off)")
 	poolJobs := flag.Int("pool-jobs", 0, "shared worker-pool bound for jobs without a private -jobs setting (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight jobs")
 	retries := flag.Int("retries", 2, "max retries for transient job failures (-1 disables)")
@@ -66,6 +76,8 @@ func main() {
 	srv, err := server.New(server.Options{
 		Workers:       *workers,
 		QueueDepth:    *queue,
+		Backends:      *backends,
+		CacheEntries:  *cacheEntries,
 		PoolJobs:      *poolJobs,
 		MaxRetries:    *retries,
 		JournalDir:    *journalDir,

@@ -141,18 +141,6 @@ func (c Config) EffectivePool() *par.Pool {
 	return par.Default
 }
 
-// ApplyJobs installs the config's worker-pool bound on the process-global
-// default pool.
-//
-// Deprecated: this mutates global state and races with concurrent runners.
-// Set Config.Jobs (or Config.Pool) instead — NewRunner scopes the bound to
-// the runner. Kept so existing callers keep working.
-func (c Config) ApplyJobs() {
-	if c.Jobs > 0 {
-		par.SetJobs(c.Jobs)
-	}
-}
-
 // DefaultConfig mirrors the paper's experimental setup.
 func DefaultConfig() Config {
 	return Config{

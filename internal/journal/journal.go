@@ -54,6 +54,11 @@ type Entry struct {
 	Request json.RawMessage `json:"request,omitempty"`
 	// Error is the failure message, set on EventFailed only.
 	Error string `json:"error,omitempty"`
+	// Backend names the scheduler backend the job was routed to, set on
+	// EventSubmitted when known. Informational: replay re-routes through the
+	// live ring rather than trusting a recorded lane that may no longer
+	// exist after a topology change.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Journal appends entries to the file. Safe for concurrent use.

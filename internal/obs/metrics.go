@@ -200,6 +200,33 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	}).(*Histogram)
 }
 
+// Canonical solve-cache series names. Exposed as helpers so the scheduler,
+// tests and dashboards agree on spelling; the registry argument (nil for
+// Default) keeps per-server isolation — each server registers the pair in
+// its own private registry.
+const (
+	cacheHitsName   = "mth_cache_hits_total"
+	cacheMissesName = "mth_cache_misses_total"
+)
+
+// CacheHits registers (or finds) the solve-cache hit counter in r
+// (obs.Default when nil).
+func CacheHits(r *Registry) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter(cacheHitsName, "Job-level solve-cache lookups answered entirely from cache.", nil)
+}
+
+// CacheMisses registers (or finds) the solve-cache miss counter in r
+// (obs.Default when nil).
+func CacheMisses(r *Registry) *Counter {
+	if r == nil {
+		r = Default
+	}
+	return r.Counter(cacheMissesName, "Job-level solve-cache lookups that required a cold solve.", nil)
+}
+
 // WriteProm renders every family in Prometheus text exposition format,
 // families sorted by name and series in registration order.
 func (r *Registry) WriteProm(w io.Writer) error {

@@ -88,15 +88,6 @@ func (p *Pool) SetJobs(n int) int {
 // Jobs returns the Default pool's worker bound.
 func Jobs() int { return Default.Jobs() }
 
-// SetJobs bounds the Default pool to n workers (1 = fully sequential).
-// n <= 0 resets to the default (GOMAXPROCS, or the MTHPLACE_JOBS override).
-// It returns the previous bound so callers can restore it.
-//
-// Deprecated: SetJobs mutates process-global state, so concurrent runs
-// with different bounds stomp each other. Construct a scoped pool with
-// NewPool and attach it to the work's context with WithPool instead.
-func SetJobs(n int) int { return Default.SetJobs(n) }
-
 // poolKey carries a *Pool in a context.
 type poolKey struct{}
 

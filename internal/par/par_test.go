@@ -9,8 +9,8 @@ import (
 
 func withJobs(t *testing.T, n int) {
 	t.Helper()
-	old := SetJobs(n)
-	t.Cleanup(func() { SetJobs(old) })
+	old := Default.SetJobs(n)
+	t.Cleanup(func() { Default.SetJobs(old) })
 }
 
 func TestForCoversEveryIndexOnce(t *testing.T) {
@@ -181,15 +181,15 @@ func TestWorkerPanicPropagates(t *testing.T) {
 }
 
 func TestSetJobsRoundTrip(t *testing.T) {
-	old := SetJobs(3)
+	old := Default.SetJobs(3)
 	if Jobs() != 3 {
 		t.Fatalf("Jobs() = %d", Jobs())
 	}
-	SetJobs(0) // reset to default
+	Default.SetJobs(0) // reset to default
 	if Jobs() < 1 {
 		t.Fatalf("default jobs %d", Jobs())
 	}
-	SetJobs(old)
+	Default.SetJobs(old)
 }
 
 func TestGrainFor(t *testing.T) {

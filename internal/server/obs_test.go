@@ -13,7 +13,6 @@ import (
 	"testing"
 	"time"
 
-	"mthplace/internal/flow"
 	"mthplace/internal/journal"
 	"mthplace/internal/obs"
 )
@@ -94,7 +93,7 @@ func TestMetricsPerServerIsolation(t *testing.T) {
 func TestStatsUptimeAndInflight(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1, QueueDepth: 4})
 	release := make(chan struct{})
-	h.srv.execFn = blockingExec(release)
+	h.srv.setExec(blockingExec(release))
 
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	h.waitState(id, StateRunning)
@@ -208,8 +207,8 @@ func TestReplayLogging(t *testing.T) {
 		if jb == nil {
 			t.Fatal("job-1 not replayed")
 		}
-		st, _, _ := jb.snapshot()
-		if st.terminal() {
+		st, _ := jb.Snapshot()
+		if st.Terminal() {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -219,7 +218,7 @@ func TestReplayLogging(t *testing.T) {
 	}
 	if jb := s.job("job-2"); jb == nil {
 		t.Error("invalid replayed job not registered")
-	} else if st, _, _ := jb.snapshot(); st != StateFailed {
+	} else if st, _ := jb.Snapshot(); st != StateFailed {
 		t.Errorf("invalid replayed job state %q, want failed", st)
 	}
 
@@ -248,62 +247,4 @@ func (l *lockedWriter) Write(p []byte) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.w.Write(p)
-}
-
-// TestLatencyRingConcurrentLoad hammers the per-flow latency ring from many
-// goroutines while /stats snapshots run, checking totals and bounds hold.
-func TestLatencyRingConcurrentLoad(t *testing.T) {
-	s := newStats(4)
-	const (
-		writers = 8
-		perW    = 400 // 3200 total: far past maxLatencySamples
-	)
-	var wg sync.WaitGroup
-	stop := make(chan struct{})
-	readerDone := make(chan struct{})
-	go func() { // concurrent reader: must never race or panic
-		defer close(readerDone)
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-				s.snapshot()
-				s.inflight()
-				// Yield so the writers make progress on small hosts: the
-				// point is interleaving, not starvation.
-				time.Sleep(100 * time.Microsecond)
-			}
-		}
-	}()
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < perW; i++ {
-				s.jobStarted()
-				s.recordFlow(flow.Flow5, time.Duration(w*perW+i)*time.Microsecond)
-				s.jobFinished(time.Microsecond)
-			}
-		}(w)
-	}
-	wg.Wait()
-	close(stop)
-	<-readerDone
-
-	started, finished, inflight := s.inflight()
-	if started != writers*perW || finished != writers*perW || inflight != 0 {
-		t.Errorf("started/finished/inflight = %d/%d/%d, want %d/%d/0",
-			started, finished, inflight, writers*perW, writers*perW)
-	}
-	_, _, perFlow := s.snapshot()
-	lat := perFlow[flow.Flow5.String()]
-	if lat.Count != writers*perW {
-		t.Errorf("ring total = %d, want %d", lat.Count, writers*perW)
-	}
-	// The ring retains at most maxLatencySamples; percentiles must still be
-	// ordered.
-	if !(lat.P50ms <= lat.P90ms && lat.P90ms <= lat.P99ms) {
-		t.Errorf("percentiles out of order: %+v", lat)
-	}
 }

@@ -21,9 +21,9 @@ import (
 // and no worker goroutine is lost.
 func TestJobPanicBecomesFailed500(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1})
-	h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 		panic("solver ate a null pointer")
-	}
+	})
 
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	if st := h.waitState(id, ""); st != StateFailed {
@@ -57,14 +57,14 @@ func TestJobPanicBecomesFailed500(t *testing.T) {
 	}
 
 	// The worker survived: a healthy job on the same (sole) worker runs.
-	h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 		return map[flow.ID]flow.Metrics{flow.Flow5: {}}, nil
-	}
+	})
 	if st := h.waitState(h.submit(JobRequest{Testcase: "aes_300"}), ""); st != StateDone {
 		t.Fatalf("job after panic finished %q, want done", st)
 	}
 
-	_, _, panics := h.srv.stats.resilience()
+	_, _, panics := h.srv.resilience()
 	if panics != 6 {
 		t.Errorf("stats panics = %d, want 6", panics)
 	}
@@ -76,12 +76,12 @@ func TestJobPanicBecomesFailed500(t *testing.T) {
 func TestTransientFailureIsRetried(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1, MaxRetries: 3, RetryBase: time.Millisecond})
 	var calls atomic.Int64
-	h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 		if calls.Add(1) <= 2 {
 			return nil, errs.Transient("flaky dependency")
 		}
 		return map[flow.ID]flow.Metrics{flow.Flow5: {}}, nil
-	}
+	})
 
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	if st := h.waitState(id, ""); st != StateDone {
@@ -93,7 +93,7 @@ func TestTransientFailureIsRetried(t *testing.T) {
 	if attempts != 3 {
 		t.Errorf("attempts = %d, want 3 (2 transient failures + success)", attempts)
 	}
-	if _, retries, _ := h.srv.stats.resilience(); retries != 2 {
+	if _, retries, _ := h.srv.resilience(); retries != 2 {
 		t.Errorf("stats retries = %d, want 2", retries)
 	}
 }
@@ -103,10 +103,10 @@ func TestTransientFailureIsRetried(t *testing.T) {
 func TestRetryBudgetExhausts(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1, MaxRetries: 2, RetryBase: time.Millisecond})
 	var calls atomic.Int64
-	h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 		calls.Add(1)
 		return nil, errs.Transient("still down")
-	}
+	})
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	if st := h.waitState(id, ""); st != StateFailed {
 		t.Fatalf("job finished %q, want failed", st)
@@ -129,10 +129,10 @@ func TestNonTransientNotRetried(t *testing.T) {
 	} {
 		h := newHarness(t, Options{Workers: 1, MaxRetries: 3, RetryBase: time.Millisecond})
 		var calls atomic.Int64
-		h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+		h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 			calls.Add(1)
 			return nil, tc.fn()
-		}
+		})
 		id := h.submit(JobRequest{Testcase: "aes_300"})
 		if st := h.waitState(id, ""); st != StateFailed {
 			t.Fatalf("%s: job finished %q, want failed", tc.name, st)
@@ -147,11 +147,11 @@ func TestNonTransientNotRetried(t *testing.T) {
 // is flagged on the job view and counted in /stats.
 func TestDegradedJobSurfaced(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1})
-	h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 		return map[flow.ID]flow.Metrics{
 			flow.Flow5: {SolveRung: "anytime", SolveDegraded: true, SolveDegradeReason: "node-limit", SolveGap: 0.1},
 		}, nil
-	}
+	})
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	if st := h.waitState(id, ""); st != StateDone {
 		t.Fatalf("job finished %q, want done", st)
@@ -273,9 +273,9 @@ func TestJournalReplayRunsUnfinishedJob(t *testing.T) {
 func TestJournalRecordsLifecycle(t *testing.T) {
 	dir := t.TempDir()
 	h := newJournalHarness(t, dir, Options{Workers: 1})
-	h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+	h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 		return map[flow.ID]flow.Metrics{flow.Flow5: {}}, nil
-	}
+	})
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	if st := h.waitState(id, ""); st != StateDone {
 		t.Fatalf("job finished %q", st)

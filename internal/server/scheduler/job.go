@@ -1,4 +1,4 @@
-package server
+package scheduler
 
 import (
 	"context"
@@ -12,6 +12,7 @@ import (
 	"mthplace/internal/flow"
 	"mthplace/internal/obs"
 	"mthplace/internal/par"
+	"mthplace/internal/server/store"
 	"mthplace/internal/synth"
 )
 
@@ -19,7 +20,8 @@ import (
 type State string
 
 // Job lifecycle: Queued -> Running -> Done | Failed | Canceled. A queued
-// job canceled before a worker picks it up goes straight to Canceled.
+// job canceled before a worker claims it goes straight to Canceled, and a
+// job fully served from the solve cache goes straight to Done.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
@@ -28,14 +30,29 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// terminal reports whether the state can no longer change.
-func (s State) terminal() bool {
+// Terminal reports whether the state can no longer change.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// JobRequest is the POST /jobs body. A spec is selected either by Table II
-// testcase name or given inline; the remaining fields override
-// flow.DefaultConfig for this job only.
+// Cache-control values for JobRequest.Cache (the HTTP layer also maps the
+// standard Cache-Control request header onto them).
+const (
+	// CacheDefault ("" on the wire): read and populate the solve cache.
+	CacheDefault = ""
+	// CacheBypass ("bypass", header no-cache): skip the lookup — always
+	// solve — but still store the result for later submissions.
+	CacheBypass = "bypass"
+	// CacheNoStore ("no-store", header no-store): serve from cache when
+	// possible, but never store this job's result.
+	CacheNoStore = "no-store"
+	// CacheOff ("off", header no-cache, no-store): neither read nor write.
+	CacheOff = "off"
+)
+
+// JobRequest is the submit body (one element of a batch). A spec is
+// selected either by Table II testcase name or given inline; the remaining
+// fields override flow.DefaultConfig for this job only.
 type JobRequest struct {
 	// Testcase names a Table II spec (e.g. "des3_210"). Mutually exclusive
 	// with Spec.
@@ -49,17 +66,23 @@ type JobRequest struct {
 	// Seed selects the deterministic random stream (default 1).
 	Seed int64 `json:"seed,omitempty"`
 	// Jobs bounds this job's private worker pool. 0 means the job shares
-	// the server's budgeted pool instead of getting its own.
+	// the scheduler's budgeted pool instead of getting its own. Not part of
+	// the cache identity: results are bit-identical at any parallelism.
 	Jobs int `json:"jobs,omitempty"`
 	// FencePasses overrides the fence-aware legalization pass count.
 	FencePasses int `json:"fence_passes,omitempty"`
 	// Route additionally routes each result and fills post-route metrics.
 	Route bool `json:"route,omitempty"`
 	// TimeoutMS bounds the whole job; expiry surfaces as ErrTimeout (504).
+	// Not part of the cache identity: a deadline that fired degrades the
+	// result, and degraded results are never cached.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Solver selects the RAP solver backend for this job: "milp", "rap" or
-	// "greedy". Empty uses the server's default (Options.DefaultSolver).
+	// "greedy". Empty uses the scheduler's default.
 	Solver string `json:"solver,omitempty"`
+	// Cache is the cache-control directive: "", "bypass", "no-store" or
+	// "off" (see the Cache* constants).
+	Cache string `json:"cache,omitempty"`
 }
 
 // validate resolves the spec and flow list, returning a client error when
@@ -111,12 +134,58 @@ func (r *JobRequest) validate() (synth.Spec, []flow.ID, error) {
 		return spec, nil, fmt.Errorf("unknown solver %q (want %s, %s or %s)",
 			r.Solver, core.BackendMILP, core.BackendRAP, core.BackendGreedy)
 	}
+	switch r.Cache {
+	case CacheDefault, CacheBypass, CacheNoStore, CacheOff:
+	default:
+		return spec, nil, fmt.Errorf("unknown cache directive %q (want %q, %q, %q or %q)",
+			r.Cache, CacheDefault, CacheBypass, CacheNoStore, CacheOff)
+	}
 	return spec, ids, nil
 }
 
+// cacheRead/cacheWrite interpret the cache directive.
+func (r *JobRequest) cacheRead() bool {
+	return r.Cache == CacheDefault || r.Cache == CacheNoStore
+}
+func (r *JobRequest) cacheWrite() bool {
+	return r.Cache == CacheDefault || r.Cache == CacheBypass
+}
+
+// instance builds the canonical cache identity of one flow of this request,
+// with every default resolved (store package doc has the full contract).
+func (r *JobRequest) instance(id flow.ID, defaultSolver string) store.Instance {
+	def := flow.DefaultConfig()
+	inst := store.Instance{
+		Testcase:    r.Testcase,
+		Spec:        r.Spec,
+		Scale:       r.Scale,
+		Seed:        r.Seed,
+		FencePasses: r.FencePasses,
+		Solver:      r.Solver,
+		Route:       r.Route,
+		Flow:        int(id),
+	}
+	if inst.Scale == 0 {
+		inst.Scale = def.Synth.Scale
+	}
+	if inst.Seed == 0 {
+		inst.Seed = def.Synth.Seed
+	}
+	if inst.FencePasses == 0 {
+		inst.FencePasses = def.FencePasses
+	}
+	if inst.Solver == "" {
+		inst.Solver = defaultSolver
+	}
+	if inst.Solver == "" {
+		inst.Solver = core.BackendMILP
+	}
+	return inst
+}
+
 // config builds this job's flow configuration on top of the defaults.
-// defaultSolver is the server-wide backend applied when the request names
-// none.
+// defaultSolver is the scheduler-wide backend applied when the request
+// names none.
 func (r *JobRequest) config(shared *par.Pool, defaultSolver string) flow.Config {
 	cfg := flow.DefaultConfig()
 	if r.Scale > 0 {
@@ -140,8 +209,20 @@ func (r *JobRequest) config(shared *par.Pool, defaultSolver string) flow.Config 
 	return cfg
 }
 
-// Job is one placement run through the service. All mutable fields are
-// guarded by mu; JSON rendering goes through view().
+// ExecResult is what one execution of a job's flows produces: the metrics
+// plus a SHA-256 digest of each flow's final placement (the proof that a
+// cache hit replays the cold solve bit for bit).
+type ExecResult struct {
+	Metrics    map[flow.ID]flow.Metrics
+	Placements map[flow.ID]string
+}
+
+// ExecFunc runs a job's flows. The scheduler's default implementation
+// drives flow.Runner; tests swap in stubs via Scheduler.SetExec.
+type ExecFunc func(ctx context.Context, jb *Job) (*ExecResult, error)
+
+// Job is one placement run through the fabric. All mutable fields are
+// guarded by mu; JSON rendering goes through View.
 type Job struct {
 	ID   string
 	seqn int64 // journal sequence; immutable after construction
@@ -151,11 +232,13 @@ type Job struct {
 	req       JobRequest
 	flows     []flow.ID
 	spec      synth.Spec
+	keys      []store.Key // per-flow cache keys, aligned with flows
+	backend   string      // backend the job was routed to ("" = cache hit)
+	cacheHit  bool        // served from the solve cache without running
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 	err       error
-	results   map[flow.ID]flow.Metrics
 	cancel    context.CancelFunc
 	attempts  int  // executions so far (1 + retries)
 	degraded  bool // some flow settled below the ILP-optimum rung
@@ -183,7 +266,7 @@ type JobProgress struct {
 }
 
 // noteProgress is the job's obs.SinkFunc: it folds the event stream into
-// the JobProgress snapshot surfaced by GET /jobs/{id}.
+// the JobProgress snapshot surfaced by the status endpoints.
 func (j *Job) noteProgress(e obs.Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -200,7 +283,7 @@ func (j *Job) noteProgress(e obs.Event) {
 	}
 }
 
-// JobView is the wire representation of a job for GET /jobs[/{id}].
+// JobView is the wire representation of a job.
 type JobView struct {
 	ID        string     `json:"id"`
 	State     State      `json:"state"`
@@ -217,12 +300,18 @@ type JobView struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Replayed marks a job recovered from the journal after a crash.
 	Replayed bool `json:"replayed,omitempty"`
+	// CacheHit marks a job served entirely from the solve cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Backend names the scheduler backend the job was routed to; empty for
+	// cache hits, which never reach a backend.
+	Backend string `json:"backend,omitempty"`
 	// Progress is the live solver-progress snapshot; present once the job
 	// has produced at least one observability event.
 	Progress *JobProgress `json:"progress,omitempty"`
 }
 
-func (j *Job) view() JobView {
+// View renders the job for the wire.
+func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
@@ -248,6 +337,8 @@ func (j *Job) view() JobView {
 	v.Attempts = j.attempts
 	v.Degraded = j.degraded
 	v.Replayed = j.replayed
+	v.CacheHit = j.cacheHit
+	v.Backend = j.backend
 	if j.progress.Events > 0 {
 		p := j.progress
 		v.Progress = &p
@@ -269,11 +360,19 @@ func (j *Job) noteDegraded() {
 	j.mu.Unlock()
 }
 
-// snapshot returns the fields the result endpoint needs.
-func (j *Job) snapshot() (State, map[flow.ID]flow.Metrics, error) {
+// Snapshot returns the job's state and terminal error. Successful results
+// live in the result store, not on the job.
+func (j *Job) Snapshot() (State, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state, j.results, j.err
+	return j.state, j.err
+}
+
+// Request returns a copy of the job's request (immutable after submit).
+func (j *Job) Request() JobRequest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.req
 }
 
 // requestCancel transitions the job toward Canceled. A queued job is
@@ -299,9 +398,10 @@ func (j *Job) requestCancel() bool {
 	}
 }
 
-// begin claims a queued job for a worker, attaching its cancel handle.
-// Returns false if the job was canceled while waiting in the queue.
-func (j *Job) begin(cancel context.CancelFunc) bool {
+// claim takes a queued job for a worker, attaching its cancel handle.
+// Returns false if the job was canceled while waiting in the queue — the
+// work-claiming handshake that makes cancel-while-queued race-free.
+func (j *Job) claim(cancel context.CancelFunc) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
@@ -315,14 +415,13 @@ func (j *Job) begin(cancel context.CancelFunc) bool {
 
 // finish records the outcome. A cancellation error lands in StateCanceled,
 // any other error in StateFailed.
-func (j *Job) finish(results map[flow.ID]flow.Metrics, err error) {
+func (j *Job) finish(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.terminal() {
+	if j.state.Terminal() {
 		return
 	}
 	j.finished = time.Now()
-	j.results = results
 	j.err = err
 	switch {
 	case err == nil:
@@ -332,4 +431,13 @@ func (j *Job) finish(results map[flow.ID]flow.Metrics, err error) {
 	default:
 		j.state = StateFailed
 	}
+}
+
+// completeFromCache finishes a just-created job as a cache hit.
+func (j *Job) completeFromCache() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.cacheHit = true
+	j.finished = time.Now()
 }

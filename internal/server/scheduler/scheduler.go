@@ -1,0 +1,846 @@
+// Package scheduler is the job-execution layer of the placement service:
+// it owns the work queues, the worker pools, retries, the crash-safe
+// journal and the content-addressed solve cache. The HTTP layer
+// (internal/server/transport) talks to it only through exported methods —
+// no handler reaches into a job's guts — and execution lanes hide behind
+// the Backend interface, so a multi-process deployment changes this
+// package's wiring, not its callers.
+//
+// Routing: every job's canonical instance key (store.Instance) is
+// consistent-hashed onto one Backend. With the default single local
+// backend this is invisible; with several, identical instances always land
+// on the same lane, which is what makes per-lane caches and data locality
+// work when lanes become separate processes.
+package scheduler
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mthplace/internal/core"
+	"mthplace/internal/errs"
+	"mthplace/internal/flow"
+	"mthplace/internal/journal"
+	"mthplace/internal/netlist"
+	"mthplace/internal/obs"
+	"mthplace/internal/par"
+	"mthplace/internal/server/store"
+)
+
+// Submission errors beyond validation failures (which the transport maps
+// to 400).
+var (
+	// ErrNotAccepting rejects submissions during shutdown (503).
+	ErrNotAccepting = errors.New("server is shutting down")
+	// ErrJournal rejects a submission whose acceptance record could not be
+	// made durable (500).
+	ErrJournal = errors.New("job journal write failed")
+)
+
+// Options tunes the scheduler.
+type Options struct {
+	// Workers is the total number of jobs run concurrently, divided across
+	// the backends (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting behind the workers
+	// across all backends (default 16); submissions beyond a backend's
+	// share get ErrQueueFull.
+	QueueDepth int
+	// Backends is the number of execution lanes jobs are consistent-hash
+	// routed across (default 1). More than one lane only pays off as the
+	// seam for multi-process scheduling; a single process wants 1.
+	Backends int
+	// PoolJobs bounds the shared worker pool that jobs without a private
+	// Jobs setting draw from (default GOMAXPROCS).
+	PoolJobs int
+	// MaxRetries is how many times a job failing with errs.ErrTransient is
+	// re-run before the failure is reported (default 2; negative disables
+	// retries). Panics, timeouts, cancels and infeasibility never retry.
+	MaxRetries int
+	// RetryBase is the first backoff delay; attempt n waits RetryBase·2ⁿ
+	// plus a deterministic jitter (default 25ms).
+	RetryBase time.Duration
+	// JournalDir, when set, enables the crash-safe job journal: accepted
+	// jobs are recorded before queueing, and on startup any job the
+	// journal shows unfinished is re-queued with its original ID.
+	JournalDir string
+	// DefaultSolver is the RAP solver backend applied to jobs that name
+	// none: "milp" (the default when empty), "rap" or "greedy".
+	DefaultSolver string
+	// CacheEntries bounds the content-addressed solve cache; 0 disables
+	// caching entirely.
+	CacheEntries int
+	// ResultCapacity bounds the terminal-outcome store (default
+	// store.DefaultResultCapacity).
+	ResultCapacity int
+	// Logger receives structured diagnostics (journal replay, job
+	// lifecycle). Nil discards them.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.Backends <= 0 {
+		o.Backends = 1
+	}
+	if o.PoolJobs <= 0 {
+		o.PoolJobs = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Scheduler runs placement jobs from bounded per-backend queues.
+type Scheduler struct {
+	opt   Options
+	pool  *par.Pool // shared budget for jobs without a private bound
+	stats *stats
+	jrnl  *journal.Journal // nil when journaling is off
+	log   *slog.Logger
+
+	cache   *store.Cache // nil when caching is off
+	results *store.Results
+
+	backends []Backend
+	ring     *ring
+
+	// reg is this scheduler's private metric registry: job-lifecycle and
+	// cache series live here (not in obs.Default) so multiple schedulers in
+	// one process — the normal situation in tests — never cross-accumulate.
+	reg       *obs.Registry
+	mStarted  *obs.Counter
+	mFinished *obs.Counter
+	mDegraded *obs.Counter
+	mRetries  *obs.Counter
+	mPanics   *obs.Counter
+	mInflight *obs.Gauge
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex // guards jobs/order, intake, and every Enqueue
+	jobs      map[string]*Job
+	order     []string // submission order, for stable listings
+	accepting bool
+	seq       atomic.Int64
+
+	// execFn runs a job's flows; tests swap it via SetExec.
+	execFn ExecFunc
+}
+
+// New starts a scheduler. When a journal directory is configured, jobs the
+// journal shows accepted but unfinished (a previous process crashed under
+// them) are re-queued, with their original IDs, before the workers start.
+// Call Shutdown to stop it.
+func New(opt Options) (*Scheduler, error) {
+	opt = opt.withDefaults()
+	switch opt.DefaultSolver {
+	case "", core.BackendMILP, core.BackendRAP, core.BackendGreedy:
+	default:
+		return nil, fmt.Errorf("scheduler: unknown default solver %q (want %s, %s or %s)",
+			opt.DefaultSolver, core.BackendMILP, core.BackendRAP, core.BackendGreedy)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		opt:        opt,
+		pool:       par.NewPool(opt.PoolJobs),
+		stats:      newStats(opt.Workers),
+		log:        opt.Logger,
+		results:    store.NewResults(opt.ResultCapacity),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		accepting:  true,
+	}
+	if s.log == nil {
+		s.log = obs.Nop()
+	}
+	s.reg = obs.NewRegistry()
+	s.mStarted = s.reg.Counter("jobs_started_total", "Jobs handed to a worker since server start.", nil)
+	s.mFinished = s.reg.Counter("jobs_finished_total", "Jobs that reached a terminal state since server start.", nil)
+	s.mDegraded = s.reg.Counter("jobs_degraded", "Jobs that settled below the ILP-optimum solve rung.", nil)
+	s.mRetries = s.reg.Counter("job_retries", "Transient-failure re-executions.", nil)
+	s.mPanics = s.reg.Counter("job_panics", "Panics recovered at the worker boundary.", nil)
+	s.mInflight = s.reg.Gauge("jobs_inflight", "Jobs currently running (started minus finished).", nil)
+	s.execFn = s.execute
+
+	if s.cache = store.NewCache(opt.CacheEntries); s.cache != nil {
+		hits, misses := obs.CacheHits(s.reg), obs.CacheMisses(s.reg)
+		s.cache.SetHooks(func() { hits.Inc() }, func() { misses.Inc() })
+	}
+
+	var pending []journal.PendingJob
+	if opt.JournalDir != "" {
+		entries, skipped, err := journal.ReadAll(opt.JournalDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if skipped > 0 {
+			s.log.Warn("journal: skipped unparseable lines", "dir", opt.JournalDir, "lines", skipped)
+		}
+		var maxSeq int64
+		pending, maxSeq = journal.Pending(entries)
+		s.seq.Store(maxSeq)
+		if len(pending) > 0 {
+			s.log.Info("journal: replaying unfinished jobs", "dir", opt.JournalDir, "jobs", len(pending))
+		}
+		if s.jrnl, err = journal.Open(opt.JournalDir); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+
+	s.ring = newRing(opt.Backends)
+	// Replayed jobs must all fit ahead of live traffic, so each backend's
+	// queue is sized past its configured share by however many of the
+	// journal's jobs route to it.
+	replayed, perBackend := s.prepareReplay(pending)
+	for i := 0; i < opt.Backends; i++ {
+		s.backends = append(s.backends,
+			NewLocal(fmt.Sprintf("local-%d", i), share(opt.Workers, opt.Backends, i), share(opt.QueueDepth, opt.Backends, i)+perBackend[i]))
+	}
+	for _, rj := range replayed {
+		s.jobs[rj.job.ID] = rj.job
+		s.order = append(s.order, rj.job.ID)
+		if rj.backend >= 0 {
+			// Cannot fail: the queue was sized for exactly these jobs.
+			_ = s.backends[rj.backend].Enqueue(rj.job)
+		}
+	}
+	for _, b := range s.backends {
+		b.Start(s.runJob)
+	}
+	return s, nil
+}
+
+// share splits total across n lanes as evenly as possible, never below 1:
+// lane i gets the i-th element of the fairest integer partition.
+func share(total, n, i int) int {
+	v := total / n
+	if i < total%n {
+		v++
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// replayJob pairs a reconstructed job with its routed backend (-1 when the
+// job failed validation and is already terminal).
+type replayJob struct {
+	job     *Job
+	backend int
+}
+
+// prepareReplay rebuilds journaled jobs and routes them, returning the jobs
+// plus the per-backend count (to size the queues). A request that no longer
+// validates — possible only if the journal was edited or the format
+// drifted — is journaled as failed rather than wedging recovery.
+func (s *Scheduler) prepareReplay(pending []journal.PendingJob) ([]replayJob, []int) {
+	perBackend := make([]int, s.opt.Backends)
+	out := make([]replayJob, 0, len(pending))
+	for _, p := range pending {
+		jb := &Job{ID: p.ID, seqn: p.Seq, state: StateQueued, submitted: time.Now(), replayed: true}
+		var err error
+		if uerr := json.Unmarshal(p.Request, &jb.req); uerr != nil {
+			err = fmt.Errorf("journal replay: %w", uerr)
+		} else if jb.spec, jb.flows, err = jb.req.validate(); err != nil {
+			err = fmt.Errorf("journal replay: %w", err)
+		}
+		rj := replayJob{job: jb, backend: -1}
+		if err != nil {
+			jb.state = StateFailed
+			jb.err = err
+			jb.finished = time.Now()
+			_ = s.jrnl.Append(journal.Entry{Seq: p.Seq, Job: jb.ID, Event: journal.EventFailed, Error: err.Error()})
+			s.log.Warn("journal: replayed job failed validation", "job", jb.ID, "err", err)
+		} else {
+			jb.keys = s.instanceKeys(&jb.req)
+			rj.backend = s.ring.pick(routingKey(jb.keys))
+			perBackend[rj.backend]++
+			jb.backend = fmt.Sprintf("local-%d", rj.backend)
+			s.log.Info("journal: re-queued job", "job", jb.ID, "testcase", jb.spec.Name())
+		}
+		out = append(out, rj)
+	}
+	return out, perBackend
+}
+
+// instanceKeys returns the canonical cache key of each flow the request
+// will run, in flow order.
+func (s *Scheduler) instanceKeys(req *JobRequest) []store.Key {
+	_, ids, err := req.validate()
+	if err != nil {
+		return nil
+	}
+	keys := make([]store.Key, len(ids))
+	for i, id := range ids {
+		keys[i] = req.instance(id, s.opt.DefaultSolver).Key()
+	}
+	return keys
+}
+
+// routingKey folds a job's per-flow keys into the single string the ring
+// hashes, so identical instance sets always route to the same backend.
+func routingKey(keys []store.Key) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, "|")
+}
+
+// Shutdown gracefully stops the scheduler: intake closes immediately (new
+// submissions get ErrNotAccepting), jobs still waiting in queues are
+// canceled, and in-flight jobs are drained to completion. If ctx expires
+// first, the in-flight jobs' contexts are canceled and Shutdown waits for
+// them to unwind (bounded by one solver/Lloyd iteration), returning ctx's
+// error.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		for _, b := range s.backends {
+			b.Wait()
+		}
+		return nil
+	}
+	s.accepting = false
+	for _, b := range s.backends {
+		b.Close() // safe: submissions check accepting under mu
+	}
+	// Queued jobs will still be popped by workers, but cancel them now so
+	// the workers skip straight past them.
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		canceled := j.state == StateQueued
+		if canceled {
+			j.state = StateCanceled
+			j.err = errs.ErrCanceled
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
+		if canceled {
+			s.journal(j, journal.EventCanceled, errs.ErrCanceled)
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		for _, b := range s.backends {
+			b.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		_ = s.jrnl.Close()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight jobs
+		<-done
+		_ = s.jrnl.Close()
+		return ctx.Err()
+	}
+}
+
+// SetExec swaps the job-execution function. It exists for tests that need
+// controllable flows (panics, transients, slow jobs); production wiring
+// never calls it. Must be called before any job runs.
+func (s *Scheduler) SetExec(fn ExecFunc) {
+	s.mu.Lock()
+	s.execFn = fn
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) exec() ExecFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execFn
+}
+
+// runJob executes one job's flows sequentially on a shared Runner, exactly
+// like a direct flow.Runner caller would — which is what makes HTTP results
+// byte-identical to library results. Transient failures are retried with
+// exponential backoff; a panic anywhere under the job is converted to a
+// typed error so the daemon survives it.
+func (s *Scheduler) runJob(jb *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if jb.req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(jb.req.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+	if !jb.claim(cancel) {
+		return // canceled while queued
+	}
+	s.journal(jb, journal.EventStarted, nil)
+	s.stats.jobStarted()
+	s.mStarted.Inc()
+	s.log.Debug("job started", "job", jb.ID, "testcase", jb.spec.Name())
+	start := time.Now()
+
+	var res *ExecResult
+	var err error
+	for attempt := 0; ; attempt++ {
+		jb.noteAttempt()
+		res, err = s.safeExec(ctx, jb)
+		if err == nil {
+			err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
+		}
+		if !s.shouldRetry(ctx, err, attempt) {
+			break
+		}
+		s.stats.jobRetried()
+		s.mRetries.Inc()
+		s.log.Warn("job retrying after transient failure", "job", jb.ID, "attempt", attempt+1, "err", err)
+		select {
+		case <-time.After(backoff(s.opt.RetryBase, jb.ID, attempt)):
+		case <-ctx.Done():
+		}
+	}
+	degraded := false
+	if err == nil && res != nil && degradedResults(res.Metrics) {
+		degraded = true
+		jb.noteDegraded()
+		s.stats.jobDegraded()
+		s.mDegraded.Inc()
+	}
+	if err == nil && res != nil {
+		s.results.Put(&store.Outcome{Job: jb.ID, Metrics: res.Metrics, Placements: res.Placements})
+		// Only deterministic results are cacheable: a degraded solve's
+		// output depends on wall-clock budgets, so replaying it would break
+		// the cache's bit-identity contract.
+		if !degraded && jb.req.cacheWrite() && len(jb.keys) == len(jb.flows) {
+			for i, id := range jb.flows {
+				s.cache.Put(jb.keys[i], store.Entry{Metrics: res.Metrics[id], Placement: res.Placements[id]})
+			}
+		}
+	}
+	jb.finish(err)
+	s.journal(jb, terminalEvent(jb), err)
+	s.stats.jobFinished(time.Since(start))
+	s.mFinished.Inc()
+	if err != nil {
+		s.log.Warn("job finished with error", "job", jb.ID, "state", terminalEvent(jb), "err", err, "dur", time.Since(start))
+	} else {
+		s.log.Info("job done", "job", jb.ID, "dur", time.Since(start))
+	}
+}
+
+// safeExec runs the job's flows behind a recover boundary. The flow layer
+// has its own boundary, so this one catches what remains: bugs in the
+// scheduler itself, test stubs, and anything a future ExecFunc does wrong.
+// One panicking job must cost exactly one 500, never the daemon.
+func (s *Scheduler) safeExec(ctx context.Context, jb *Job) (res *ExecResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.jobPanicked()
+			s.mPanics.Inc()
+			err = errs.FromPanic(rec, "scheduler: job %s", jb.ID)
+		}
+	}()
+	return s.exec()(ctx, jb)
+}
+
+// shouldRetry allows another attempt only for transient failures, within
+// the retry budget, while the job's context is still live. Panics are
+// excluded even when the panic value carried a transient error: a panic
+// means a bug, and re-running bugs is chaos of the wrong kind.
+func (s *Scheduler) shouldRetry(ctx context.Context, err error, attempt int) bool {
+	return attempt < s.opt.MaxRetries &&
+		err != nil &&
+		errors.Is(err, errs.ErrTransient) &&
+		!errors.Is(err, errs.ErrPanic) &&
+		ctx.Err() == nil
+}
+
+// backoff is the delay before retry attempt+1: base·2ᵃᵗᵗᵉᵐᵖᵗ plus a jitter
+// in [0, base) derived from the job ID, so concurrent retries de-correlate
+// without the schedule becoming nondeterministic for a given job.
+func backoff(base time.Duration, jobID string, attempt int) time.Duration {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(jobID))
+	_, _ = h.Write([]byte{byte(attempt)})
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return base<<uint(attempt) + jitter
+}
+
+// degradedResults reports whether any flow in the job settled on a lower
+// rung of the solve ladder than the proven ILP optimum.
+func degradedResults(results map[flow.ID]flow.Metrics) bool {
+	for _, m := range results {
+		if m.SolveDegraded {
+			return true
+		}
+	}
+	return false
+}
+
+// journal appends a lifecycle event for jb; a nil journal is a no-op.
+// Post-acceptance events are best-effort: losing one means a deterministic
+// job may be re-run after a crash, which is safe.
+func (s *Scheduler) journal(jb *Job, event string, err error) {
+	if s.jrnl == nil {
+		return
+	}
+	e := journal.Entry{Seq: jb.seqn, Job: jb.ID, Event: event}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	_ = s.jrnl.Append(e)
+}
+
+// terminalEvent maps a finished job's state to its journal event.
+func terminalEvent(jb *Job) string {
+	switch state, _ := jb.Snapshot(); state {
+	case StateCanceled:
+		return journal.EventCanceled
+	case StateFailed:
+		return journal.EventFailed
+	default:
+		return journal.EventDone
+	}
+}
+
+// execute is the production ExecFunc: it drives flow.Runner and digests
+// each flow's final placement.
+func (s *Scheduler) execute(ctx context.Context, jb *Job) (*ExecResult, error) {
+	// Solver progress (stage transitions, MILP incumbents, k-means
+	// iterations) streams into the job's live view; the job's logger is
+	// scoped with its ID so concurrent jobs' diagnostics stay attributable.
+	ctx = obs.WithProgress(ctx, jb.noteProgress)
+	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID))
+	cfg := jb.req.config(s.pool, s.opt.DefaultSolver)
+	r, err := flow.NewRunner(ctx, jb.spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{
+		Metrics:    make(map[flow.ID]flow.Metrics, len(jb.flows)),
+		Placements: make(map[flow.ID]string, len(jb.flows)),
+	}
+	for _, id := range jb.flows {
+		t0 := time.Now()
+		res, err := r.Run(ctx, id, jb.req.Route)
+		if err != nil {
+			return nil, err
+		}
+		out.Metrics[id] = res.Metrics
+		out.Placements[id] = PlacementDigest(res.Design)
+		s.stats.recordFlow(id, time.Since(t0))
+	}
+	return out, nil
+}
+
+// PlacementDigest is the SHA-256 of the design's instance positions in
+// instance order, little-endian X then Y. Two runs produce the same digest
+// iff every cell landed on the same site — the bit-identity witness the
+// solve cache stores and the differential tests compare.
+func PlacementDigest(d *netlist.Design) string {
+	h := sha256.New()
+	var buf [16]byte
+	for _, p := range d.Positions() {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(p.X))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(p.Y))
+		_, _ = h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Submit validates and enqueues one job, or serves it from the solve cache.
+// Errors: validation failures (client errors), ErrQueueFull,
+// ErrNotAccepting, or ErrJournal.
+func (s *Scheduler) Submit(req JobRequest) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitLocked(req)
+}
+
+// SubmitBatch submits each request independently under one intake lock, so
+// the batch is contiguous in the job ordering. Result slots pair 1:1 with
+// requests: each has either a job handle or that request's rejection —
+// one oversized or malformed instance does not sink its siblings.
+func (s *Scheduler) SubmitBatch(reqs []JobRequest) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, req := range reqs {
+		out[i].Job, out[i].Err = s.submitLocked(req)
+	}
+	return out
+}
+
+// BatchItem is one slot of a SubmitBatch result.
+type BatchItem struct {
+	Job *Job
+	Err error
+}
+
+func (s *Scheduler) submitLocked(req JobRequest) (*Job, error) {
+	spec, ids, err := req.validate()
+	if err != nil {
+		return nil, err
+	}
+	if !s.accepting {
+		return nil, ErrNotAccepting
+	}
+	seq := s.seq.Add(1)
+	jb := &Job{
+		ID:        fmt.Sprintf("job-%d", seq),
+		seqn:      seq,
+		state:     StateQueued,
+		req:       req,
+		flows:     ids,
+		spec:      spec,
+		submitted: time.Now(),
+	}
+	jb.keys = make([]store.Key, len(ids))
+	for i, id := range ids {
+		jb.keys[i] = req.instance(id, s.opt.DefaultSolver).Key()
+	}
+
+	// Cache fast path: when every flow of this instance is resident, the
+	// job never touches a queue — it is born terminal, with the cached
+	// metrics as its outcome. The journal still records acceptance and
+	// completion so replay after a crash mid-append stays consistent.
+	if req.cacheRead() {
+		if entries, ok := s.cache.GetAll(jb.keys); ok {
+			if err := s.journalSubmit(jb, req, ""); err != nil {
+				return nil, err
+			}
+			outcome := &store.Outcome{
+				Job:        jb.ID,
+				Metrics:    make(map[flow.ID]flow.Metrics, len(ids)),
+				Placements: make(map[flow.ID]string, len(ids)),
+				CacheHit:   true,
+			}
+			for i, id := range ids {
+				outcome.Metrics[id] = entries[i].Metrics
+				outcome.Placements[id] = entries[i].Placement
+			}
+			jb.completeFromCache()
+			s.results.Put(outcome)
+			s.journal(jb, journal.EventDone, nil)
+			s.jobs[jb.ID] = jb
+			s.order = append(s.order, jb.ID)
+			s.log.Info("job served from cache", "job", jb.ID, "testcase", spec.Name())
+			return jb, nil
+		}
+	}
+
+	idx := s.ring.pick(routingKey(jb.keys))
+	be := s.backends[idx]
+	// Reject over-capacity before journaling: a 429'd job must leave no
+	// acceptance record, or a later restart would replay work the client
+	// was told we refused. Every Enqueue happens under s.mu, so the room
+	// observed here cannot vanish before the send below.
+	if be.Depth() >= be.Capacity() {
+		return nil, ErrQueueFull
+	}
+	jb.backend = be.Name()
+	if err := s.journalSubmit(jb, req, be.Name()); err != nil {
+		return nil, err
+	}
+	if err := be.Enqueue(jb); err != nil {
+		return nil, err
+	}
+	s.jobs[jb.ID] = jb
+	s.order = append(s.order, jb.ID)
+	return jb, nil
+}
+
+// journalSubmit makes the acceptance record durable before the job becomes
+// visible: this is the one journal write whose failure rejects the request,
+// because a job we cannot promise to replay is a job we must not accept.
+func (s *Scheduler) journalSubmit(jb *Job, req JobRequest, backend string) error {
+	if s.jrnl == nil {
+		return nil
+	}
+	raw, err := json.Marshal(req)
+	if err == nil {
+		err = s.jrnl.Append(journal.Entry{Seq: jb.seqn, Job: jb.ID, Event: journal.EventSubmitted, Request: raw, Backend: backend})
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrJournal, err)
+	}
+	return nil
+}
+
+// Job returns a job by ID (nil when unknown).
+func (s *Scheduler) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Views lists every job in submission order.
+func (s *Scheduler) Views() []JobView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(ids))
+	for _, id := range ids {
+		if j := s.Job(id); j != nil {
+			views = append(views, j.View())
+		}
+	}
+	return views
+}
+
+// Cancel requests cancellation of a job. found reports whether the ID is
+// known; ok whether the job was still cancelable.
+func (s *Scheduler) Cancel(id string) (jb *Job, ok bool) {
+	jb = s.Job(id)
+	if jb == nil {
+		return nil, false
+	}
+	ok = jb.requestCancel()
+	// A job canceled while still queued goes terminal right here, with no
+	// worker to journal it; a running one is journaled when it unwinds.
+	if state, _ := jb.Snapshot(); ok && state.Terminal() {
+		s.journal(jb, journal.EventCanceled, errs.ErrCanceled)
+	}
+	return jb, ok
+}
+
+// Outcome returns a finished job's stored result.
+func (s *Scheduler) Outcome(id string) (*store.Outcome, bool) {
+	return s.results.Get(id)
+}
+
+// Accepting reports whether intake is open (false during shutdown).
+func (s *Scheduler) Accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepting
+}
+
+// BackendStat describes one execution lane for /stats.
+type BackendStat struct {
+	Name     string `json:"name"`
+	Depth    int    `json:"depth"`
+	Capacity int    `json:"capacity"`
+	Workers  int    `json:"workers"`
+}
+
+// CacheStat summarises the solve cache for /stats.
+type CacheStat struct {
+	Enabled  bool  `json:"enabled"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// StatsSnapshot is everything the /stats endpoint reports, gathered in one
+// consistent pass.
+type StatsSnapshot struct {
+	UptimeSeconds float64
+	QueueDepth    int // sum over backends (legacy single-queue field)
+	QueueCapacity int
+	Workers       int
+	BusyWorkers   int
+	Utilization   float64
+	PoolJobs      int
+	JobCounts     map[State]int
+	Started       int64
+	Finished      int64
+	Inflight      int64
+	Degraded      int64
+	Retries       int64
+	Panics        int64
+	FlowLatency   map[string]FlowLatency
+	Backends      []BackendStat
+	Cache         CacheStat
+}
+
+// Stats gathers the full observability snapshot.
+func (s *Scheduler) Stats() StatsSnapshot {
+	busy, util, perFlow := s.stats.snapshot()
+	degraded, retries, panics := s.stats.resilience()
+	started, finished, inflight := s.stats.inflight()
+	snap := StatsSnapshot{
+		UptimeSeconds: s.stats.uptime().Seconds(),
+		QueueCapacity: s.opt.QueueDepth,
+		Workers:       s.opt.Workers,
+		BusyWorkers:   busy,
+		Utilization:   util,
+		PoolJobs:      s.pool.Jobs(),
+		JobCounts:     map[State]int{},
+		Started:       started,
+		Finished:      finished,
+		Inflight:      inflight,
+		Degraded:      degraded,
+		Retries:       retries,
+		Panics:        panics,
+		FlowLatency:   perFlow,
+	}
+	hits, misses := s.cache.Stats()
+	snap.Cache = CacheStat{
+		Enabled:  s.cache != nil,
+		Entries:  s.cache.Len(),
+		Capacity: s.cache.Capacity(),
+		Hits:     hits,
+		Misses:   misses,
+	}
+	s.mu.Lock()
+	for _, b := range s.backends {
+		snap.QueueDepth += b.Depth()
+		snap.Backends = append(snap.Backends, BackendStat{
+			Name: b.Name(), Depth: b.Depth(), Capacity: b.Capacity(), Workers: b.Workers(),
+		})
+	}
+	for _, id := range s.order {
+		st, _ := s.jobs[id].Snapshot()
+		snap.JobCounts[st]++
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// Resilience returns the degraded/retries/panics counters (test seam).
+func (s *Scheduler) Resilience() (degraded, retries, panics int64) {
+	return s.stats.resilience()
+}
+
+// WriteProm renders the scheduler's private metric registry in Prometheus
+// text exposition format, refreshing the inflight gauge first. The caller
+// (transport) appends obs.Default for the process-wide series.
+func (s *Scheduler) WriteProm(w io.Writer) error {
+	_, _, inflight := s.stats.inflight()
+	s.mInflight.Set(float64(inflight))
+	return s.reg.WriteProm(w)
+}
+
+// Cache exposes the solve cache (nil when disabled) for tests and stats.
+func (s *Scheduler) Cache() *store.Cache { return s.cache }

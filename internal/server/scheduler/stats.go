@@ -1,4 +1,4 @@
-package server
+package scheduler
 
 import (
 	"sort"
@@ -9,8 +9,8 @@ import (
 )
 
 // maxLatencySamples bounds the per-flow latency history; older samples are
-// overwritten ring-buffer style so /stats stays O(1) in memory no matter
-// how long the server runs.
+// overwritten ring-buffer style so stats stay O(1) in memory no matter how
+// long the scheduler runs.
 const maxLatencySamples = 512
 
 // latencyRing keeps the most recent completion latencies of one flow.
@@ -54,7 +54,7 @@ type FlowLatency struct {
 	P99ms float64 `json:"p99_ms"`
 }
 
-// stats aggregates the server's observability counters. All methods are
+// stats aggregates the scheduler's observability counters. All methods are
 // safe for concurrent use.
 type stats struct {
 	start   time.Time
@@ -87,7 +87,7 @@ func (s *stats) jobFinished(busyFor time.Duration) {
 	s.mu.Unlock()
 }
 
-// uptime is the wall clock since server start.
+// uptime is the wall clock since scheduler start.
 func (s *stats) uptime() time.Duration { return time.Since(s.start) }
 
 // inflight derives the jobs-in-flight gauge from the two monotonic
@@ -118,7 +118,7 @@ func (s *stats) jobPanicked() {
 	s.mu.Unlock()
 }
 
-// resilience returns the degradation/retry/panic counters for /stats.
+// resilience returns the degradation/retry/panic counters.
 func (s *stats) resilience() (degraded, retries, panics int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -136,9 +136,9 @@ func (s *stats) recordFlow(id flow.ID, d time.Duration) {
 	s.mu.Unlock()
 }
 
-// snapshot renders the counters for /stats. Utilization is the busy-time
-// fraction of the worker pool since server start; jobs still in flight
-// contribute their elapsed time so a long solve shows up immediately.
+// snapshot renders the counters. Utilization is the busy-time fraction of
+// the worker pool since start; jobs still in flight contribute their elapsed
+// time so a long solve shows up immediately.
 func (s *stats) snapshot() (busyWorkers int, utilization float64, perFlow map[string]FlowLatency) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,113 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mthplace/internal/flow"
+)
+
+// TestStatsPercentiles: known latency samples produce the documented
+// nearest-rank percentiles, monotone p50 ≤ p90 ≤ p99.
+func TestStatsPercentiles(t *testing.T) {
+	st := newStats(2)
+	for i := 1; i <= 100; i++ {
+		st.recordFlow(flow.Flow5, time.Duration(i)*time.Millisecond)
+	}
+	_, _, perFlow := st.snapshot()
+	fl, ok := perFlow[flow.Flow5.String()]
+	if !ok {
+		t.Fatalf("no latency entry for %v: %v", flow.Flow5, perFlow)
+	}
+	if fl.Count != 100 {
+		t.Errorf("Count = %d, want 100", fl.Count)
+	}
+	if fl.P50ms != 50 || fl.P90ms != 90 || fl.P99ms != 99 {
+		t.Errorf("percentiles = %v/%v/%v, want 50/90/99", fl.P50ms, fl.P90ms, fl.P99ms)
+	}
+	if !(fl.P50ms <= fl.P90ms && fl.P90ms <= fl.P99ms) {
+		t.Errorf("percentiles not monotone: %+v", fl)
+	}
+}
+
+// TestStatsRingBound: the ring retains only the newest maxLatencySamples
+// but keeps counting, so Count reflects lifetime completions while the
+// percentiles reflect recent behaviour.
+func TestStatsRingBound(t *testing.T) {
+	st := newStats(1)
+	// Old slow samples that should age out entirely...
+	for i := 0; i < maxLatencySamples; i++ {
+		st.recordFlow(flow.Flow2, time.Hour)
+	}
+	// ...displaced by fast recent ones.
+	for i := 0; i < maxLatencySamples; i++ {
+		st.recordFlow(flow.Flow2, time.Millisecond)
+	}
+	_, _, perFlow := st.snapshot()
+	fl := perFlow[flow.Flow2.String()]
+	if fl.Count != 2*maxLatencySamples {
+		t.Errorf("Count = %d, want %d", fl.Count, 2*maxLatencySamples)
+	}
+	if fl.P99ms != 1 {
+		t.Errorf("P99 = %vms: old samples still retained", fl.P99ms)
+	}
+}
+
+// TestLatencyRingConcurrentLoad hammers the per-flow latency ring from many
+// goroutines while stats snapshots run, checking totals and bounds hold.
+func TestLatencyRingConcurrentLoad(t *testing.T) {
+	s := newStats(4)
+	const (
+		writers = 8
+		perW    = 400 // 3200 total: far past maxLatencySamples
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader: must never race or panic
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.snapshot()
+				s.inflight()
+				// Yield so the writers make progress on small hosts: the
+				// point is interleaving, not starvation.
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.jobStarted()
+				s.recordFlow(flow.Flow5, time.Duration(w*perW+i)*time.Microsecond)
+				s.jobFinished(time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	started, finished, inflight := s.inflight()
+	if started != writers*perW || finished != writers*perW || inflight != 0 {
+		t.Errorf("started/finished/inflight = %d/%d/%d, want %d/%d/0",
+			started, finished, inflight, writers*perW, writers*perW)
+	}
+	_, _, perFlow := s.snapshot()
+	lat := perFlow[flow.Flow5.String()]
+	if lat.Count != writers*perW {
+		t.Errorf("ring total = %d, want %d", lat.Count, writers*perW)
+	}
+	// The ring retains at most maxLatencySamples; percentiles must still be
+	// ordered.
+	if !(lat.P50ms <= lat.P90ms && lat.P90ms <= lat.P99ms) {
+		t.Errorf("percentiles out of order: %+v", lat)
+	}
+}

@@ -1,693 +1,159 @@
-// Package server exposes the placement flows as a long-running HTTP/JSON
-// service: clients submit a synthesis spec plus flow IDs, poll job status,
-// fetch the resulting flow.Metrics, and can cancel mid-solve. The service
-// is a thin ownership layer over the context-aware flow API — every job
-// runs under its own context.CancelFunc, and parallelism is budgeted by a
-// shared par.Pool unless a job asks for a private bound, so concurrent
-// jobs with different Jobs settings never interfere (see DESIGN.md §8).
+// Package server is the assembled placement service: a thin facade that
+// wires the three layers of the job fabric together and preserves the
+// original single-package API for existing callers.
 //
-// Endpoints:
+//   - internal/server/transport — the HTTP/JSON edge (routing, status
+//     codes, headers, wire shapes), versioned under /v1/ with the
+//     unversioned paths kept as aliases.
+//   - internal/server/scheduler — job execution: queues, workers, retries,
+//     the crash-safe journal and consistent-hash routing across Backends.
+//   - internal/server/store — the bounded result store and the
+//     content-addressed solve cache.
 //
-//	POST   /jobs              submit (202 + id; 429 queue full; 400 bad request)
-//	GET    /jobs              list all jobs
-//	GET    /jobs/{id}         job status
-//	GET    /jobs/{id}/result  metrics (409 until terminal; 422/504/499 on failure)
-//	POST   /jobs/{id}/cancel  cancel queued or running job (also DELETE /jobs/{id})
-//	GET    /healthz           liveness + intake state
-//	GET    /stats             queue depth, per-flow latency percentiles, utilization
+// New callers that need more than "start the service" should depend on the
+// sub-packages directly; everything re-exported here exists so that
+// pre-split code (cmd/mthserved, the e2e harness, external scripts) keeps
+// compiling and behaving identically.
 package server
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"hash/fnv"
 	"log/slog"
 	"net/http"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"mthplace/internal/core"
-	"mthplace/internal/errs"
 	"mthplace/internal/flow"
-	"mthplace/internal/journal"
-	"mthplace/internal/obs"
-	"mthplace/internal/par"
+	"mthplace/internal/server/scheduler"
+	"mthplace/internal/server/transport"
 )
 
-// StatusClientClosedRequest is the nginx-convention status for a request
-// whose work was canceled by the client; net/http has no constant for it.
-const StatusClientClosedRequest = 499
+// StatusClientClosedRequest mirrors transport.StatusClientClosedRequest for
+// pre-split callers.
+const StatusClientClosedRequest = transport.StatusClientClosedRequest
 
-// Options tunes the service.
+// Re-exported scheduler types, so code written against the monolithic
+// server package keeps compiling.
+type (
+	// Job is one placement run through the fabric.
+	Job = scheduler.Job
+	// JobRequest is the submit body.
+	JobRequest = scheduler.JobRequest
+	// JobView is the wire representation of a job.
+	JobView = scheduler.JobView
+	// JobProgress is the live solver-progress snapshot.
+	JobProgress = scheduler.JobProgress
+	// State is a job's lifecycle phase.
+	State = scheduler.State
+	// FlowLatency summarises one flow's recent completion latencies.
+	FlowLatency = scheduler.FlowLatency
+)
+
+// Job lifecycle states, re-exported.
+const (
+	StateQueued   = scheduler.StateQueued
+	StateRunning  = scheduler.StateRunning
+	StateDone     = scheduler.StateDone
+	StateFailed   = scheduler.StateFailed
+	StateCanceled = scheduler.StateCanceled
+)
+
+// Options tunes the service. The fields mirror scheduler.Options; see that
+// type for full semantics.
 type Options struct {
 	// Workers is the number of jobs run concurrently (default 2).
 	Workers int
 	// QueueDepth bounds the number of jobs waiting behind the workers
 	// (default 16); submissions beyond it get 429.
 	QueueDepth int
+	// Backends is the number of execution lanes jobs are consistent-hash
+	// routed across (default 1).
+	Backends int
 	// PoolJobs bounds the shared worker pool that jobs without a private
 	// Jobs setting draw from (default GOMAXPROCS).
 	PoolJobs int
-	// MaxRetries is how many times a job failing with errs.ErrTransient is
-	// re-run before the failure is reported (default 2; negative disables
-	// retries). Panics, timeouts, cancels and infeasibility never retry.
+	// MaxRetries is how many times a transiently failing job is re-run
+	// (default 2; negative disables retries).
 	MaxRetries int
-	// RetryBase is the first backoff delay; attempt n waits
-	// RetryBase·2ⁿ plus a deterministic jitter (default 25ms).
+	// RetryBase is the first backoff delay (default 25ms).
 	RetryBase time.Duration
-	// JournalDir, when set, enables the crash-safe job journal: accepted
-	// jobs are recorded before queueing, and on startup any job the
-	// journal shows unfinished is re-queued with its original ID.
+	// JournalDir, when set, enables the crash-safe job journal.
 	JournalDir string
 	// DefaultSolver is the RAP solver backend applied to jobs that name
 	// none: "milp" (the default when empty), "rap" or "greedy".
 	DefaultSolver string
-	// Logger receives the server's structured diagnostics (journal replay,
-	// job lifecycle). Nil discards them.
+	// CacheEntries bounds the content-addressed solve cache; 0 (the
+	// default) disables caching, which keeps every explicitly-constructed
+	// server — tests above all — byte-for-byte reproducing the pre-cache
+	// behaviour unless it opts in.
+	CacheEntries int
+	// ResultCapacity bounds the terminal-outcome store (0 selects the
+	// store default).
+	ResultCapacity int
+	// Logger receives the server's structured diagnostics. Nil discards
+	// them.
 	Logger *slog.Logger
 }
 
-func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
-		o.Workers = 2
-	}
-	if o.QueueDepth <= 0 {
-		o.QueueDepth = 16
-	}
-	if o.PoolJobs <= 0 {
-		o.PoolJobs = runtime.GOMAXPROCS(0)
-	}
-	if o.MaxRetries == 0 {
-		o.MaxRetries = 2
-	}
-	if o.MaxRetries < 0 {
-		o.MaxRetries = 0
-	}
-	if o.RetryBase <= 0 {
-		o.RetryBase = 25 * time.Millisecond
-	}
-	return o
-}
-
-// Server runs placement jobs from a bounded queue.
+// Server runs placement jobs from a bounded queue behind an HTTP API.
 type Server struct {
-	opt   Options
-	pool  *par.Pool // shared budget for jobs without a private bound
-	stats *stats
-	jrnl  *journal.Journal // nil when journaling is off
-	log   *slog.Logger
-
-	// reg is this server's private metric registry: job-lifecycle series
-	// live here (not in obs.Default) so multiple servers in one process —
-	// the normal situation in tests — never cross-accumulate. GET /metrics
-	// renders reg first, then the process-wide obs.Default.
-	reg       *obs.Registry
-	mStarted  *obs.Counter
-	mFinished *obs.Counter
-	mDegraded *obs.Counter
-	mRetries  *obs.Counter
-	mPanics   *obs.Counter
-	mInflight *obs.Gauge
-
-	baseCtx    context.Context // parent of every job context
-	baseCancel context.CancelFunc
-
-	mu        sync.Mutex // guards jobs/order and the queue-close handshake
-	jobs      map[string]*Job
-	order     []string // submission order, for stable GET /jobs listings
-	queue     chan *Job
-	accepting bool
-	seq       atomic.Int64
-
-	// execFn runs a job's flows; tests swap it for a controllable stub.
-	execFn func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error)
-
-	wg sync.WaitGroup // worker goroutines
+	sched *scheduler.Scheduler
+	api   *transport.API
 }
 
 // New starts a server with opt.Workers worker goroutines. When a journal
 // directory is configured, jobs the journal shows accepted but unfinished
-// (a previous process crashed under them) are re-queued, with their
-// original IDs, before the workers start. Call Shutdown to stop it.
+// are re-queued, with their original IDs, before the workers start. Call
+// Shutdown to stop it.
 func New(opt Options) (*Server, error) {
-	opt = opt.withDefaults()
-	switch opt.DefaultSolver {
-	case "", core.BackendMILP, core.BackendRAP, core.BackendGreedy:
-	default:
-		return nil, fmt.Errorf("server: unknown default solver %q (want %s, %s or %s)",
-			opt.DefaultSolver, core.BackendMILP, core.BackendRAP, core.BackendGreedy)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		opt:        opt,
-		pool:       par.NewPool(opt.PoolJobs),
-		stats:      newStats(opt.Workers),
-		log:        opt.Logger,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       map[string]*Job{},
-		accepting:  true,
-	}
-	if s.log == nil {
-		s.log = obs.Nop()
-	}
-	s.reg = obs.NewRegistry()
-	s.mStarted = s.reg.Counter("jobs_started_total", "Jobs handed to a worker since server start.", nil)
-	s.mFinished = s.reg.Counter("jobs_finished_total", "Jobs that reached a terminal state since server start.", nil)
-	s.mDegraded = s.reg.Counter("jobs_degraded", "Jobs that settled below the ILP-optimum solve rung.", nil)
-	s.mRetries = s.reg.Counter("job_retries", "Transient-failure re-executions.", nil)
-	s.mPanics = s.reg.Counter("job_panics", "Panics recovered at the worker boundary.", nil)
-	s.mInflight = s.reg.Gauge("jobs_inflight", "Jobs currently running (started minus finished).", nil)
-	s.execFn = s.execute
-
-	var pending []journal.PendingJob
-	if opt.JournalDir != "" {
-		entries, skipped, err := journal.ReadAll(opt.JournalDir)
-		if err != nil {
-			cancel()
-			return nil, err
-		}
-		if skipped > 0 {
-			s.log.Warn("journal: skipped unparseable lines", "dir", opt.JournalDir, "lines", skipped)
-		}
-		var maxSeq int64
-		pending, maxSeq = journal.Pending(entries)
-		s.seq.Store(maxSeq)
-		if len(pending) > 0 {
-			s.log.Info("journal: replaying unfinished jobs", "dir", opt.JournalDir, "jobs", len(pending))
-		}
-		if s.jrnl, err = journal.Open(opt.JournalDir); err != nil {
-			cancel()
-			return nil, err
-		}
-	}
-	// Replayed jobs must all fit ahead of live traffic, so the queue is
-	// sized past its configured depth by however many the journal owes us.
-	s.queue = make(chan *Job, opt.QueueDepth+len(pending))
-	s.replay(pending)
-
-	s.wg.Add(opt.Workers)
-	for i := 0; i < opt.Workers; i++ {
-		go s.worker()
-	}
-	return s, nil
-}
-
-// replay re-queues journaled jobs. A request that no longer validates —
-// possible only if the journal was edited or the format drifted — is
-// journaled as failed rather than wedging recovery.
-func (s *Server) replay(pending []journal.PendingJob) {
-	for _, p := range pending {
-		jb := &Job{ID: p.ID, state: StateQueued, submitted: time.Now(), replayed: true}
-		var err error
-		if uerr := json.Unmarshal(p.Request, &jb.req); uerr != nil {
-			err = fmt.Errorf("journal replay: %w", uerr)
-		} else if jb.spec, jb.flows, err = jb.req.validate(); err != nil {
-			err = fmt.Errorf("journal replay: %w", err)
-		}
-		if err != nil {
-			jb.state = StateFailed
-			jb.err = err
-			jb.finished = time.Now()
-			_ = s.jrnl.Append(journal.Entry{Seq: p.Seq, Job: jb.ID, Event: journal.EventFailed, Error: err.Error()})
-			s.log.Warn("journal: replayed job failed validation", "job", jb.ID, "err", err)
-		} else {
-			s.log.Info("journal: re-queued job", "job", jb.ID, "testcase", jb.spec.Name())
-		}
-		s.jobs[jb.ID] = jb
-		s.order = append(s.order, jb.ID)
-		if jb.state == StateQueued {
-			s.queue <- jb
-		}
-	}
-}
-
-// Shutdown gracefully stops the server: intake closes immediately (new
-// submissions get 503), jobs still waiting in the queue are canceled, and
-// in-flight jobs are drained to completion. If ctx expires first, the
-// in-flight jobs' contexts are canceled and Shutdown waits for them to
-// unwind (bounded by one solver/Lloyd iteration), returning ctx's error.
-func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.accepting {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return nil
-	}
-	s.accepting = false
-	close(s.queue) // safe: submissions check accepting under mu
-	// Queued jobs will still be popped by workers, but cancel them now so
-	// the workers skip straight past them.
-	for _, id := range s.order {
-		j := s.jobs[id]
-		j.mu.Lock()
-		canceled := j.state == StateQueued
-		if canceled {
-			j.state = StateCanceled
-			j.err = errs.ErrCanceled
-			j.finished = time.Now()
-		}
-		j.mu.Unlock()
-		if canceled {
-			s.journal(j, journal.EventCanceled, errs.ErrCanceled)
-		}
-	}
-	s.mu.Unlock()
-
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		_ = s.jrnl.Close()
-		return nil
-	case <-ctx.Done():
-		s.baseCancel() // abort in-flight jobs
-		<-done
-		_ = s.jrnl.Close()
-		return ctx.Err()
-	}
-}
-
-// worker pops jobs until the queue closes at shutdown.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for jb := range s.queue {
-		s.runJob(jb)
-	}
-}
-
-// runJob executes one job's flows sequentially on a shared Runner, exactly
-// like a direct flow.Runner caller would — which is what makes HTTP results
-// byte-identical to library results. Transient failures are retried with
-// exponential backoff; a panic anywhere under the job is converted to a
-// typed error so the daemon survives it.
-func (s *Server) runJob(jb *Job) {
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	if jb.req.TimeoutMS > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(jb.req.TimeoutMS)*time.Millisecond)
-	}
-	defer cancel()
-	if !jb.begin(cancel) {
-		return // canceled while queued
-	}
-	s.journal(jb, journal.EventStarted, nil)
-	s.stats.jobStarted()
-	s.mStarted.Inc()
-	s.log.Debug("job started", "job", jb.ID, "testcase", jb.spec.Name())
-	start := time.Now()
-
-	var results map[flow.ID]flow.Metrics
-	var err error
-	for attempt := 0; ; attempt++ {
-		jb.noteAttempt()
-		results, err = s.safeExec(ctx, jb)
-		if err == nil {
-			err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
-		}
-		if !s.shouldRetry(ctx, err, attempt) {
-			break
-		}
-		s.stats.jobRetried()
-		s.mRetries.Inc()
-		s.log.Warn("job retrying after transient failure", "job", jb.ID, "attempt", attempt+1, "err", err)
-		select {
-		case <-time.After(backoff(s.opt.RetryBase, jb.ID, attempt)):
-		case <-ctx.Done():
-		}
-	}
-	if err == nil && degradedResults(results) {
-		jb.noteDegraded()
-		s.stats.jobDegraded()
-		s.mDegraded.Inc()
-	}
-	jb.finish(results, err)
-	s.journal(jb, terminalEvent(jb), err)
-	s.stats.jobFinished(time.Since(start))
-	s.mFinished.Inc()
-	if err != nil {
-		s.log.Warn("job finished with error", "job", jb.ID, "state", terminalEvent(jb), "err", err, "dur", time.Since(start))
-	} else {
-		s.log.Info("job done", "job", jb.ID, "dur", time.Since(start))
-	}
-}
-
-// safeExec runs the job's flows behind a recover boundary. The flow layer
-// has its own boundary, so this one catches what remains: bugs in the
-// server itself, test stubs, and anything a future execFn does wrong. One
-// panicking job must cost exactly one 500, never the daemon.
-func (s *Server) safeExec(ctx context.Context, jb *Job) (results map[flow.ID]flow.Metrics, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			s.stats.jobPanicked()
-			s.mPanics.Inc()
-			err = errs.FromPanic(rec, "server: job %s", jb.ID)
-		}
-	}()
-	return s.execFn(ctx, jb)
-}
-
-// shouldRetry allows another attempt only for transient failures, within
-// the retry budget, while the job's context is still live. Panics are
-// excluded even when the panic value carried a transient error: a panic
-// means a bug, and re-running bugs is chaos of the wrong kind.
-func (s *Server) shouldRetry(ctx context.Context, err error, attempt int) bool {
-	return attempt < s.opt.MaxRetries &&
-		err != nil &&
-		errors.Is(err, errs.ErrTransient) &&
-		!errors.Is(err, errs.ErrPanic) &&
-		ctx.Err() == nil
-}
-
-// backoff is the delay before retry attempt+1: base·2ᵃᵗᵗᵉᵐᵖᵗ plus a jitter
-// in [0, base) derived from the job ID, so concurrent retries de-correlate
-// without the schedule becoming nondeterministic for a given job.
-func backoff(base time.Duration, jobID string, attempt int) time.Duration {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(jobID))
-	_, _ = h.Write([]byte{byte(attempt)})
-	jitter := time.Duration(h.Sum64() % uint64(base))
-	return base<<uint(attempt) + jitter
-}
-
-// degradedResults reports whether any flow in the job settled on a lower
-// rung of the solve ladder than the proven ILP optimum.
-func degradedResults(results map[flow.ID]flow.Metrics) bool {
-	for _, m := range results {
-		if m.SolveDegraded {
-			return true
-		}
-	}
-	return false
-}
-
-// journal appends a lifecycle event for jb; a nil journal is a no-op.
-// Post-acceptance events are best-effort: losing one means a deterministic
-// job may be re-run after a crash, which is safe.
-func (s *Server) journal(jb *Job, event string, err error) {
-	if s.jrnl == nil {
-		return
-	}
-	e := journal.Entry{Seq: jb.seqn, Job: jb.ID, Event: event}
-	if err != nil {
-		e.Error = err.Error()
-	}
-	_ = s.jrnl.Append(e)
-}
-
-// terminalEvent maps a finished job's state to its journal event.
-func terminalEvent(jb *Job) string {
-	jb.mu.Lock()
-	defer jb.mu.Unlock()
-	switch jb.state {
-	case StateCanceled:
-		return journal.EventCanceled
-	case StateFailed:
-		return journal.EventFailed
-	default:
-		return journal.EventDone
-	}
-}
-
-func (s *Server) execute(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
-	// Solver progress (stage transitions, MILP incumbents, k-means
-	// iterations) streams into the job's live view; the job's logger is
-	// scoped with its ID so concurrent jobs' diagnostics stay attributable.
-	ctx = obs.WithProgress(ctx, jb.noteProgress)
-	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID))
-	cfg := jb.req.config(s.pool, s.opt.DefaultSolver)
-	r, err := flow.NewRunner(ctx, jb.spec, cfg)
-	if err != nil {
-		return nil, err
-	}
-	results := make(map[flow.ID]flow.Metrics, len(jb.flows))
-	for _, id := range jb.flows {
-		t0 := time.Now()
-		res, err := r.Run(ctx, id, jb.req.Route)
-		if err != nil {
-			return nil, err
-		}
-		results[id] = res.Metrics
-		s.stats.recordFlow(id, time.Since(t0))
-	}
-	return results, nil
-}
-
-// Submit enqueues a job, returning it, or an error: errBadRequest-wrapped
-// validation failures, errQueueFull, or errNotAccepting.
-var (
-	errQueueFull    = errors.New("job queue full")
-	errNotAccepting = errors.New("server is shutting down")
-	errJournal      = errors.New("job journal write failed")
-)
-
-func (s *Server) submit(req JobRequest) (*Job, error) {
-	spec, ids, err := req.validate()
-	if err != nil {
-		return nil, err
-	}
-	seq := s.seq.Add(1)
-	jb := &Job{
-		ID:        fmt.Sprintf("job-%d", seq),
-		seqn:      seq,
-		state:     StateQueued,
-		req:       req,
-		flows:     ids,
-		spec:      spec,
-		submitted: time.Now(),
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.accepting {
-		return nil, errNotAccepting
-	}
-	// Reject over-capacity before journaling: a 429'd job must leave no
-	// acceptance record, or a later restart would replay work the client
-	// was told we refused. Only submit (under mu) adds to the queue, so the
-	// room observed here cannot vanish before the send below.
-	if len(s.queue) >= cap(s.queue) {
-		return nil, errQueueFull
-	}
-	if s.jrnl != nil {
-		// The acceptance record must be durable before the job is visible:
-		// this is the one journal write whose failure rejects the request,
-		// because a job we cannot promise to replay is a job we must not
-		// accept.
-		raw, err := json.Marshal(req)
-		if err == nil {
-			err = s.jrnl.Append(journal.Entry{Seq: seq, Job: jb.ID, Event: journal.EventSubmitted, Request: raw})
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s", errJournal, err)
-		}
-	}
-	select {
-	case s.queue <- jb:
-	default:
-		return nil, errQueueFull
-	}
-	s.jobs[jb.ID] = jb
-	s.order = append(s.order, jb.ID)
-	return jb, nil
-}
-
-func (s *Server) job(id string) *Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jobs[id]
-}
-
-// Handler returns the service's HTTP routes.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
-}
-
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		return
-	}
-	jb, err := s.submit(req)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusAccepted, jb.view())
-	case errors.Is(err, errQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, errNotAccepting):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-	case errors.Is(err, errJournal):
-		writeError(w, http.StatusInternalServerError, err.Error())
-	default:
-		writeError(w, http.StatusBadRequest, err.Error())
-	}
-}
-
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	s.mu.Unlock()
-	views := make([]JobView, 0, len(ids))
-	for _, id := range ids {
-		if j := s.job(id); j != nil {
-			views = append(views, j.view())
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
-}
-
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	jb := s.job(r.PathValue("id"))
-	if jb == nil {
-		writeError(w, http.StatusNotFound, "no such job")
-		return
-	}
-	writeJSON(w, http.StatusOK, jb.view())
-}
-
-// errStatus maps a flow failure to its HTTP status: infeasible instances
-// are a client problem (422), deadline expiry is 504, client-requested
-// cancellation is 499, anything else is a 500.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, errs.ErrInfeasible):
-		return http.StatusUnprocessableEntity
-	case errors.Is(err, errs.ErrTimeout):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, errs.ErrCanceled):
-		return StatusClientClosedRequest
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	jb := s.job(r.PathValue("id"))
-	if jb == nil {
-		writeError(w, http.StatusNotFound, "no such job")
-		return
-	}
-	state, results, err := jb.snapshot()
-	if !state.terminal() {
-		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll again later", state))
-		return
-	}
-	if err != nil {
-		writeError(w, errStatus(err), err.Error())
-		return
-	}
-	keyed := make(map[string]flow.Metrics, len(results))
-	for id, m := range results {
-		keyed[fmt.Sprintf("%d", int(id))] = m
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": jb.ID, "metrics": keyed})
-}
-
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	jb := s.job(r.PathValue("id"))
-	if jb == nil {
-		writeError(w, http.StatusNotFound, "no such job")
-		return
-	}
-	if !jb.requestCancel() {
-		writeError(w, http.StatusConflict, "job already finished")
-		return
-	}
-	// A job canceled while still queued goes terminal right here, with no
-	// worker to journal it; a running one is journaled when it unwinds.
-	if state, _, _ := jb.snapshot(); state.terminal() {
-		s.journal(jb, journal.EventCanceled, errs.ErrCanceled)
-	}
-	writeJSON(w, http.StatusOK, jb.view())
-}
-
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	accepting := s.accepting
-	s.mu.Unlock()
-	status := http.StatusOK
-	if !accepting {
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, map[string]any{"ok": accepting, "accepting": accepting})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	busy, util, perFlow := s.stats.snapshot()
-	degraded, retries, panics := s.stats.resilience()
-	started, finished, inflight := s.stats.inflight()
-	s.mu.Lock()
-	depth := len(s.queue)
-	counts := map[State]int{}
-	for _, id := range s.order {
-		j := s.jobs[id]
-		j.mu.Lock()
-		counts[j.state]++
-		j.mu.Unlock()
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds":     s.stats.uptime().Seconds(),
-		"queue_depth":        depth,
-		"queue_capacity":     s.opt.QueueDepth,
-		"workers":            s.opt.Workers,
-		"busy_workers":       busy,
-		"worker_utilization": util,
-		"pool_jobs":          s.pool.Jobs(),
-		"jobs":               counts,
-		"jobs_started":       started,
-		"jobs_finished":      finished,
-		"jobs_inflight":      inflight,
-		"jobs_degraded":      degraded,
-		"job_retries":        retries,
-		"job_panics":         panics,
-		"flow_latency":       perFlow,
+	sched, err := scheduler.New(scheduler.Options{
+		Workers:        opt.Workers,
+		QueueDepth:     opt.QueueDepth,
+		Backends:       opt.Backends,
+		PoolJobs:       opt.PoolJobs,
+		MaxRetries:     opt.MaxRetries,
+		RetryBase:      opt.RetryBase,
+		JournalDir:     opt.JournalDir,
+		DefaultSolver:  opt.DefaultSolver,
+		CacheEntries:   opt.CacheEntries,
+		ResultCapacity: opt.ResultCapacity,
+		Logger:         opt.Logger,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{sched: sched, api: transport.New(sched)}, nil
 }
+
+// Handler returns the service's HTTP routes (/v1/ plus legacy aliases).
+func (s *Server) Handler() http.Handler { return s.api.Handler() }
 
 // MetricsHandler returns the /metrics endpoint standalone, for mounting on
 // a separate debug listener alongside pprof.
-func (s *Server) MetricsHandler() http.Handler {
-	return http.HandlerFunc(s.handleMetrics)
+func (s *Server) MetricsHandler() http.Handler { return s.api.MetricsHandler() }
+
+// Scheduler exposes the execution layer for callers that need more than
+// the HTTP surface (the CLI's shutdown path, tests).
+func (s *Server) Scheduler() *scheduler.Scheduler { return s.sched }
+
+// Shutdown gracefully stops the server; see scheduler.Scheduler.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.sched.Shutdown(ctx) }
+
+// setExec swaps the job-execution function, adapting the pre-split
+// metrics-only stub signature. Test seam.
+func (s *Server) setExec(fn func(context.Context, *Job) (map[flow.ID]flow.Metrics, error)) {
+	s.sched.SetExec(func(ctx context.Context, jb *Job) (*scheduler.ExecResult, error) {
+		m, err := fn(ctx, jb)
+		if err != nil {
+			return nil, err
+		}
+		return &scheduler.ExecResult{Metrics: m}, nil
+	})
 }
 
-// handleMetrics renders the server's registry followed by the process-wide
-// default registry (flow stage histograms, solve counters) in Prometheus
-// text exposition format.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	_, _, inflight := s.stats.inflight()
-	s.mInflight.Set(float64(inflight))
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.reg.WriteProm(w)
-	_ = obs.Default.WriteProm(w)
+// job looks a job up by ID. Test seam.
+func (s *Server) job(id string) *Job { return s.sched.Job(id) }
+
+// resilience returns the degraded/retries/panics counters. Test seam.
+func (s *Server) resilience() (degraded, retries, panics int64) {
+	return s.sched.Resilience()
 }

@@ -96,7 +96,7 @@ func (h *testHarness) waitState(id string, want State) State {
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		st := h.state(id)
-		if st == want || (want == "" && st.terminal()) {
+		if st == want || (want == "" && st.Terminal()) {
 			return st
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -203,7 +203,7 @@ func blockingExec(release <-chan struct{}) func(context.Context, *Job) (map[flow
 func TestQueueBackpressureAndCancel(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
-	h.srv.execFn = blockingExec(release)
+	h.srv.setExec(blockingExec(release))
 	req := JobRequest{Testcase: "aes_300"}
 
 	running := h.submit(req)
@@ -277,9 +277,9 @@ func TestErrorMapping(t *testing.T) {
 	for _, tc := range cases {
 		h := newHarness(t, Options{Workers: 1})
 		failErr := tc.err
-		h.srv.execFn = func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
+		h.srv.setExec(func(ctx context.Context, jb *Job) (map[flow.ID]flow.Metrics, error) {
 			return nil, failErr
-		}
+		})
 		id := h.submit(JobRequest{Testcase: "aes_300"})
 		h.waitState(id, "")
 		if code, body := h.do("GET", "/jobs/"+id+"/result", nil); code != tc.want {
@@ -296,7 +296,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	release := make(chan struct{})
-	s.execFn = blockingExec(release)
+	s.setExec(blockingExec(release))
 	web := httptest.NewServer(s.Handler())
 	defer web.Close()
 	h := &testHarness{t: t, srv: s, web: web}
@@ -351,7 +351,7 @@ func TestShutdownDeadlineAbortsInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	release := make(chan struct{}) // never closed: the job only ends by cancel
-	s.execFn = blockingExec(release)
+	s.setExec(blockingExec(release))
 	web := httptest.NewServer(s.Handler())
 	defer web.Close()
 	h := &testHarness{t: t, srv: s, web: web}
@@ -372,7 +372,7 @@ func TestShutdownDeadlineAbortsInFlight(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	h := newHarness(t, Options{Workers: 2, QueueDepth: 8})
 	release := make(chan struct{})
-	h.srv.execFn = blockingExec(release)
+	h.srv.setExec(blockingExec(release))
 
 	id := h.submit(JobRequest{Testcase: "aes_300"})
 	h.waitState(id, StateRunning)
@@ -412,7 +412,7 @@ func TestListOrder(t *testing.T) {
 	h := newHarness(t, Options{Workers: 1, QueueDepth: 8})
 	release := make(chan struct{})
 	defer close(release)
-	h.srv.execFn = blockingExec(release)
+	h.srv.setExec(blockingExec(release))
 
 	var want []string
 	for i := 0; i < 3; i++ {

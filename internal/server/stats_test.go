@@ -4,56 +4,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
-	"time"
 
 	"mthplace/internal/flow"
 )
-
-// TestStatsPercentiles: known latency samples produce the documented
-// nearest-rank percentiles, monotone p50 ≤ p90 ≤ p99.
-func TestStatsPercentiles(t *testing.T) {
-	st := newStats(2)
-	for i := 1; i <= 100; i++ {
-		st.recordFlow(flow.Flow5, time.Duration(i)*time.Millisecond)
-	}
-	_, _, perFlow := st.snapshot()
-	fl, ok := perFlow[flow.Flow5.String()]
-	if !ok {
-		t.Fatalf("no latency entry for %v: %v", flow.Flow5, perFlow)
-	}
-	if fl.Count != 100 {
-		t.Errorf("Count = %d, want 100", fl.Count)
-	}
-	if fl.P50ms != 50 || fl.P90ms != 90 || fl.P99ms != 99 {
-		t.Errorf("percentiles = %v/%v/%v, want 50/90/99", fl.P50ms, fl.P90ms, fl.P99ms)
-	}
-	if !(fl.P50ms <= fl.P90ms && fl.P90ms <= fl.P99ms) {
-		t.Errorf("percentiles not monotone: %+v", fl)
-	}
-}
-
-// TestStatsRingBound: the ring retains only the newest maxLatencySamples
-// but keeps counting, so Count reflects lifetime completions while the
-// percentiles reflect recent behaviour.
-func TestStatsRingBound(t *testing.T) {
-	st := newStats(1)
-	// Old slow samples that should age out entirely...
-	for i := 0; i < maxLatencySamples; i++ {
-		st.recordFlow(flow.Flow2, time.Hour)
-	}
-	// ...displaced by fast recent ones.
-	for i := 0; i < maxLatencySamples; i++ {
-		st.recordFlow(flow.Flow2, time.Millisecond)
-	}
-	_, _, perFlow := st.snapshot()
-	fl := perFlow[flow.Flow2.String()]
-	if fl.Count != 2*maxLatencySamples {
-		t.Errorf("Count = %d, want %d", fl.Count, 2*maxLatencySamples)
-	}
-	if fl.P99ms != 1 {
-		t.Errorf("P99 = %vms: old samples still retained", fl.P99ms)
-	}
-}
 
 // TestStatsLatencyAfterJobs submits real jobs and asserts /stats reports
 // populated, monotone latency percentiles and consistent worker/queue

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"sync"
+
+	"mthplace/internal/flow"
+)
+
+// Outcome is one job's terminal product: the metrics and placement digests
+// of every flow it ran, plus whether the whole job was served from the
+// solve cache. Failed jobs have no Outcome — their error lives on the
+// scheduler's job record.
+type Outcome struct {
+	// Job is the owning job ID.
+	Job string
+	// Metrics holds each completed flow's measurements.
+	Metrics map[flow.ID]flow.Metrics
+	// Placements holds each flow's SHA-256 placement digest.
+	Placements map[flow.ID]string
+	// CacheHit marks an outcome materialized from the solve cache without
+	// running the engine.
+	CacheHit bool
+}
+
+// DefaultResultCapacity bounds the result store when the caller passes no
+// explicit capacity: generous enough that polling clients never lose a
+// result in practice, small enough that a long-lived server stays O(1).
+const DefaultResultCapacity = 16384
+
+// Results is the bounded terminal-outcome store, keyed by job ID. Insertion
+// order is eviction order (FIFO): once capacity is exceeded the oldest
+// outcome is dropped and its result endpoint reports it gone. All methods
+// are safe for concurrent use.
+type Results struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*Outcome
+	order []string
+}
+
+// NewResults returns a store bounded to capacity outcomes (<= 0 selects
+// DefaultResultCapacity).
+func NewResults(capacity int) *Results {
+	if capacity <= 0 {
+		capacity = DefaultResultCapacity
+	}
+	return &Results{cap: capacity, m: make(map[string]*Outcome)}
+}
+
+// Put records a job's terminal outcome, evicting the oldest beyond
+// capacity. Re-putting the same job ID replaces the outcome in place.
+func (r *Results) Put(o *Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[o.Job]; !ok {
+		r.order = append(r.order, o.Job)
+	}
+	r.m[o.Job] = o
+	for len(r.order) > r.cap {
+		delete(r.m, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+// Get returns the outcome for a job, or ok=false when none was stored (the
+// job failed, is still running, or was evicted).
+func (r *Results) Get(job string) (*Outcome, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.m[job]
+	return o, ok
+}
+
+// Len returns the number of stored outcomes.
+func (r *Results) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}

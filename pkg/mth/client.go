@@ -1,0 +1,235 @@
+package mth
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mthplace/internal/server/scheduler"
+)
+
+// JobRequest is the service submit body: a testcase (or inline spec) plus
+// per-job flow overrides. Aliased from the scheduler so client and server
+// can never drift on the wire shape.
+type JobRequest = scheduler.JobRequest
+
+// JobView is the service's wire representation of a job.
+type JobView = scheduler.JobView
+
+// JobState is a remote job's lifecycle phase.
+type JobState = scheduler.State
+
+// Remote job lifecycle states.
+const (
+	JobQueued   = scheduler.StateQueued
+	JobRunning  = scheduler.StateRunning
+	JobDone     = scheduler.StateDone
+	JobFailed   = scheduler.StateFailed
+	JobCanceled = scheduler.StateCanceled
+)
+
+// JobResult is a finished job's payload from GET /v1/jobs/{id}/result.
+type JobResult struct {
+	// ID is the owning job.
+	ID string `json:"id"`
+	// Metrics maps the flow number (as a decimal string, matching the wire)
+	// to its measurements.
+	Metrics map[string]Metrics `json:"metrics"`
+	// Placements maps the flow number to the SHA-256 digest of its final
+	// placement — the witness that two runs are bit-identical.
+	Placements map[string]string `json:"placements"`
+	// CacheHit marks a result served from the solve cache.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// APIError is a non-2xx service response, preserving the status code so
+// callers can branch on 429/409/422 without string matching.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mth: service returned %d: %s", e.Status, e.Message)
+}
+
+// Client talks to a placement service (cmd/mthserved) over its /v1 API.
+// The zero value is not usable; construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+	// cacheControl, when non-empty, is sent as the Cache-Control header on
+	// every submit (see the CacheBypass/CacheNoStore/CacheOff options).
+	cacheControl string
+}
+
+// ClientOption customises a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithCacheBypass makes every submission solve fresh while still storing
+// the result for later callers (Cache-Control: no-cache).
+func WithCacheBypass() ClientOption {
+	return func(c *Client) { c.cacheControl = "no-cache" }
+}
+
+// WithCacheNoStore lets submissions be served from cache but never adds to
+// it (Cache-Control: no-store).
+func WithCacheNoStore() ClientOption {
+	return func(c *Client) { c.cacheControl = "no-store" }
+}
+
+// WithCacheOff disables the solve cache for this client's submissions
+// entirely (Cache-Control: no-cache, no-store).
+func WithCacheOff() ClientOption {
+	return func(c *Client) { c.cacheControl = "no-cache, no-store" }
+}
+
+// NewClient builds a client for the service at base (e.g.
+// "http://localhost:8080"). A trailing slash is tolerated.
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the JSON body into out (skipped when
+// out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf := &bytes.Buffer{}
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
+			return fmt.Errorf("mth: encoding request: %w", err)
+		}
+		rd = buf
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("mth: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+		if c.cacheControl != "" {
+			req.Header.Set("Cache-Control", c.cacheControl)
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("mth: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("mth: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(raw))
+		}
+		return &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("mth: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Submit enqueues one job and returns its accepted view.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &v)
+	return v, err
+}
+
+// BatchSlot is one element of a batch response: the accepted job's view, or
+// the rejection that request earned.
+type BatchSlot struct {
+	Job    *JobView `json:"job,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	Status int      `json:"status,omitempty"`
+}
+
+// SubmitBatch submits every request in one round trip against POST
+// /v1/jobs:batch. Slots pair 1:1 with the requests; a rejected member does
+// not sink its siblings (the service answers 207), so callers must check
+// each slot. The returned error covers whole-batch failures: transport
+// errors, a malformed body, or a batch whose every member was rejected.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []JobRequest) ([]BatchSlot, error) {
+	var out struct {
+		Jobs []BatchSlot `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/jobs:batch", map[string]any{"jobs": reqs}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Status fetches a job's current view.
+func (c *Client) Status(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Result fetches a finished job's metrics. While the job is still running
+// the service answers 409, surfaced as *APIError.
+func (c *Client) Result(ctx context.Context, id string) (JobResult, error) {
+	var r JobResult
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &r)
+	return r, err
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &v)
+	return v, err
+}
+
+// Wait polls until the job reaches a terminal state and returns its result.
+// Cache hits return immediately on the first poll. The poll interval backs
+// off from 10ms to 1s; ctx bounds the whole wait.
+func (c *Client) Wait(ctx context.Context, id string) (JobResult, error) {
+	interval := 10 * time.Millisecond
+	for {
+		v, err := c.Status(ctx, id)
+		if err != nil {
+			return JobResult{}, err
+		}
+		if v.State.Terminal() {
+			if v.State != JobDone {
+				return JobResult{}, fmt.Errorf("mth: job %s finished %s: %s", id, v.State, v.Error)
+			}
+			return c.Result(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return JobResult{}, ctx.Err()
+		case <-time.After(interval):
+		}
+		if interval < time.Second {
+			interval *= 2
+		}
+	}
+}
