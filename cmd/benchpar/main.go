@@ -20,12 +20,16 @@ import (
 	"runtime"
 	"time"
 
+	"mthplace/internal/celllib"
 	"mthplace/internal/cluster"
 	"mthplace/internal/core"
 	"mthplace/internal/exp"
 	"mthplace/internal/flow"
+	"mthplace/internal/lefdef"
 	"mthplace/internal/par"
+	"mthplace/internal/soa"
 	"mthplace/internal/synth"
+	"mthplace/internal/tech"
 )
 
 // Report is the schema of BENCH_parallel.json.
@@ -42,6 +46,41 @@ type Report struct {
 	Jobs      int        `json:"jobs"`
 	Reps      int        `json:"reps"`
 	Workloads []Workload `json:"workloads"`
+	// Scale is the million-cell suite (benchpar -scale N): one large design
+	// driven through generation, SoA conversion, metric kernels, streaming
+	// DEF I/O and an end-to-end greedy flow, with memory per cell recorded
+	// for both representations. Absent when -scale was not requested.
+	Scale *ScaleReport `json:"scale,omitempty"`
+}
+
+// ScaleReport is one large-design run of the scale suite.
+type ScaleReport struct {
+	Testcase string `json:"testcase"`
+	Cells    int    `json:"cells"`
+	Nets     int    `json:"nets"`
+	// Generation and conversion.
+	GenMS     float64 `json:"gen_ms"`
+	ConvertMS float64 `json:"convert_ms"`
+	// Heap footprint per cell: the AoS pointer graph (live-heap delta around
+	// generation) vs the flat SoA arrays (exact accounting via soa.Bytes).
+	AoSHeapBytesPerCell float64 `json:"aos_heap_bytes_per_cell"`
+	SoABytesPerCell     float64 `json:"soa_bytes_per_cell"`
+	// Metric kernels over both representations (results asserted equal).
+	HPWLAoSMS float64 `json:"hpwl_aos_ms"`
+	HPWLSoAMS float64 `json:"hpwl_soa_ms"`
+	// Streaming DEF I/O: write via DEFWriter, re-read via ScanDEF.
+	DEFBytes   int64   `json:"def_bytes"`
+	DEFWriteMS float64 `json:"def_write_ms"`
+	DEFScanMS  float64 `json:"def_scan_ms"`
+	// End-to-end flow on the SoA path with the greedy RAP backend: prepare
+	// (synthesis, mLEF, global place, uniform legalize) plus the full
+	// Flow (5) run, final placement streamed back out as DEF.
+	FlowSolver  string  `json:"flow_solver"`
+	FlowPrepMS  float64 `json:"flow_prep_ms"`
+	FlowRunMS   float64 `json:"flow_run_ms"`
+	FlowHPWL    int64   `json:"flow_hpwl"`
+	FlowOutMS   float64 `json:"flow_def_out_ms"`
+	FlowOutSize int64   `json:"flow_def_out_bytes"`
 }
 
 // Workload is one benchmark: best-of-reps wall clock at jobs=1 and jobs=N.
@@ -54,9 +93,10 @@ type Workload struct {
 
 func main() {
 	var (
-		jobs = flag.Int("jobs", 0, "parallel worker bound (0 = GOMAXPROCS)")
-		reps = flag.Int("reps", 3, "repetitions per workload (best is kept)")
-		out  = flag.String("o", "BENCH_parallel.json", "output file")
+		jobs  = flag.Int("jobs", 0, "parallel worker bound (0 = GOMAXPROCS)")
+		reps  = flag.Int("reps", 3, "repetitions per workload (best is kept)")
+		out   = flag.String("o", "BENCH_parallel.json", "output file")
+		scale = flag.Int("scale", 0, "also run the scale suite at this cell count (e.g. 1000000); records bytes/cell and an end-to-end greedy flow")
 	)
 	flag.Parse()
 	if *jobs <= 0 {
@@ -99,6 +139,18 @@ func main() {
 			wl.Name, wl.SerialMS, *jobs, wl.ParallelMS, wl.Speedup)
 	}
 
+	if *scale > 0 {
+		sr, err := runScale(*scale, *jobs)
+		if err != nil {
+			fatal(fmt.Errorf("scale suite: %w", err))
+		}
+		rep.Scale = sr
+		fmt.Printf("%-24s %d cells: gen %.0f ms, convert %.0f ms, %.1f B/cell SoA vs %.1f B/cell AoS heap\n",
+			"Scale/"+sr.Testcase, sr.Cells, sr.GenMS, sr.ConvertMS, sr.SoABytesPerCell, sr.AoSHeapBytesPerCell)
+		fmt.Printf("%-24s DEF %d MB: write %.0f ms, scan %.0f ms; flow(%s) prep %.0f ms + run %.0f ms\n",
+			"", sr.DEFBytes>>20, sr.DEFWriteMS, sr.DEFScanMS, sr.FlowSolver, sr.FlowPrepMS, sr.FlowRunMS)
+	}
+
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -108,6 +160,132 @@ func main() {
 	}
 	fmt.Printf("wrote %s (host: %d CPU)\n", *out, rep.Host.NumCPU)
 }
+
+// runScale drives one large design (nova_300 rescaled to targetCells) through
+// the whole data path: generation, AoS→SoA conversion with per-cell memory
+// accounting, HPWL over both representations (asserted equal), streaming DEF
+// write + re-scan through a file, and an end-to-end Flow (5) run on the SoA
+// path with the greedy RAP backend. Every stage is timed once — at a million
+// cells the interesting number is "does it complete and in what footprint",
+// not best-of-N variance.
+func runScale(targetCells, jobs int) (*ScaleReport, error) {
+	sp := spec("nova_300")
+	sr := &ScaleReport{Testcase: sp.Name()}
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	opt := synth.DefaultOptions()
+	opt.Scale = sp.ScaleForCells(targetCells)
+
+	// Live-heap delta around generation approximates the AoS pointer graph;
+	// soa.Bytes is exact accounting of the flat arrays.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	d, err := synth.Generate(tc, lib, sp, opt)
+	if err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+	sr.GenMS = msSince(start)
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	sr.Cells = len(d.Insts)
+	sr.Nets = len(d.Nets)
+	sr.AoSHeapBytesPerCell = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(sr.Cells)
+
+	start = time.Now()
+	c := soa.FromDesign(d)
+	sr.ConvertMS = msSince(start)
+	sr.SoABytesPerCell = float64(c.Bytes()) / float64(sr.Cells)
+
+	start = time.Now()
+	hAoS := d.TotalHPWL()
+	sr.HPWLAoSMS = msSince(start)
+	start = time.Now()
+	hSoA := c.TotalHPWL()
+	sr.HPWLSoAMS = msSince(start)
+	if hAoS != hSoA {
+		return nil, fmt.Errorf("HPWL diverges across representations: aos %d, soa %d", hAoS, hSoA)
+	}
+
+	// Streaming DEF out to a real file and back: the design text never
+	// materialises in memory in either direction.
+	tmp, err := os.CreateTemp("", "benchpar-scale-*.def")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	start = time.Now()
+	if err := lefdef.WriteDEF(tmp, d); err != nil {
+		return nil, fmt.Errorf("write DEF: %w", err)
+	}
+	sr.DEFWriteMS = msSince(start)
+	if st, err := tmp.Stat(); err == nil {
+		sr.DEFBytes = st.Size()
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	scanned := 0
+	start = time.Now()
+	err = lefdef.ScanDEF(tmp, lefdef.DEFVisitor{
+		Component: func(lefdef.DEFComponent) error { scanned++; return nil },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scan DEF: %w", err)
+	}
+	sr.DEFScanMS = msSince(start)
+	if scanned != sr.Cells {
+		return nil, fmt.Errorf("scan DEF: %d components, want %d", scanned, sr.Cells)
+	}
+
+	// Drop the standalone copies before the flow allocates its own, so the
+	// peak footprint is one design, not three.
+	d, c = nil, nil
+	runtime.GC()
+
+	cfg := flow.DefaultConfig()
+	cfg.Synth = opt
+	cfg.Rep = flow.RepSoA
+	cfg.Core.Solve.Backend = core.BackendGreedy
+	cfg.Placer.OuterIters = 2
+	cfg.Placer.SolveSweeps = 4
+	cfg.Pool = par.NewPool(jobs)
+	sr.FlowSolver = core.BackendGreedy
+	ctx := context.Background()
+	start = time.Now()
+	r, err := flow.NewRunner(ctx, sp, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flow prep: %w", err)
+	}
+	sr.FlowPrepMS = msSince(start)
+	start = time.Now()
+	res, err := r.Run(ctx, flow.Flow5, false)
+	if err != nil {
+		return nil, fmt.Errorf("flow run: %w", err)
+	}
+	sr.FlowRunMS = msSince(start)
+	sr.FlowHPWL = res.Metrics.HPWL
+
+	outF, err := os.CreateTemp("", "benchpar-scale-out-*.def")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(outF.Name())
+	defer outF.Close()
+	start = time.Now()
+	if err := lefdef.WriteDEF(outF, res.Design); err != nil {
+		return nil, fmt.Errorf("write result DEF: %w", err)
+	}
+	sr.FlowOutMS = msSince(start)
+	if st, err := outF.Stat(); err == nil {
+		sr.FlowOutSize = st.Size()
+	}
+	return sr, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
 
 // timeAt runs fn reps times on a pool bound to jobs workers (carried via the
 // context, so nothing global changes) and returns the best wall clock.

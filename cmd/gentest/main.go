@@ -29,6 +29,7 @@ func main() {
 	var (
 		out       = flag.String("out", "testcases", "output directory")
 		scale     = flag.Float64("scale", 0.10, "design scale factor (1.0 = paper size)")
+		cells     = flag.Int("cells", 0, "target instance count per testcase (overrides -scale; e.g. 1000000 for million-cell mode)")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		only      = flag.String("only", "", "restrict to testcases whose name contains this substring")
 		jobs      = flag.Int("jobs", 0, "worker pool bound (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
@@ -57,7 +58,7 @@ func main() {
 		return
 	}
 
-	files, err := generateAll(*out, *scale, *seed, *only, *jobs)
+	files, err := generateAll(*out, *scale, *cells, *seed, *only, *jobs)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,8 +76,11 @@ type outFile struct {
 // generateAll writes the shared cells.lef plus one DEF per matching Table II
 // spec into dir. Generation fans out over the specs on a pool bounded by
 // jobs; every spec's output depends only on (spec, scale, seed), so the
-// written bytes are identical at any jobs setting and across runs.
-func generateAll(dir string, scale float64, seed int64, only string, jobs int) ([]outFile, error) {
+// written bytes are identical at any jobs setting and across runs. cells > 0
+// overrides scale per spec so every testcase lands near that instance count.
+// DEF is streamed straight to the file, so memory stays bounded by the
+// design, not the text — million-cell output never materialises in RAM.
+func generateAll(dir string, scale float64, cells int, seed int64, only string, jobs int) ([]outFile, error) {
 	tc := tech.Default()
 	lib := celllib.New(tc)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -107,16 +111,24 @@ func generateAll(dir string, scale float64, seed int64, only string, jobs int) (
 	pool := par.NewPool(jobs)
 	err := pool.ForErr(len(specs), func(i int) error {
 		spec := specs[i]
-		d, err := synth.Generate(tc, lib, spec, opt)
+		sopt := opt
+		if cells > 0 {
+			sopt.Scale = spec.ScaleForCells(cells)
+		}
+		d, err := synth.Generate(tc, lib, spec, sopt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", spec.Name(), err)
 		}
-		var buf bytes.Buffer
-		if err := lefdef.WriteDEF(&buf, d); err != nil {
+		defPath := filepath.Join(dir, spec.Name()+".def")
+		f, err := os.Create(defPath)
+		if err != nil {
+			return err
+		}
+		if err := lefdef.WriteDEF(f, d); err != nil {
+			f.Close()
 			return fmt.Errorf("%s: %w", spec.Name(), err)
 		}
-		defPath := filepath.Join(dir, spec.Name()+".def")
-		if err := os.WriteFile(defPath, buf.Bytes(), 0o644); err != nil {
+		if err := f.Close(); err != nil {
 			return err
 		}
 		st := d.ComputeStats()

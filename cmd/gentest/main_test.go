@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -44,7 +45,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	snaps := make([]map[string][]byte, len(dirs))
 	for i, d := range dirs {
 		dir := filepath.Join(t.TempDir(), d.name)
-		files, err := generateAll(dir, scale, seed, only, d.jobs)
+		files, err := generateAll(dir, scale, 0, seed, only, d.jobs)
 		if err != nil {
 			t.Fatalf("%s: %v", d.name, err)
 		}
@@ -77,10 +78,10 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGenerateSeedSensitivity(t *testing.T) {
 	dirA := filepath.Join(t.TempDir(), "a")
 	dirB := filepath.Join(t.TempDir(), "b")
-	if _, err := generateAll(dirA, 0.02, 1, "aes_300", 0); err != nil {
+	if _, err := generateAll(dirA, 0.02, 0, 1, "aes_300", 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := generateAll(dirB, 0.02, 2, "aes_300", 0); err != nil {
+	if _, err := generateAll(dirB, 0.02, 0, 2, "aes_300", 0); err != nil {
 		t.Fatal(err)
 	}
 	a := readAll(t, dirA)["aes_300.def"]
@@ -90,5 +91,27 @@ func TestGenerateSeedSensitivity(t *testing.T) {
 	}
 	if bytes.Equal(a, b) {
 		t.Error("seeds 1 and 2 produced identical DEF")
+	}
+}
+
+// TestGenerateCellsTarget: -cells overrides -scale so every testcase lands
+// on the requested instance count (million-cell mode in miniature).
+func TestGenerateCellsTarget(t *testing.T) {
+	dir := t.TempDir()
+	files, err := generateAll(dir, 0.10, 3000, 1, "aes_300", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range files {
+		if filepath.Base(f.path) == "aes_300.def" {
+			found = true
+			if !strings.HasPrefix(f.note, "3000 cells") {
+				t.Errorf("note = %q, want 3000 cells", f.note)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("aes_300.def not generated")
 	}
 }

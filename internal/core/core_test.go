@@ -18,8 +18,9 @@ import (
 )
 
 // placedDesign generates a small testcase, applies mLEF and produces the
-// unconstrained initial placement.
-func placedDesign(t *testing.T, scale float64) (*netlist.Design, rowgrid.PairGrid) {
+// unconstrained initial placement. It accepts testing.TB so benchmarks can
+// share the fixture.
+func placedDesign(t testing.TB, scale float64) (*netlist.Design, rowgrid.PairGrid) {
 	t.Helper()
 	tc := tech.Default()
 	lib := celllib.New(tc)

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mthplace/internal/errs"
+	"mthplace/internal/geom"
+	"mthplace/internal/obs"
+	"mthplace/internal/par"
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/soa"
+)
+
+// BuildModelSoA computes the same f_cr matrix as BuildModel but iterates the
+// flat SoA representation: CSR pin→net and net→pin adjacency instead of
+// per-object slices, and an epoch-stamped array instead of a per-cell map
+// for net dedup. Cluster member indices refer to the same instance order in
+// both representations (FromDesign preserves indices), and every loop —
+// members, nets, net pins, rows — runs in the order BuildModel uses, so the
+// float accumulation order and therefore the Cost matrix are bit-identical.
+func BuildModelSoA(ctx context.Context, c *soa.Compact, g rowgrid.PairGrid, cl *Clusters, nMinR int, p CostParams) (*Model, error) {
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %f out of [0,1]", p.Alpha)
+	}
+	if p.CapacityFactor <= 0 {
+		p.CapacityFactor = 1
+	}
+	if g.N == 0 {
+		return nil, fmt.Errorf("core: empty row grid")
+	}
+	if nMinR <= 0 || nMinR > g.N {
+		return nil, fmt.Errorf("core: N_minR %d out of range (1..%d)", nMinR, g.N)
+	}
+	m := &Model{
+		Clusters:    cl,
+		NR:          g.N,
+		NminR:       nMinR,
+		Cap:         int64(float64(2*g.Width()) * p.CapacityFactor),
+		Cost:        make([][]float64, cl.N()),
+		PairCenterY: make([]int64, g.N),
+	}
+	for r := 0; r < g.N; r++ {
+		m.PairCenterY[r] = g.PairCenterY(r)
+	}
+	var totalW int64
+	for _, w := range cl.Width {
+		totalW += w
+		if w > m.Cap {
+			return nil, errs.Infeasible("core: cluster width %d exceeds row capacity %d (lower s)", w, m.Cap)
+		}
+	}
+	if totalW > int64(nMinR)*m.Cap {
+		return nil, errs.Infeasible("core: minority width %d exceeds %d rows × capacity %d", totalW, nMinR, m.Cap)
+	}
+	if err := errs.FromContext(ctx); err != nil {
+		return nil, fmt.Errorf("core: cost model: %w", err)
+	}
+	span := obs.StartSpan(ctx, "core.buildmodel.soa")
+	span.SetArg("clusters", cl.N())
+	span.SetArg("rows", g.N)
+	defer span.End()
+
+	par.FromContext(ctx).For(cl.N(), func(ci int) {
+		// Per-worker net stamp array: netStamp[n] == epoch marks net n as
+		// already boxed for the current cell. One allocation per cluster,
+		// no clearing between cells.
+		netStamp := make([]int32, c.NumNets())
+		epoch := int32(0)
+		boxes := make([][]netBoxT, len(cl.Members[ci]))
+		for mi, i := range cl.Members[ci] {
+			epoch++
+			boxes[mi] = buildNetBoxesSoA(c, i, netStamp, epoch)
+		}
+		row := make([]float64, g.N)
+		for r := 0; r < g.N; r++ {
+			var disp, dhpwl float64
+			for mi, i := range cl.Members[ci] {
+				cellCY := c.InstY[i] + c.InstHeight(i)/2
+				dy := m.PairCenterY[r] - cellCY
+				disp += float64(geom.AbsInt64(dy))
+				for _, nb := range boxes[mi] {
+					dhpwl += float64(netDeltaHPWL(nb.othersRect(), nb.hasOther,
+						nb.ownXLo, nb.ownXHi, nb.ownYLo, nb.ownYHi, dy))
+				}
+			}
+			row[r] = p.Alpha*disp + (1-p.Alpha)*dhpwl
+		}
+		m.Cost[ci] = row
+	})
+	return m, nil
+}
+
+// buildNetBoxesSoA is buildNetBoxes over the CSR adjacency. The pin slots of
+// instance i appear in PinNets order and each net's pin refs appear in
+// Nets[n].Pins order, so the emitted boxes match the AoS path exactly.
+func buildNetBoxesSoA(c *soa.Compact, i int32, netStamp []int32, epoch int32) []netBoxT {
+	var out []netBoxT
+	for s := c.InstPinStart[i]; s < c.InstPinStart[i+1]; s++ {
+		net := c.PinNet[s]
+		if net == soa.NoNet || net == c.ClockNet || netStamp[net] == epoch {
+			continue
+		}
+		netStamp[net] = epoch
+		var others geom.BBox
+		var own geom.BBox
+		for k := c.NetPinStart[net]; k < c.NetPinStart[net+1]; k++ {
+			inst, pin := c.NetPinInst[k], c.NetPinPin[k]
+			x, y := c.RefPos(inst, pin)
+			p := geom.Point{X: x, Y: y}
+			if inst != soa.PortInst && inst == i {
+				own.Extend(p)
+				continue
+			}
+			others.Extend(p)
+		}
+		if !own.Valid() {
+			continue
+		}
+		or := own.Rect()
+		out = append(out, netBoxT{
+			others:   others.Rect(),
+			hasOther: others.Valid(),
+			ownXLo:   or.Lo.X, ownXHi: or.Hi.X,
+			ownYLo: or.Lo.Y, ownYHi: or.Hi.Y,
+		})
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mthplace/internal/soa"
+)
+
+// TestBuildModelSoAEquivalence asserts the representation-independence
+// guarantee for the RAP cost model: BuildModelSoA over FromDesign(d)
+// produces a bit-identical f_cr matrix to BuildModel over d, at both worker
+// counts.
+func TestBuildModelSoAEquivalence(t *testing.T) {
+	d, g := placedDesign(t, 0.02)
+	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nMinR := nMinRFor(d, g)
+
+	aos, err := BuildModel(ctxWithJobs(1), d, g, cl, nMinR, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := soa.FromDesign(d)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 8} {
+		m, err := BuildModelSoA(ctxWithJobs(jobs), c, g, cl, nMinR, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cap != aos.Cap || m.NR != aos.NR || m.NminR != aos.NminR {
+			t.Fatalf("jobs=%d: model headers differ", jobs)
+		}
+		if len(m.Cost) != len(aos.Cost) {
+			t.Fatalf("jobs=%d: cost rows %d vs %d", jobs, len(m.Cost), len(aos.Cost))
+		}
+		for ci := range aos.Cost {
+			for r := range aos.Cost[ci] {
+				if math.Float64bits(m.Cost[ci][r]) != math.Float64bits(aos.Cost[ci][r]) {
+					t.Fatalf("jobs=%d: f_cr[%d][%d] not bit-identical: %v vs %v",
+						jobs, ci, r, m.Cost[ci][r], aos.Cost[ci][r])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildModelSoAInfeasible checks the SoA path reports the same capacity
+// infeasibilities as the AoS path.
+func TestBuildModelSoAInfeasible(t *testing.T) {
+	d, g := placedDesign(t, 0.02)
+	cl, err := BuildClusters(context.Background(), d, 0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := soa.FromDesign(d)
+	if _, err := BuildModelSoA(context.Background(), c, g, cl, 0, DefaultCostParams()); err == nil {
+		t.Fatal("N_minR=0 accepted")
+	}
+	if _, err := BuildModelSoA(context.Background(), c, g, cl, nMinRFor(d, g), CostParams{Alpha: 2}); err == nil {
+		t.Fatal("alpha=2 accepted")
+	}
+}

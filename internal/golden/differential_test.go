@@ -1,0 +1,131 @@
+package golden
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"mthplace/internal/flow"
+	"mthplace/internal/lefdef"
+)
+
+// TestDifferentialAoSvsSoA is the representation equivalence suite: every
+// flow on every corpus design, run once on the AoS path and once on the SoA
+// path, must produce the exact same metrics and a byte-identical DEF. This
+// is a stronger statement than the golden tolerance — zero drift — because
+// the SoA kernels are written to preserve the AoS iteration and accumulation
+// order bit for bit.
+func TestDifferentialAoSvsSoA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	flows := []flow.ID{flow.Flow1, flow.Flow2, flow.Flow3, flow.Flow4, flow.Flow5}
+	for _, name := range Designs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := findSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkRunner := func(rep flow.Representation) *flow.Runner {
+				cfg := flow.DefaultConfig()
+				cfg.Synth.Scale = Scale
+				cfg.Synth.Seed = Seed
+				cfg.Verify = true
+				cfg.Rep = rep
+				r, err := flow.NewRunner(ctx, spec, cfg)
+				if err != nil {
+					t.Fatalf("rep %v: %v", rep, err)
+				}
+				return r
+			}
+			aos := mkRunner(flow.RepAoS)
+			soa := mkRunner(flow.RepSoA)
+			// The shared starting point must already agree byte for byte.
+			var bAoS, bSoA bytes.Buffer
+			if err := lefdef.WriteDEF(&bAoS, aos.Base); err != nil {
+				t.Fatal(err)
+			}
+			if err := lefdef.WriteDEF(&bSoA, soa.Base); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bAoS.Bytes(), bSoA.Bytes()) {
+				t.Fatal("base placements diverge between representations")
+			}
+			if aos.NminR != soa.NminR {
+				t.Fatalf("NminR diverges: %d vs %d", aos.NminR, soa.NminR)
+			}
+			for _, id := range flows {
+				ra, err := aos.Run(ctx, id, false)
+				if err != nil {
+					t.Fatalf("%v aos: %v", id, err)
+				}
+				rs, err := soa.Run(ctx, id, false)
+				if err != nil {
+					t.Fatalf("%v soa: %v", id, err)
+				}
+				ma, ms := ra.Metrics, rs.Metrics
+				if ma.Displacement != ms.Displacement || ma.HPWL != ms.HPWL {
+					t.Errorf("%v: metrics diverge: disp %d vs %d, hpwl %d vs %d",
+						id, ma.Displacement, ms.Displacement, ma.HPWL, ms.HPWL)
+				}
+				if ma.NumClusters != ms.NumClusters || ma.ILPVars != ms.ILPVars ||
+					ma.SolveRung != ms.SolveRung || ma.SolveGap != ms.SolveGap {
+					t.Errorf("%v: solver stats diverge: clusters %d vs %d, vars %d vs %d, rung %q vs %q",
+						id, ma.NumClusters, ms.NumClusters, ma.ILPVars, ms.ILPVars, ma.SolveRung, ms.SolveRung)
+				}
+				var da, ds bytes.Buffer
+				if err := lefdef.WriteDEF(&da, ra.Design); err != nil {
+					t.Fatal(err)
+				}
+				if err := lefdef.WriteDEF(&ds, rs.Design); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(da.Bytes(), ds.Bytes()) {
+					t.Errorf("%v: final placements diverge (%d vs %d bytes)", id, da.Len(), ds.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestSoAMatchesCommittedGolden recomputes the whole corpus on the SoA path
+// and compares it against the committed (AoS-computed) snapshot at zero
+// tolerance on the metrics the representations share — any drift means the
+// representations are no longer equivalent.
+func TestSoAMatchesCommittedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want, err := Load(goldenPath)
+	if err != nil {
+		t.Fatalf("load committed snapshot: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	got, err := ComputeRep(ctx, flow.RepSoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Representation != "soa" {
+		t.Fatalf("representation = %q, want soa", got.Representation)
+	}
+	if diffs := Compare(got, want, 0); len(diffs) != 0 {
+		t.Errorf("SoA corpus diverges from committed snapshot (%d diff(s)):\n  %s",
+			len(diffs), joinLines(diffs))
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package lefdef
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,50 +13,43 @@ import (
 
 // WriteDEF serialises a design in the compact DEF subset. All distances are
 // DBU. The clock period and clock net are carried as PROPERTY records.
+// It streams through DEFWriter, so memory stays flat regardless of design
+// size.
 func WriteDEF(w io.Writer, d *netlist.Design) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE NANOMETERS 1 ;\n", d.Name)
-	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n", d.Die.Lo.X, d.Die.Lo.Y, d.Die.Hi.X, d.Die.Hi.Y)
-	fmt.Fprintf(bw, "PROPERTY clockPeriodPs %s ;\n", ftoa(d.ClockPeriodPs))
+	dw := NewDEFWriter(w)
+	dw.Header(d.Name, d.Die, d.ClockPeriodPs)
 
-	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(d.Insts))
+	dw.BeginComponents(len(d.Insts))
 	for _, in := range d.Insts {
-		status := "PLACED"
-		if in.Fixed {
-			status = "FIXED"
-		}
-		fmt.Fprintf(bw, "- %s %s + %s ( %d %d ) N ;\n", in.Name, in.Master.Name, status, in.Pos.X, in.Pos.Y)
+		dw.Component(DEFComponent{
+			Name: in.Name, Master: in.Master.Name,
+			X: in.Pos.X, Y: in.Pos.Y, Fixed: in.Fixed,
+		})
 	}
-	fmt.Fprintf(bw, "END COMPONENTS\n")
+	dw.EndComponents()
 
-	fmt.Fprintf(bw, "PINS %d ;\n", len(d.Ports))
+	dw.BeginPorts(len(d.Ports))
 	for _, p := range d.Ports {
-		dir := "INPUT"
-		if p.Dir == netlist.Out {
-			dir = "OUTPUT"
-		}
-		fmt.Fprintf(bw, "- %s + DIRECTION %s + PLACED ( %d %d ) ;\n", p.Name, dir, p.Pos.X, p.Pos.Y)
+		dw.Port(DEFPort{Name: p.Name, Dir: p.Dir, X: p.Pos.X, Y: p.Pos.Y})
 	}
-	fmt.Fprintf(bw, "END PINS\n")
+	dw.EndPorts()
 
-	fmt.Fprintf(bw, "NETS %d ;\n", len(d.Nets))
+	dw.BeginNets(len(d.Nets))
+	var pins []DEFNetPin
 	for ni, n := range d.Nets {
-		fmt.Fprintf(bw, "- %s", n.Name)
+		pins = pins[:0]
 		for _, ref := range n.Pins {
 			if ref.IsPort() {
-				fmt.Fprintf(bw, " ( PIN %s )", d.Ports[ref.Pin].Name)
+				pins = append(pins, DEFNetPin{Pin: d.Ports[ref.Pin].Name})
 			} else {
 				in := d.Insts[ref.Inst]
-				fmt.Fprintf(bw, " ( %s %s )", in.Name, in.Master.Pins[ref.Pin].Name)
+				pins = append(pins, DEFNetPin{Comp: in.Name, Pin: in.Master.Pins[ref.Pin].Name})
 			}
 		}
-		if int32(ni) == d.ClockNet {
-			fmt.Fprintf(bw, " + USE CLOCK")
-		}
-		fmt.Fprintf(bw, " ;\n")
+		dw.Net(DEFNet{Name: n.Name, Pins: pins, Clock: int32(ni) == d.ClockNet})
 	}
-	fmt.Fprintf(bw, "END NETS\nEND DESIGN\n")
-	return bw.Flush()
+	dw.EndNets()
+	return dw.Close()
 }
 
 // MasterResolver maps a master name to its definition; used by ReadDEF.
@@ -70,64 +62,82 @@ func LibraryResolver(lib *celllib.Library) MasterResolver {
 
 // ReadDEF parses the compact DEF subset into a design. Masters are resolved
 // through the supplied resolver (use LibraryResolver for library cells, or a
-// resolver over ReadLEF output for mLEF stand-ins).
+// resolver over ReadLEF output for mLEF stand-ins). It is a materialising
+// adapter over ScanDEF; callers that don't need the pointer-per-object
+// design can use ScanDEF directly and keep memory flat.
 func ReadDEF(r io.Reader, t *tech.Tech, lib *celllib.Library, resolve MasterResolver) (*netlist.Design, error) {
-	tok := newTokenizer(r)
 	d := &netlist.Design{Tech: t, Lib: lib, ClockNet: netlist.NoNet}
 	instByName := map[string]int32{}
 	portByName := map[string]int32{}
-	for {
-		tk, ok := tok.next()
-		if !ok {
-			break
-		}
-		switch tk {
-		case "DESIGN":
-			name, _ := tok.next()
+	err := ScanDEF(r, DEFVisitor{
+		Design: func(name string) error {
 			d.Name = name
-			tok.skipStatement()
-		case "DIEAREA":
-			coords, err := readCoords(tok, 2)
-			if err != nil {
-				return nil, err
-			}
-			d.Die = geom.NewRect(coords[0].X, coords[0].Y, coords[1].X, coords[1].Y)
-		case "PROPERTY":
-			key, _ := tok.next()
-			val, _ := tok.next()
+			return nil
+		},
+		DieArea: func(die geom.Rect) error {
+			d.Die = die
+			return nil
+		},
+		Property: func(key, val string) error {
 			if key == "clockPeriodPs" {
 				f, err := strconv.ParseFloat(val, 64)
 				if err != nil {
-					return nil, fmt.Errorf("lefdef: bad clock period %q", val)
+					return fmt.Errorf("lefdef: bad clock period %q", val)
 				}
 				d.ClockPeriodPs = f
 			}
-			tok.skipStatement()
-		case "COMPONENTS":
-			if err := readComponents(tok, d, resolve, instByName); err != nil {
-				return nil, err
+			return nil
+		},
+		Component: func(c DEFComponent) error {
+			m := resolve(c.Master)
+			if m == nil {
+				return fmt.Errorf("lefdef: unknown master %q for component %q", c.Master, c.Name)
 			}
-		case "PINS":
-			if err := readPins(tok, d, portByName); err != nil {
-				return nil, err
-			}
-		case "NETS":
-			if err := readNets(tok, d, instByName, portByName); err != nil {
-				return nil, err
-			}
-		case "END":
-			nxt, _ := tok.next()
-			if nxt == "DESIGN" {
-				if err := d.Validate(); err != nil {
-					return nil, fmt.Errorf("lefdef: parsed design invalid: %w", err)
+			idx := d.AddInstance(c.Name, m)
+			in := d.Insts[idx]
+			in.Pos = geom.Point{X: c.X, Y: c.Y}
+			in.Fixed = c.Fixed
+			instByName[c.Name] = idx
+			return nil
+		},
+		Port: func(p DEFPort) error {
+			portByName[p.Name] = d.AddPort(p.Name, p.Dir, geom.Point{X: p.X, Y: p.Y})
+			return nil
+		},
+		Net: func(n DEFNet) error {
+			net := d.AddNet(n.Name)
+			for _, ref := range n.Pins {
+				if ref.IsPort() {
+					pi, ok := portByName[ref.Pin]
+					if !ok {
+						return fmt.Errorf("lefdef: net %q: unknown port %q", n.Name, ref.Pin)
+					}
+					d.ConnectPort(pi, net)
+					continue
 				}
-				return d, nil
+				ii, ok := instByName[ref.Comp]
+				if !ok {
+					return fmt.Errorf("lefdef: net %q: unknown component %q", n.Name, ref.Comp)
+				}
+				pin := pinIndexByName(d.Insts[ii].Master, ref.Pin)
+				if pin < 0 {
+					return fmt.Errorf("lefdef: net %q: unknown pin %q on %q", n.Name, ref.Pin, ref.Comp)
+				}
+				d.Connect(ii, int32(pin), net)
 			}
-		default:
-			tok.skipStatement()
-		}
+			if n.Clock {
+				d.ClockNet = net
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("lefdef: missing END DESIGN")
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("lefdef: parsed design invalid: %w", err)
+	}
+	return d, nil
 }
 
 func readCoords(tok *tokenizer, n int) ([]geom.Point, error) {
@@ -152,156 +162,6 @@ func readCoords(tok *tokenizer, n int) ([]geom.Point, error) {
 	}
 	tok.skipStatement()
 	return out, nil
-}
-
-func readComponents(tok *tokenizer, d *netlist.Design, resolve MasterResolver, byName map[string]int32) error {
-	tok.skipStatement() // consume count
-	for {
-		tk, ok := tok.next()
-		if !ok {
-			return fmt.Errorf("lefdef: COMPONENTS unterminated")
-		}
-		if tk == "END" {
-			tok.next() // COMPONENTS
-			return nil
-		}
-		if tk != "-" {
-			continue
-		}
-		name, _ := tok.next()
-		masterName, _ := tok.next()
-		m := resolve(masterName)
-		if m == nil {
-			return fmt.Errorf("lefdef: unknown master %q for component %q", masterName, name)
-		}
-		idx := d.AddInstance(name, m)
-		byName[name] = idx
-		// Parse "+ PLACED|FIXED ( x y ) N ;".
-		for {
-			t2, ok := tok.next()
-			if !ok {
-				return fmt.Errorf("lefdef: component %q unterminated", name)
-			}
-			if t2 == ";" {
-				break
-			}
-			switch t2 {
-			case "PLACED", "FIXED":
-				d.Insts[idx].Fixed = t2 == "FIXED"
-			case "(":
-				x, err1 := tok.nextInt()
-				y, err2 := tok.nextInt()
-				if err1 != nil || err2 != nil {
-					return fmt.Errorf("lefdef: component %q: bad location", name)
-				}
-				tok.next() // ")"
-				d.Insts[idx].Pos = geom.Point{X: x, Y: y}
-			}
-		}
-	}
-}
-
-func readPins(tok *tokenizer, d *netlist.Design, byName map[string]int32) error {
-	tok.skipStatement()
-	for {
-		tk, ok := tok.next()
-		if !ok {
-			return fmt.Errorf("lefdef: PINS unterminated")
-		}
-		if tk == "END" {
-			tok.next()
-			return nil
-		}
-		if tk != "-" {
-			continue
-		}
-		name, _ := tok.next()
-		dir := netlist.In
-		var pos geom.Point
-		for {
-			t2, ok := tok.next()
-			if !ok {
-				return fmt.Errorf("lefdef: pin %q unterminated", name)
-			}
-			if t2 == ";" {
-				break
-			}
-			switch t2 {
-			case "DIRECTION":
-				v, _ := tok.next()
-				if v == "OUTPUT" {
-					dir = netlist.Out
-				}
-			case "(":
-				x, err1 := tok.nextInt()
-				y, err2 := tok.nextInt()
-				if err1 != nil || err2 != nil {
-					return fmt.Errorf("lefdef: pin %q: bad location", name)
-				}
-				tok.next() // ")"
-				pos = geom.Point{X: x, Y: y}
-			}
-		}
-		byName[name] = d.AddPort(name, dir, pos)
-	}
-}
-
-func readNets(tok *tokenizer, d *netlist.Design, instByName, portByName map[string]int32) error {
-	tok.skipStatement()
-	for {
-		tk, ok := tok.next()
-		if !ok {
-			return fmt.Errorf("lefdef: NETS unterminated")
-		}
-		if tk == "END" {
-			tok.next()
-			return nil
-		}
-		if tk != "-" {
-			continue
-		}
-		name, _ := tok.next()
-		net := d.AddNet(name)
-		for {
-			t2, ok := tok.next()
-			if !ok {
-				return fmt.Errorf("lefdef: net %q unterminated", name)
-			}
-			if t2 == ";" {
-				break
-			}
-			switch t2 {
-			case "(":
-				a, _ := tok.next()
-				b, _ := tok.next()
-				if closer, _ := tok.next(); closer != ")" {
-					return fmt.Errorf("lefdef: net %q: unclosed pin", name)
-				}
-				if a == "PIN" {
-					pi, ok := portByName[b]
-					if !ok {
-						return fmt.Errorf("lefdef: net %q: unknown port %q", name, b)
-					}
-					d.ConnectPort(pi, net)
-					continue
-				}
-				ii, ok := instByName[a]
-				if !ok {
-					return fmt.Errorf("lefdef: net %q: unknown component %q", name, a)
-				}
-				pin := pinIndexByName(d.Insts[ii].Master, b)
-				if pin < 0 {
-					return fmt.Errorf("lefdef: net %q: unknown pin %q on %q", name, b, a)
-				}
-				d.Connect(ii, int32(pin), net)
-			case "USE":
-				use, _ := tok.next()
-				if use == "CLOCK" {
-					d.ClockNet = net
-				}
-			}
-		}
-	}
 }
 
 func pinIndexByName(m *celllib.Master, name string) int {

@@ -73,3 +73,61 @@ func FuzzLEFDEFRoundtrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamDEF checks the streaming scanner against the materialising
+// reader on arbitrary bytes: ScanDEF must never panic, and whenever ReadDEF
+// accepts an input, ScanDEF must accept it too and deliver the same record
+// counts. (The converse does not hold: ScanDEF performs no name resolution,
+// so it accepts inputs ReadDEF rejects.)
+func FuzzStreamDEF(f *testing.F) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+
+	opt := synth.DefaultOptions()
+	opt.Scale = 0.005
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := WriteDEF(&def, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(def.Bytes())
+	f.Add([]byte("VERSION 5.8 ;\nDESIGN x ;\nEND DESIGN\n"))
+	f.Add([]byte("NETS 1 ;\n- n ( PIN p ) ( u A ) + USE CLOCK ;\nEND NETS\nEND DESIGN\n"))
+	f.Add([]byte("# comment\nDIEAREA ( 0 0 ) ( 1 1 ) ;\nEND DESIGN\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var comps, ports, nets, netPins int
+		scanErr := ScanDEF(bytes.NewReader(data), DEFVisitor{
+			Component: func(DEFComponent) error { comps++; return nil },
+			Port:      func(DEFPort) error { ports++; return nil },
+			Net: func(n DEFNet) error {
+				nets++
+				netPins += len(n.Pins)
+				return nil
+			},
+		})
+
+		parsed, readErr := ReadDEF(bytes.NewReader(data), tc, lib, LibraryResolver(lib))
+		if readErr != nil {
+			return
+		}
+		if scanErr != nil {
+			t.Fatalf("ReadDEF accepted input but ScanDEF failed: %v", scanErr)
+		}
+		if comps != len(parsed.Insts) || ports != len(parsed.Ports) || nets != len(parsed.Nets) {
+			t.Fatalf("record counts diverge: scan %d/%d/%d, read %d/%d/%d",
+				comps, ports, nets, len(parsed.Insts), len(parsed.Ports), len(parsed.Nets))
+		}
+		wantPins := 0
+		for _, n := range parsed.Nets {
+			wantPins += len(n.Pins)
+		}
+		if netPins < wantPins {
+			// Repeated refs collapse in the design, so scan sees >= read.
+			t.Fatalf("scan net pin refs %d < design %d", netPins, wantPins)
+		}
+	})
+}

@@ -2,11 +2,11 @@ package lefdef
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 
 	"mthplace/internal/celllib"
 	"mthplace/internal/geom"
@@ -236,35 +236,76 @@ func readPin(tok *tokenizer) (celllib.PinDef, error) {
 }
 
 // tokenizer splits the LEF/DEF text into whitespace-delimited tokens,
-// treating parentheses and semicolons as standalone tokens.
+// treating parentheses and semicolons as standalone tokens and '#' as a
+// comment to end of line. Tokens are produced by a byte-level bufio.Scanner
+// split function, so statement and comment length is unbounded — the old
+// line-based scanner capped a single NETS statement at its buffer size,
+// which million-cell DEF overflows. Only one token needs to fit in the
+// buffer (names and numbers, never a whole line).
 type tokenizer struct {
-	sc  *bufio.Scanner
-	buf []string
+	sc        *bufio.Scanner
+	inComment bool
 }
 
 func newTokenizer(r io.Reader) *tokenizer {
+	t := &tokenizer{}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	return &tokenizer{sc: sc}
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	sc.Split(t.split)
+	t.sc = sc
+	return t
+}
+
+func isTokenSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// split implements bufio.SplitFunc. It carries one bit of state — whether
+// the scan position is inside a '#' comment — so comments longer than the
+// read buffer are consumed incrementally instead of growing it.
+func (t *tokenizer) split(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	i := 0
+	for {
+		if t.inComment {
+			j := bytes.IndexByte(data[i:], '\n')
+			if j < 0 {
+				return len(data), nil, nil // discard, stay in comment
+			}
+			t.inComment = false
+			i += j + 1
+		}
+		for i < len(data) && isTokenSpace(data[i]) {
+			i++
+		}
+		if i < len(data) && data[i] == '#' {
+			t.inComment = true
+			i++
+			continue
+		}
+		break
+	}
+	if i >= len(data) {
+		return i, nil, nil // all whitespace/comment: consume and refill
+	}
+	switch data[i] {
+	case '(', ')', ';':
+		return i + 1, data[i : i+1], nil
+	}
+	j := i
+	for j < len(data) && !isTokenSpace(data[j]) && data[j] != '(' && data[j] != ')' && data[j] != ';' && data[j] != '#' {
+		j++
+	}
+	if j == len(data) && !atEOF {
+		return i, nil, nil // word may continue past the buffer: refill
+	}
+	return j, data[i:j], nil
 }
 
 func (t *tokenizer) next() (string, bool) {
-	for len(t.buf) == 0 {
-		if !t.sc.Scan() {
-			return "", false
-		}
-		line := t.sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.ReplaceAll(line, "(", " ( ")
-		line = strings.ReplaceAll(line, ")", " ) ")
-		line = strings.ReplaceAll(line, ";", " ; ")
-		t.buf = strings.Fields(line)
+	if !t.sc.Scan() {
+		return "", false
 	}
-	tokn := t.buf[0]
-	t.buf = t.buf[1:]
-	return tokn, true
+	return t.sc.Text(), true
 }
 
 func (t *tokenizer) nextInt() (int64, error) {

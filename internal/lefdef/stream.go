@@ -1,0 +1,373 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mthplace/internal/geom"
+	"mthplace/internal/netlist"
+)
+
+// The streaming DEF layer: ScanDEF delivers a DEF file record by record to
+// caller callbacks without ever materialising a design (memory is bounded by
+// the widest single record — one net's pin list — not the file), and
+// DEFWriter emits a DEF incrementally from whatever representation the
+// caller iterates. ReadDEF and WriteDEF are thin adapters over these, so the
+// in-memory and streaming paths share one parser and one formatter and
+// cannot drift apart.
+
+// DEFComponent is one COMPONENTS record.
+type DEFComponent struct {
+	Name   string
+	Master string
+	X, Y   int64
+	Fixed  bool
+}
+
+// DEFPort is one PINS record (a primary IO port of the block).
+type DEFPort struct {
+	Name string
+	Dir  netlist.PortDir
+	X, Y int64
+}
+
+// DEFNetPin is one pin reference of a NETS record: instance pin Pin of
+// component Comp, or, when Comp is empty, the primary port named Pin.
+type DEFNetPin struct {
+	Comp string
+	Pin  string
+}
+
+// IsPort reports whether the reference names a primary port.
+func (p DEFNetPin) IsPort() bool { return p.Comp == "" }
+
+// DEFNet is one NETS record.
+type DEFNet struct {
+	Name  string
+	Pins  []DEFNetPin
+	Clock bool
+}
+
+// DEFVisitor receives the records of a DEF file in file order. Nil callbacks
+// are skipped; any callback error aborts the scan and is returned verbatim.
+type DEFVisitor struct {
+	// Design receives the DESIGN name.
+	Design func(name string) error
+	// DieArea receives the DIEAREA rectangle.
+	DieArea func(die geom.Rect) error
+	// Property receives each top-level PROPERTY key/value record.
+	Property func(key, value string) error
+	// Component receives each COMPONENTS record.
+	Component func(c DEFComponent) error
+	// Port receives each PINS record.
+	Port func(p DEFPort) error
+	// Net receives each NETS record. The Pins slice is reused between
+	// calls; callbacks that retain it must copy.
+	Net func(n DEFNet) error
+}
+
+// ScanDEF parses the compact DEF subset from r, invoking the visitor per
+// record. It holds one record in memory at a time and returns at END DESIGN
+// (missing END DESIGN is an error, as in ReadDEF).
+func ScanDEF(r io.Reader, v DEFVisitor) error {
+	tok := newTokenizer(r)
+	for {
+		tk, ok := tok.next()
+		if !ok {
+			break
+		}
+		switch tk {
+		case "DESIGN":
+			name, _ := tok.next()
+			if v.Design != nil {
+				if err := v.Design(name); err != nil {
+					return err
+				}
+			}
+			tok.skipStatement()
+		case "DIEAREA":
+			coords, err := readCoords(tok, 2)
+			if err != nil {
+				return err
+			}
+			if v.DieArea != nil {
+				if err := v.DieArea(geom.NewRect(coords[0].X, coords[0].Y, coords[1].X, coords[1].Y)); err != nil {
+					return err
+				}
+			}
+		case "PROPERTY":
+			key, _ := tok.next()
+			val, _ := tok.next()
+			if v.Property != nil {
+				if err := v.Property(key, val); err != nil {
+					return err
+				}
+			}
+			tok.skipStatement()
+		case "COMPONENTS":
+			if err := scanComponents(tok, v.Component); err != nil {
+				return err
+			}
+		case "PINS":
+			if err := scanPins(tok, v.Port); err != nil {
+				return err
+			}
+		case "NETS":
+			if err := scanNets(tok, v.Net); err != nil {
+				return err
+			}
+		case "END":
+			nxt, _ := tok.next()
+			if nxt == "DESIGN" {
+				return nil
+			}
+		default:
+			tok.skipStatement()
+		}
+	}
+	return fmt.Errorf("lefdef: missing END DESIGN")
+}
+
+func scanComponents(tok *tokenizer, emit func(DEFComponent) error) error {
+	tok.skipStatement() // consume count
+	for {
+		tk, ok := tok.next()
+		if !ok {
+			return fmt.Errorf("lefdef: COMPONENTS unterminated")
+		}
+		if tk == "END" {
+			tok.next() // COMPONENTS
+			return nil
+		}
+		if tk != "-" {
+			continue
+		}
+		var c DEFComponent
+		c.Name, _ = tok.next()
+		c.Master, _ = tok.next()
+		// Parse "+ PLACED|FIXED ( x y ) N ;".
+		for {
+			t2, ok := tok.next()
+			if !ok {
+				return fmt.Errorf("lefdef: component %q unterminated", c.Name)
+			}
+			if t2 == ";" {
+				break
+			}
+			switch t2 {
+			case "PLACED", "FIXED":
+				c.Fixed = t2 == "FIXED"
+			case "(":
+				x, err1 := tok.nextInt()
+				y, err2 := tok.nextInt()
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("lefdef: component %q: bad location", c.Name)
+				}
+				tok.next() // ")"
+				c.X, c.Y = x, y
+			}
+		}
+		if emit != nil {
+			if err := emit(c); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func scanPins(tok *tokenizer, emit func(DEFPort) error) error {
+	tok.skipStatement()
+	for {
+		tk, ok := tok.next()
+		if !ok {
+			return fmt.Errorf("lefdef: PINS unterminated")
+		}
+		if tk == "END" {
+			tok.next()
+			return nil
+		}
+		if tk != "-" {
+			continue
+		}
+		var p DEFPort
+		p.Name, _ = tok.next()
+		p.Dir = netlist.In
+		for {
+			t2, ok := tok.next()
+			if !ok {
+				return fmt.Errorf("lefdef: pin %q unterminated", p.Name)
+			}
+			if t2 == ";" {
+				break
+			}
+			switch t2 {
+			case "DIRECTION":
+				v, _ := tok.next()
+				if v == "OUTPUT" {
+					p.Dir = netlist.Out
+				}
+			case "(":
+				x, err1 := tok.nextInt()
+				y, err2 := tok.nextInt()
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("lefdef: pin %q: bad location", p.Name)
+				}
+				tok.next() // ")"
+				p.X, p.Y = x, y
+			}
+		}
+		if emit != nil {
+			if err := emit(p); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func scanNets(tok *tokenizer, emit func(DEFNet) error) error {
+	tok.skipStatement()
+	var pins []DEFNetPin // reused across records
+	for {
+		tk, ok := tok.next()
+		if !ok {
+			return fmt.Errorf("lefdef: NETS unterminated")
+		}
+		if tk == "END" {
+			tok.next()
+			return nil
+		}
+		if tk != "-" {
+			continue
+		}
+		var n DEFNet
+		n.Name, _ = tok.next()
+		pins = pins[:0]
+		for {
+			t2, ok := tok.next()
+			if !ok {
+				return fmt.Errorf("lefdef: net %q unterminated", n.Name)
+			}
+			if t2 == ";" {
+				break
+			}
+			switch t2 {
+			case "(":
+				a, _ := tok.next()
+				b, _ := tok.next()
+				if closer, _ := tok.next(); closer != ")" {
+					return fmt.Errorf("lefdef: net %q: unclosed pin", n.Name)
+				}
+				if a == "PIN" {
+					pins = append(pins, DEFNetPin{Pin: b})
+				} else {
+					pins = append(pins, DEFNetPin{Comp: a, Pin: b})
+				}
+			case "USE":
+				use, _ := tok.next()
+				if use == "CLOCK" {
+					n.Clock = true
+				}
+			}
+		}
+		if emit != nil {
+			n.Pins = pins
+			if err := emit(n); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// DEFWriter emits the compact DEF subset incrementally. All writes go
+// through one buffered writer; errors are sticky and surfaced by Close, so
+// hot loops can call Component/Net without per-record error checks. The
+// byte stream is identical to WriteDEF's for the same records in the same
+// order.
+type DEFWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewDEFWriter wraps w for incremental DEF emission.
+func NewDEFWriter(w io.Writer) *DEFWriter {
+	return &DEFWriter{bw: bufio.NewWriter(w)}
+}
+
+func (w *DEFWriter) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w.bw, format, args...); err != nil {
+		w.err = err
+	}
+}
+
+// Header writes the file preamble: version, design name, units, die area
+// and the clock-period property.
+func (w *DEFWriter) Header(name string, die geom.Rect, clockPeriodPs float64) {
+	w.printf("VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE NANOMETERS 1 ;\n", name)
+	w.printf("DIEAREA ( %d %d ) ( %d %d ) ;\n", die.Lo.X, die.Lo.Y, die.Hi.X, die.Hi.Y)
+	w.printf("PROPERTY clockPeriodPs %s ;\n", ftoa(clockPeriodPs))
+}
+
+// BeginComponents opens the COMPONENTS section with its record count.
+func (w *DEFWriter) BeginComponents(n int) { w.printf("COMPONENTS %d ;\n", n) }
+
+// Component writes one COMPONENTS record.
+func (w *DEFWriter) Component(c DEFComponent) {
+	status := "PLACED"
+	if c.Fixed {
+		status = "FIXED"
+	}
+	w.printf("- %s %s + %s ( %d %d ) N ;\n", c.Name, c.Master, status, c.X, c.Y)
+}
+
+// EndComponents closes the COMPONENTS section.
+func (w *DEFWriter) EndComponents() { w.printf("END COMPONENTS\n") }
+
+// BeginPorts opens the PINS section with its record count.
+func (w *DEFWriter) BeginPorts(n int) { w.printf("PINS %d ;\n", n) }
+
+// Port writes one PINS record.
+func (w *DEFWriter) Port(p DEFPort) {
+	dir := "INPUT"
+	if p.Dir == netlist.Out {
+		dir = "OUTPUT"
+	}
+	w.printf("- %s + DIRECTION %s + PLACED ( %d %d ) ;\n", p.Name, dir, p.X, p.Y)
+}
+
+// EndPorts closes the PINS section.
+func (w *DEFWriter) EndPorts() { w.printf("END PINS\n") }
+
+// BeginNets opens the NETS section with its record count.
+func (w *DEFWriter) BeginNets(n int) { w.printf("NETS %d ;\n", n) }
+
+// Net writes one NETS record.
+func (w *DEFWriter) Net(n DEFNet) {
+	w.printf("- %s", n.Name)
+	for _, p := range n.Pins {
+		if p.IsPort() {
+			w.printf(" ( PIN %s )", p.Pin)
+		} else {
+			w.printf(" ( %s %s )", p.Comp, p.Pin)
+		}
+	}
+	if n.Clock {
+		w.printf(" + USE CLOCK")
+	}
+	w.printf(" ;\n")
+}
+
+// EndNets closes the NETS section.
+func (w *DEFWriter) EndNets() { w.printf("END NETS\n") }
+
+// Close writes END DESIGN, flushes, and returns the first error seen.
+func (w *DEFWriter) Close() error {
+	w.printf("END DESIGN\n")
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}

@@ -1,0 +1,236 @@
+package lefdef
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/netlist"
+	"mthplace/internal/tech"
+)
+
+// TestScanDEFMatchesReadDEF checks the streaming scanner sees exactly the
+// records ReadDEF materialises, in the same order.
+func TestScanDEFMatchesReadDEF(t *testing.T) {
+	d := smallDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.Bytes()
+
+	var name string
+	var comps []DEFComponent
+	var ports []DEFPort
+	var nets int
+	var netPins int
+	clockNets := 0
+	err := ScanDEF(bytes.NewReader(text), DEFVisitor{
+		Design:    func(n string) error { name = n; return nil },
+		Component: func(c DEFComponent) error { comps = append(comps, c); return nil },
+		Port:      func(p DEFPort) error { ports = append(ports, p); return nil },
+		Net: func(n DEFNet) error {
+			nets++
+			netPins += len(n.Pins)
+			if n.Clock {
+				clockNets++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != d.Name {
+		t.Fatalf("design name %q != %q", name, d.Name)
+	}
+	if len(comps) != len(d.Insts) {
+		t.Fatalf("components %d != %d", len(comps), len(d.Insts))
+	}
+	if len(ports) != len(d.Ports) {
+		t.Fatalf("ports %d != %d", len(ports), len(d.Ports))
+	}
+	if nets != len(d.Nets) {
+		t.Fatalf("nets %d != %d", nets, len(d.Nets))
+	}
+	wantPins := 0
+	for _, n := range d.Nets {
+		wantPins += len(n.Pins)
+	}
+	if netPins != wantPins {
+		t.Fatalf("net pin refs %d != %d", netPins, wantPins)
+	}
+	wantClock := 0
+	if d.ClockNet != netlist.NoNet {
+		wantClock = 1
+	}
+	if clockNets != wantClock {
+		t.Fatalf("clock nets %d != %d", clockNets, wantClock)
+	}
+	for i, c := range comps {
+		in := d.Insts[i]
+		if c.Name != in.Name || c.Master != in.Master.Name ||
+			c.X != in.Pos.X || c.Y != in.Pos.Y || c.Fixed != in.Fixed {
+			t.Fatalf("component %d mismatch: %+v vs %+v", i, c, in)
+		}
+	}
+}
+
+// TestDEFWriterMatchesWriteDEF checks that replaying a scan through
+// DEFWriter reproduces WriteDEF byte for byte.
+func TestDEFWriterMatchesWriteDEF(t *testing.T) {
+	d := smallDesign(t)
+	var want bytes.Buffer
+	if err := WriteDEF(&want, d); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	dw := NewDEFWriter(&got)
+	dw.Header(d.Name, d.Die, d.ClockPeriodPs)
+	dw.BeginComponents(len(d.Insts))
+	for _, in := range d.Insts {
+		dw.Component(DEFComponent{Name: in.Name, Master: in.Master.Name,
+			X: in.Pos.X, Y: in.Pos.Y, Fixed: in.Fixed})
+	}
+	dw.EndComponents()
+	dw.BeginPorts(len(d.Ports))
+	for _, p := range d.Ports {
+		dw.Port(DEFPort{Name: p.Name, Dir: p.Dir, X: p.Pos.X, Y: p.Pos.Y})
+	}
+	dw.EndPorts()
+	dw.BeginNets(len(d.Nets))
+	for ni, n := range d.Nets {
+		var pins []DEFNetPin
+		for _, ref := range n.Pins {
+			if ref.IsPort() {
+				pins = append(pins, DEFNetPin{Pin: d.Ports[ref.Pin].Name})
+			} else {
+				in := d.Insts[ref.Inst]
+				pins = append(pins, DEFNetPin{Comp: in.Name, Pin: in.Master.Pins[ref.Pin].Name})
+			}
+		}
+		dw.Net(DEFNet{Name: n.Name, Pins: pins, Clock: int32(ni) == d.ClockNet})
+	}
+	dw.EndNets()
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("DEFWriter output differs from WriteDEF (%d vs %d bytes)", want.Len(), got.Len())
+	}
+}
+
+// TestScanDEFCallbackError checks callback errors abort the scan verbatim.
+func TestScanDEFCallbackError(t *testing.T) {
+	d := smallDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := fmt.Errorf("stop here")
+	seen := 0
+	err := ScanDEF(bytes.NewReader(buf.Bytes()), DEFVisitor{
+		Component: func(DEFComponent) error {
+			seen++
+			if seen == 3 {
+				return sentinel
+			}
+			return nil
+		},
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if seen != 3 {
+		t.Fatalf("callback ran %d times, want 3", seen)
+	}
+}
+
+// buildWideNetDEF writes a DEF whose single NETS statement is at least
+// minLen bytes on one physical line, by repeating pin references. Connect
+// replaces any prior connection of the same pin, so the repeats are legal
+// and the parsed design stays valid.
+func buildWideNetDEF(t testing.TB, minLen int) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("VERSION 5.8 ;\nDESIGN wide ;\nUNITS DISTANCE NANOMETERS 1 ;\n")
+	sb.WriteString("DIEAREA ( 0 0 ) ( 100000 100000 ) ;\n")
+	sb.WriteString("PROPERTY clockPeriodPs 1000 ;\n")
+	sb.WriteString("COMPONENTS 2 ;\n")
+	sb.WriteString("- u0 INV_X1_6T_RVT + PLACED ( 100 100 ) N ;\n")
+	sb.WriteString("- u1 INV_X1_6T_RVT + PLACED ( 200 100 ) N ;\n")
+	sb.WriteString("END COMPONENTS\n")
+	sb.WriteString("PINS 0 ;\nEND PINS\n")
+	sb.WriteString("NETS 1 ;\n")
+	sb.WriteString("- wide ( u1 A )")
+	for sb.Len() < minLen {
+		sb.WriteString(" ( u0 A )")
+	}
+	sb.WriteString(" ( u0 Y ) ;\n")
+	sb.WriteString("END NETS\nEND DESIGN\n")
+	return sb.String()
+}
+
+// TestReadDEFOversizedNetLine is the regression test for the scanner token
+// limit: a single NETS statement far larger than any fixed line buffer must
+// parse. The old line-based tokenizer errored at its buffer cap; the
+// token-level split function is line-length independent.
+func TestReadDEFOversizedNetLine(t *testing.T) {
+	// Well past the 64 KiB initial scanner buffer.
+	minLen := 256 * 1024
+	if !testing.Short() {
+		// Past any plausible max buffer too (the old cap was 16 MiB).
+		minLen = 20 * 1024 * 1024
+	}
+	text := buildWideNetDEF(t, minLen)
+	d := newTestLibDesign(t, text)
+	if len(d.Nets) != 1 {
+		t.Fatalf("nets = %d, want 1", len(d.Nets))
+	}
+	// One connection per distinct pin survives the repeated refs.
+	if got := len(d.Nets[0].Pins); got != 3 {
+		t.Fatalf("net pins = %d, want 3 (u1/A, u0/A, u0/Y)", got)
+	}
+}
+
+// TestScanDEFOversizedComment checks a comment longer than the scanner
+// buffer is consumed incrementally rather than growing a token.
+func TestScanDEFOversizedComment(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("VERSION 5.8 ;\nDESIGN c ;\n")
+	sb.WriteString("# ")
+	sb.WriteString(strings.Repeat("x", 8*1024*1024))
+	sb.WriteString("\n")
+	sb.WriteString("DIEAREA ( 0 0 ) ( 10 10 ) ;\n")
+	sb.WriteString("COMPONENTS 0 ;\nEND COMPONENTS\n")
+	sb.WriteString("PINS 0 ;\nEND PINS\nNETS 0 ;\nEND NETS\nEND DESIGN\n")
+	var name string
+	err := ScanDEF(strings.NewReader(sb.String()), DEFVisitor{
+		Design: func(n string) error { name = n; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "c" {
+		t.Fatalf("design = %q, want c", name)
+	}
+}
+
+// newTestLibDesign parses DEF text against the default library.
+func newTestLibDesign(t testing.TB, text string) *netlist.Design {
+	t.Helper()
+	d, err := parseTestLibDesign(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func parseTestLibDesign(text string) (*netlist.Design, error) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	return ReadDEF(strings.NewReader(text), tc, lib, LibraryResolver(lib))
+}

@@ -1,0 +1,56 @@
+package legalize
+
+import (
+	"fmt"
+
+	"mthplace/internal/rowgrid"
+	"mthplace/internal/soa"
+)
+
+// UniformCompact is Uniform over the SoA representation: it legalizes the
+// movable instances of c onto the uniform grid in place, then rebuilds the
+// index-linked row lists and proves the result overlap-free. The Abacus
+// core is shared with the AoS path — cells are extracted from and written
+// back to the flat arrays, so results are identical for equal inputs.
+func UniformCompact(c *soa.Compact, g rowgrid.PairGrid) (*soa.RowLists, error) {
+	rows := make([]Row, 0, g.NumRows())
+	for j := 0; j < g.NumRows(); j++ {
+		rows = append(rows, Row{Y: g.RowY(j), X0: g.X0, X1: g.X1})
+	}
+	n := int32(c.NumInsts())
+	cells := make([]Cell, 0, n)
+	for i := int32(0); i < n; i++ {
+		if c.InstFixed[i] {
+			continue
+		}
+		cells = append(cells, Cell{ID: i, TargetX: c.InstX[i], TargetY: c.InstY[i], W: c.InstWidth(i)})
+	}
+	res, err := Abacus(cells, rows, c.Tech.SiteWidth)
+	if err != nil {
+		return nil, fmt.Errorf("legalize: uniform soa: %w", err)
+	}
+	for id, p := range res {
+		c.InstX[id], c.InstY[id] = p.X, p.Y
+	}
+	rl, err := soa.BuildRowLists(c, g.NumRows(), func(i int32) int32 {
+		if c.InstFixed[i] {
+			return -1
+		}
+		y := c.InstY[i] - g.Y0
+		if y < 0 || y%g.RowH() != 0 {
+			return -1
+		}
+		r := y / g.RowH()
+		if r >= int64(g.NumRows()) {
+			return -1
+		}
+		return int32(r)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("legalize: uniform soa: %w", err)
+	}
+	if err := rl.CheckNoOverlap(c); err != nil {
+		return nil, fmt.Errorf("legalize: uniform soa: %w", err)
+	}
+	return rl, nil
+}

@@ -289,11 +289,17 @@ func (d *Design) Clone() *Design {
 	return nd
 }
 
-// Validate checks referential integrity of the design database.
+// Validate checks referential integrity of the design database. It runs in
+// O(instances + net pins): the pin-side back-reference check uses one flat
+// array indexed by global pin slot instead of scanning each net's pin list,
+// which matters on million-cell designs where a single clock net can carry
+// hundreds of thousands of pins.
 func (d *Design) Validate() error {
 	if d.Tech == nil || d.Lib == nil {
 		return fmt.Errorf("netlist: %s: missing tech or library", d.Name)
 	}
+	// Global pin slots: instance i's pins occupy [pinOff[i], pinOff[i+1]).
+	pinOff := make([]int32, len(d.Insts)+1)
 	for i, in := range d.Insts {
 		if in.Master == nil {
 			return fmt.Errorf("netlist: inst %d (%s): nil master", i, in.Name)
@@ -302,6 +308,24 @@ func (d *Design) Validate() error {
 			return fmt.Errorf("netlist: inst %s: %d pin nets for %d master pins",
 				in.Name, len(in.PinNets), len(in.Master.Pins))
 		}
+		pinOff[i+1] = pinOff[i] + int32(len(in.PinNets))
+	}
+	// backRef[slot] records a net that lists the pin (NoNet if none does).
+	// A pin listed by several distinct nets still fails: PinNets can match
+	// at most one of them, and the net-side loop below checks every net.
+	backRef := make([]int32, pinOff[len(d.Insts)])
+	for s := range backRef {
+		backRef[s] = NoNet
+	}
+	for ni, n := range d.Nets {
+		for _, ref := range n.Pins {
+			if !ref.IsPort() && ref.Inst >= 0 && int(ref.Inst) < len(d.Insts) &&
+				ref.Pin >= 0 && int(ref.Pin) < len(d.Insts[ref.Inst].PinNets) {
+				backRef[pinOff[ref.Inst]+ref.Pin] = int32(ni)
+			}
+		}
+	}
+	for i, in := range d.Insts {
 		for p, nn := range in.PinNets {
 			if nn == NoNet {
 				continue
@@ -309,7 +333,7 @@ func (d *Design) Validate() error {
 			if nn < 0 || int(nn) >= len(d.Nets) {
 				return fmt.Errorf("netlist: inst %s pin %d: net %d out of range", in.Name, p, nn)
 			}
-			if !netHasPin(d.Nets[nn], PinRef{int32(i), int32(p)}) {
+			if backRef[pinOff[i]+int32(p)] != nn {
 				return fmt.Errorf("netlist: inst %s pin %d: net %s lacks back reference",
 					in.Name, p, d.Nets[nn].Name)
 			}
@@ -344,15 +368,6 @@ func (d *Design) Validate() error {
 		return fmt.Errorf("netlist: clock net %d out of range", d.ClockNet)
 	}
 	return nil
-}
-
-func netHasPin(n *Net, ref PinRef) bool {
-	for _, p := range n.Pins {
-		if p == ref {
-			return true
-		}
-	}
-	return false
 }
 
 // Connect wires pin (inst, pin) onto net, maintaining both directions of the

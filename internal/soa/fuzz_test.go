@@ -1,0 +1,61 @@
+package soa
+
+import (
+	"bytes"
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+// FuzzSoARoundtrip drives the converters with every design the DEF parser
+// accepts from arbitrary bytes: FromDesign must produce a Compact that
+// passes Validate, and ToDesign must reproduce the design exactly — checked
+// through WriteDEF byte equality plus the exact HPWL metric.
+func FuzzSoARoundtrip(f *testing.F) {
+	tc := tech.Default()
+	lib := celllib.New(tc)
+
+	opt := synth.DefaultOptions()
+	opt.Scale = 0.005
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := lefdef.WriteDEF(&def, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(def.Bytes())
+	f.Add([]byte("VERSION 5.8 ;\nDESIGN x ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\nEND DESIGN\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := lefdef.ReadDEF(bytes.NewReader(data), tc, lib, lefdef.LibraryResolver(lib))
+		if err != nil {
+			return
+		}
+		c := FromDesign(parsed)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("FromDesign of valid design fails Validate: %v", err)
+		}
+		back := c.ToDesign()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("ToDesign result invalid: %v", err)
+		}
+		if got, want := c.TotalHPWL(), parsed.TotalHPWL(); got != want {
+			t.Fatalf("TotalHPWL %d != %d", got, want)
+		}
+		var w1, w2 bytes.Buffer
+		if err := lefdef.WriteDEF(&w1, parsed); err != nil {
+			t.Fatal(err)
+		}
+		if err := lefdef.WriteDEF(&w2, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatal("Design→SoA→Design changes DEF serialisation")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package soa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RowLists is the index-linked row structure of a legalized placement: per
+// row a singly linked list of instance indices in left-to-right order,
+// stored as two flat arrays (Coloquinte's cellRow_/cellPred_ idiom). Built
+// in O(n log n) once, it answers neighbour and overlap queries with pure
+// index arithmetic — no per-row slice allocation, no maps.
+type RowLists struct {
+	// Head[r] is the leftmost instance in row r, or -1 for an empty row.
+	Head []int32
+	// Next[i] is the instance to the right of i in its row, or -1.
+	Next []int32
+	// Row[i] is the row index of instance i, or -1 when the instance was
+	// not assigned to any row (e.g. a fixed cell off the row grid).
+	Row []int32
+}
+
+// BuildRowLists links every instance of c into the row structure defined by
+// rowOf, which maps an instance index to its row (return -1 to leave the
+// instance out). nRows bounds the row index range.
+func BuildRowLists(c *Compact, nRows int, rowOf func(i int32) int32) (*RowLists, error) {
+	n := c.NumInsts()
+	rl := &RowLists{
+		Head: make([]int32, nRows),
+		Next: make([]int32, n),
+		Row:  make([]int32, n),
+	}
+	for r := range rl.Head {
+		rl.Head[r] = -1
+	}
+	order := make([]int32, 0, n)
+	for i := int32(0); i < int32(n); i++ {
+		rl.Next[i] = -1
+		r := rowOf(i)
+		if r < 0 {
+			rl.Row[i] = -1
+			continue
+		}
+		if int(r) >= nRows {
+			return nil, fmt.Errorf("soa: inst %d: row %d out of range (%d rows)", i, r, nRows)
+		}
+		rl.Row[i] = r
+		order = append(order, i)
+	}
+	// Sort by (row, x, index) then link each row once, back to front, so
+	// every list comes out left-to-right without per-row state.
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if rl.Row[ia] != rl.Row[ib] {
+			return rl.Row[ia] < rl.Row[ib]
+		}
+		if c.InstX[ia] != c.InstX[ib] {
+			return c.InstX[ia] < c.InstX[ib]
+		}
+		return ia < ib
+	})
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		r := rl.Row[i]
+		rl.Next[i] = rl.Head[r]
+		rl.Head[r] = i
+	}
+	return rl, nil
+}
+
+// CheckNoOverlap walks every row list once and reports the first pair of
+// horizontally overlapping instances. O(n) after the build.
+func (rl *RowLists) CheckNoOverlap(c *Compact) error {
+	for r, i := range rl.Head {
+		prev := int32(-1)
+		for ; i >= 0; i = rl.Next[i] {
+			if prev >= 0 && c.InstX[prev]+c.InstWidth(prev) > c.InstX[i] {
+				return fmt.Errorf("soa: row %d: inst %d overlaps inst %d", r, prev, i)
+			}
+			prev = i
+		}
+	}
+	return nil
+}
+
+// RowLen returns the number of instances linked into row r.
+func (rl *RowLists) RowLen(r int) int {
+	n := 0
+	for i := rl.Head[r]; i >= 0; i = rl.Next[i] {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,420 @@
+// Package soa provides the structure-of-arrays design database used on the
+// million-cell hot paths. Where netlist.Design stores one heap object per
+// instance and per net ([]*Instance, []*Net, per-instance PinNets slices),
+// Compact stores the same information as flat parallel slices with CSR
+// (compressed sparse row) adjacency — the Coloquinte cellWidth_/cellRow_/
+// cellPred_ idiom — so the cost model, the legalizer and the metrics
+// recompute walk contiguous int32/int64 arrays instead of chasing pointers.
+//
+// The two representations are interconvertible and lossless: for every valid
+// design, ToDesign(FromDesign(d)) reproduces d exactly (same instance, net,
+// port and pin orders, shared master pointers), which the differential test
+// harness asserts across every flow. Compact is the in-memory form; LEF/DEF
+// remains the on-disk interchange, unchanged.
+package soa
+
+import (
+	"fmt"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/geom"
+	"mthplace/internal/netlist"
+	"mthplace/internal/tech"
+)
+
+// NoNet marks an unconnected pin, mirroring netlist.NoNet.
+const NoNet = netlist.NoNet
+
+// PortInst is the sentinel instance index for primary IO ports in the
+// net→pin adjacency, mirroring netlist.PortInst.
+const PortInst = netlist.PortInst
+
+// Compact is the structure-of-arrays form of a netlist.Design.
+//
+// Instance i's pins occupy the CSR slice PinNet[InstPinStart[i]:
+// InstPinStart[i+1]]; net n's pins occupy NetPinInst/NetPinPin
+// [NetPinStart[n]:NetPinStart[n+1]] in the same order as the AoS net's pin
+// list. Master geometry is flattened once into MasterPin* so pin-position
+// queries never touch a *celllib.Master on the hot path.
+type Compact struct {
+	Name          string
+	Tech          *tech.Tech
+	Lib           *celllib.Library
+	Die           geom.Rect
+	ClockPeriodPs float64
+	ClockNet      int32
+
+	// Masters is the deduplicated master table; instances refer to it by
+	// index. Pointers are shared with the library (masters are immutable).
+	Masters []*celllib.Master
+	// MasterWidth/MasterRowH/MasterHeight mirror the master geometry.
+	MasterWidth  []int64
+	MasterRowH   []int64
+	MasterHeight []tech.TrackHeight
+	// MasterPinStart is the CSR index of master m's pin offsets in
+	// MasterPinOffX/Y (len(Masters)+1 entries).
+	MasterPinStart []int32
+	MasterPinOffX  []int64
+	MasterPinOffY  []int64
+
+	// Instance arrays (hot: X/Y/Master; cold: Name).
+	InstName   []string
+	InstMaster []int32
+	// InstSource indexes the pre-mLEF master while in mLEF form (-1 none).
+	InstSource []int32
+	InstX      []int64
+	InstY      []int64
+	InstFixed  []bool
+
+	// CSR pin→net adjacency (len(InstPinStart) = NumInsts()+1).
+	InstPinStart []int32
+	PinNet       []int32
+
+	// Net arrays and CSR net→pin adjacency. NetPinInst is PortInst for
+	// primary-port pins, in which case NetPinPin indexes the port.
+	NetName     []string
+	NetPinStart []int32
+	NetPinInst  []int32
+	NetPinPin   []int32
+
+	// Port arrays.
+	PortName []string
+	PortDir  []netlist.PortDir
+	PortX    []int64
+	PortY    []int64
+	PortNet  []int32
+}
+
+// NumInsts returns the instance count.
+func (c *Compact) NumInsts() int { return len(c.InstMaster) }
+
+// NumNets returns the net count.
+func (c *Compact) NumNets() int { return len(c.NetName) }
+
+// NumPorts returns the port count.
+func (c *Compact) NumPorts() int { return len(c.PortName) }
+
+// NumPins returns the total instance pin-slot count.
+func (c *Compact) NumPins() int { return len(c.PinNet) }
+
+// InstWidth returns instance i's current (mLEF or true) width.
+func (c *Compact) InstWidth(i int32) int64 { return c.MasterWidth[c.InstMaster[i]] }
+
+// InstHeight returns instance i's current row height.
+func (c *Compact) InstHeight(i int32) int64 { return c.MasterRowH[c.InstMaster[i]] }
+
+// TrueHeight returns the track-height class of instance i, looking through
+// the mLEF transform like netlist.Instance.TrueHeight.
+func (c *Compact) TrueHeight(i int32) tech.TrackHeight {
+	if s := c.InstSource[i]; s >= 0 {
+		return c.MasterHeight[s]
+	}
+	return c.MasterHeight[c.InstMaster[i]]
+}
+
+// PinPos returns the absolute position of pin p of instance i.
+func (c *Compact) PinPos(i, p int32) (x, y int64) {
+	o := c.MasterPinStart[c.InstMaster[i]] + p
+	return c.InstX[i] + c.MasterPinOffX[o], c.InstY[i] + c.MasterPinOffY[o]
+}
+
+// RefPos returns the absolute position of one net→pin edge (instance pin or
+// primary port).
+func (c *Compact) RefPos(inst, pin int32) (x, y int64) {
+	if inst == PortInst {
+		return c.PortX[pin], c.PortY[pin]
+	}
+	return c.PinPos(inst, pin)
+}
+
+// FromDesign converts an AoS design into its SoA form. The conversion is a
+// single O(instances + pins) pass; masters and the library are shared, not
+// copied.
+func FromDesign(d *netlist.Design) *Compact {
+	c := &Compact{
+		Name:          d.Name,
+		Tech:          d.Tech,
+		Lib:           d.Lib,
+		Die:           d.Die,
+		ClockPeriodPs: d.ClockPeriodPs,
+		ClockNet:      d.ClockNet,
+	}
+	masterIdx := make(map[*celllib.Master]int32)
+	intern := func(m *celllib.Master) int32 {
+		if m == nil {
+			return -1
+		}
+		if i, ok := masterIdx[m]; ok {
+			return i
+		}
+		i := int32(len(c.Masters))
+		masterIdx[m] = i
+		c.Masters = append(c.Masters, m)
+		c.MasterWidth = append(c.MasterWidth, m.Width)
+		c.MasterRowH = append(c.MasterRowH, m.RowH)
+		c.MasterHeight = append(c.MasterHeight, m.Height)
+		for _, p := range m.Pins {
+			c.MasterPinOffX = append(c.MasterPinOffX, p.Offset.X)
+			c.MasterPinOffY = append(c.MasterPinOffY, p.Offset.Y)
+		}
+		c.MasterPinStart = append(c.MasterPinStart, int32(len(c.MasterPinOffX)))
+		return i
+	}
+	c.MasterPinStart = append(c.MasterPinStart, 0)
+
+	n := len(d.Insts)
+	c.InstName = make([]string, n)
+	c.InstMaster = make([]int32, n)
+	c.InstSource = make([]int32, n)
+	c.InstX = make([]int64, n)
+	c.InstY = make([]int64, n)
+	c.InstFixed = make([]bool, n)
+	c.InstPinStart = make([]int32, n+1)
+	nPins := 0
+	for _, in := range d.Insts {
+		nPins += len(in.PinNets)
+	}
+	c.PinNet = make([]int32, 0, nPins)
+	for i, in := range d.Insts {
+		c.InstName[i] = in.Name
+		c.InstMaster[i] = intern(in.Master)
+		c.InstSource[i] = intern(in.Source)
+		c.InstX[i] = in.Pos.X
+		c.InstY[i] = in.Pos.Y
+		c.InstFixed[i] = in.Fixed
+		c.PinNet = append(c.PinNet, in.PinNets...)
+		c.InstPinStart[i+1] = int32(len(c.PinNet))
+	}
+
+	m := len(d.Nets)
+	c.NetName = make([]string, m)
+	c.NetPinStart = make([]int32, m+1)
+	nRefs := 0
+	for _, nt := range d.Nets {
+		nRefs += len(nt.Pins)
+	}
+	c.NetPinInst = make([]int32, 0, nRefs)
+	c.NetPinPin = make([]int32, 0, nRefs)
+	for ni, nt := range d.Nets {
+		c.NetName[ni] = nt.Name
+		for _, ref := range nt.Pins {
+			c.NetPinInst = append(c.NetPinInst, ref.Inst)
+			c.NetPinPin = append(c.NetPinPin, ref.Pin)
+		}
+		c.NetPinStart[ni+1] = int32(len(c.NetPinInst))
+	}
+
+	p := len(d.Ports)
+	c.PortName = make([]string, p)
+	c.PortDir = make([]netlist.PortDir, p)
+	c.PortX = make([]int64, p)
+	c.PortY = make([]int64, p)
+	c.PortNet = make([]int32, p)
+	for pi, pt := range d.Ports {
+		c.PortName[pi] = pt.Name
+		c.PortDir[pi] = pt.Dir
+		c.PortX[pi] = pt.Pos.X
+		c.PortY[pi] = pt.Pos.Y
+		c.PortNet[pi] = pt.Net
+	}
+	return c
+}
+
+// ToDesign converts back to the AoS form. The result is structurally
+// identical to the design FromDesign consumed: same orders, same master
+// pointers, fresh Instance/Net/Port objects.
+func (c *Compact) ToDesign() *netlist.Design {
+	d := &netlist.Design{
+		Name:          c.Name,
+		Tech:          c.Tech,
+		Lib:           c.Lib,
+		Die:           c.Die,
+		ClockPeriodPs: c.ClockPeriodPs,
+		ClockNet:      c.ClockNet,
+	}
+	d.Insts = make([]*netlist.Instance, c.NumInsts())
+	for i := range d.Insts {
+		in := &netlist.Instance{
+			Name:    c.InstName[i],
+			Master:  c.Masters[c.InstMaster[i]],
+			Pos:     geom.Point{X: c.InstX[i], Y: c.InstY[i]},
+			Fixed:   c.InstFixed[i],
+			PinNets: append([]int32(nil), c.PinNet[c.InstPinStart[i]:c.InstPinStart[i+1]]...),
+		}
+		if s := c.InstSource[i]; s >= 0 {
+			in.Source = c.Masters[s]
+		}
+		d.Insts[i] = in
+	}
+	d.Nets = make([]*netlist.Net, c.NumNets())
+	for ni := range d.Nets {
+		lo, hi := c.NetPinStart[ni], c.NetPinStart[ni+1]
+		pins := make([]netlist.PinRef, 0, hi-lo)
+		for e := lo; e < hi; e++ {
+			pins = append(pins, netlist.PinRef{Inst: c.NetPinInst[e], Pin: c.NetPinPin[e]})
+		}
+		d.Nets[ni] = &netlist.Net{Name: c.NetName[ni], Pins: pins}
+	}
+	d.Ports = make([]*netlist.Port, c.NumPorts())
+	for pi := range d.Ports {
+		d.Ports[pi] = &netlist.Port{
+			Name: c.PortName[pi],
+			Dir:  c.PortDir[pi],
+			Pos:  geom.Point{X: c.PortX[pi], Y: c.PortY[pi]},
+			Net:  c.PortNet[pi],
+		}
+	}
+	return d
+}
+
+// NetHPWL returns the half-perimeter wirelength of net n, identical to
+// netlist.Design.NetHPWL on the equivalent design.
+func (c *Compact) NetHPWL(n int32) int64 {
+	var b geom.BBox
+	for e := c.NetPinStart[n]; e < c.NetPinStart[n+1]; e++ {
+		x, y := c.RefPos(c.NetPinInst[e], c.NetPinPin[e])
+		b.Extend(geom.Point{X: x, Y: y})
+	}
+	return b.HalfPerimeter()
+}
+
+// TotalHPWL returns the design HPWL excluding the clock net, identical to
+// netlist.Design.TotalHPWL (integer arithmetic, same summation order).
+func (c *Compact) TotalHPWL() int64 {
+	var sum int64
+	for n := 0; n < c.NumNets(); n++ {
+		if int32(n) == c.ClockNet {
+			continue
+		}
+		sum += c.NetHPWL(int32(n))
+	}
+	return sum
+}
+
+// MinorityInstances returns the indices of all 7.5T instances by true
+// (pre-mLEF) height, like netlist.Design.MinorityInstances.
+func (c *Compact) MinorityInstances() []int32 {
+	var out []int32
+	for i := 0; i < c.NumInsts(); i++ {
+		if c.TrueHeight(int32(i)) == tech.Tall7p5T {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Validate checks the CSR adjacency for bidirectional consistency in
+// O(instances + pins): every pin→net edge must have a matching net→pin edge
+// and vice versa, ports included, and every index must be in range.
+func (c *Compact) Validate() error {
+	nI, nN, nP := c.NumInsts(), c.NumNets(), c.NumPorts()
+	if len(c.InstPinStart) != nI+1 || len(c.NetPinStart) != nN+1 {
+		return fmt.Errorf("soa: CSR start arrays have wrong length")
+	}
+	if int(c.InstPinStart[nI]) != len(c.PinNet) || int(c.NetPinStart[nN]) != len(c.NetPinInst) ||
+		len(c.NetPinInst) != len(c.NetPinPin) {
+		return fmt.Errorf("soa: CSR payload arrays have wrong length")
+	}
+	for i := 0; i <= nI; i++ {
+		if i > 0 && c.InstPinStart[i] < c.InstPinStart[i-1] {
+			return fmt.Errorf("soa: InstPinStart not monotone at %d", i)
+		}
+	}
+	for n := 1; n <= nN; n++ {
+		if c.NetPinStart[n] < c.NetPinStart[n-1] {
+			return fmt.Errorf("soa: NetPinStart not monotone at %d", n)
+		}
+	}
+	for i := 0; i < nI; i++ {
+		if m := c.InstMaster[i]; m < 0 || int(m) >= len(c.Masters) {
+			return fmt.Errorf("soa: inst %d: master %d out of range", i, m)
+		}
+		if s := c.InstSource[i]; s < -1 || int(s) >= len(c.Masters) {
+			return fmt.Errorf("soa: inst %d: source %d out of range", i, s)
+		}
+	}
+	// backRef[slot] holds a net that lists the pin (NoNet if none).
+	backRef := make([]int32, len(c.PinNet))
+	for s := range backRef {
+		backRef[s] = NoNet
+	}
+	portRef := make([]int32, nP)
+	for p := range portRef {
+		portRef[p] = NoNet
+	}
+	for n := 0; n < nN; n++ {
+		for e := c.NetPinStart[n]; e < c.NetPinStart[n+1]; e++ {
+			inst, pin := c.NetPinInst[e], c.NetPinPin[e]
+			if inst == PortInst {
+				if pin < 0 || int(pin) >= nP {
+					return fmt.Errorf("soa: net %d: port %d out of range", n, pin)
+				}
+				if c.PortNet[pin] != int32(n) {
+					return fmt.Errorf("soa: net %d: port %d back reference mismatch", n, pin)
+				}
+				portRef[pin] = int32(n)
+				continue
+			}
+			if inst < 0 || int(inst) >= nI {
+				return fmt.Errorf("soa: net %d: inst %d out of range", n, inst)
+			}
+			lo, hi := c.InstPinStart[inst], c.InstPinStart[inst+1]
+			if pin < 0 || lo+pin >= hi {
+				return fmt.Errorf("soa: net %d: pin %d out of range on inst %d", n, pin, inst)
+			}
+			if c.PinNet[lo+pin] != int32(n) {
+				return fmt.Errorf("soa: net %d: inst %d pin %d back reference mismatch", n, inst, pin)
+			}
+			backRef[lo+pin] = int32(n)
+		}
+	}
+	for i := 0; i < nI; i++ {
+		lo, hi := c.InstPinStart[i], c.InstPinStart[i+1]
+		for s := lo; s < hi; s++ {
+			nn := c.PinNet[s]
+			if nn == NoNet {
+				continue
+			}
+			if nn < 0 || int(nn) >= nN {
+				return fmt.Errorf("soa: inst %d pin %d: net %d out of range", i, s-lo, nn)
+			}
+			if backRef[s] != nn {
+				return fmt.Errorf("soa: inst %d pin %d: net %d lacks forward edge", i, s-lo, nn)
+			}
+		}
+	}
+	for p := 0; p < nP; p++ {
+		nn := c.PortNet[p]
+		if nn == NoNet {
+			continue
+		}
+		if nn < 0 || int(nn) >= nN {
+			return fmt.Errorf("soa: port %d: net %d out of range", p, nn)
+		}
+		if portRef[p] != nn {
+			return fmt.Errorf("soa: port %d: net %d lacks forward edge", p, nn)
+		}
+	}
+	if c.ClockNet != NoNet && (c.ClockNet < 0 || int(c.ClockNet) >= nN) {
+		return fmt.Errorf("soa: clock net %d out of range", c.ClockNet)
+	}
+	return nil
+}
+
+// Bytes estimates the heap footprint of the compact arrays (slice payloads
+// only; strings count their headers, not their shared backing bytes). Used
+// by the scale benchmarks to report bytes/cell.
+func (c *Compact) Bytes() int64 {
+	var b int64
+	b += int64(len(c.MasterWidth))*8 + int64(len(c.MasterRowH))*8 + int64(len(c.MasterHeight))
+	b += int64(len(c.MasterPinStart))*4 + int64(len(c.MasterPinOffX))*8 + int64(len(c.MasterPinOffY))*8
+	b += int64(len(c.InstName)) * 16
+	b += int64(len(c.InstMaster))*4 + int64(len(c.InstSource))*4
+	b += int64(len(c.InstX))*8 + int64(len(c.InstY))*8 + int64(len(c.InstFixed))
+	b += int64(len(c.InstPinStart))*4 + int64(len(c.PinNet))*4
+	b += int64(len(c.NetName)) * 16
+	b += int64(len(c.NetPinStart))*4 + int64(len(c.NetPinInst))*4 + int64(len(c.NetPinPin))*4
+	b += int64(len(c.PortName))*16 + int64(len(c.PortDir))
+	b += int64(len(c.PortX))*8 + int64(len(c.PortY))*8 + int64(len(c.PortNet))*4
+	return b
+}

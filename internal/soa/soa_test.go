@@ -1,0 +1,274 @@
+package soa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mthplace/internal/celllib"
+	"mthplace/internal/lefdef"
+	"mthplace/internal/netlist"
+	"mthplace/internal/synth"
+	"mthplace/internal/tech"
+)
+
+func genDesign(t testing.TB, scale float64, seed int64) *netlist.Design {
+	t.Helper()
+	tc := tech.Default()
+	lib := celllib.New(tc)
+	opt := synth.DefaultOptions()
+	opt.Scale = scale
+	opt.Seed = seed
+	d, err := synth.Generate(tc, lib, synth.TableII()[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// designsEqual compares two designs structurally: same orders, same master
+// pointers, equal positions and connectivity.
+func designsEqual(t *testing.T, a, b *netlist.Design) {
+	t.Helper()
+	if a.Name != b.Name || a.Die != b.Die || a.ClockPeriodPs != b.ClockPeriodPs || a.ClockNet != b.ClockNet {
+		t.Fatal("design headers differ")
+	}
+	if a.Tech != b.Tech || a.Lib != b.Lib {
+		t.Fatal("tech/library pointers differ")
+	}
+	if len(a.Insts) != len(b.Insts) || len(a.Nets) != len(b.Nets) || len(a.Ports) != len(b.Ports) {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			len(a.Insts), len(a.Nets), len(a.Ports), len(b.Insts), len(b.Nets), len(b.Ports))
+	}
+	for i := range a.Insts {
+		x, y := a.Insts[i], b.Insts[i]
+		if x.Name != y.Name || x.Master != y.Master || x.Source != y.Source ||
+			x.Pos != y.Pos || x.Fixed != y.Fixed || !reflect.DeepEqual(x.PinNets, y.PinNets) {
+			t.Fatalf("inst %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+	for n := range a.Nets {
+		if a.Nets[n].Name != b.Nets[n].Name || !reflect.DeepEqual(a.Nets[n].Pins, b.Nets[n].Pins) {
+			t.Fatalf("net %d differs", n)
+		}
+	}
+	for p := range a.Ports {
+		x, y := a.Ports[p], b.Ports[p]
+		if x.Name != y.Name || x.Dir != y.Dir || x.Pos != y.Pos || x.Net != y.Net {
+			t.Fatalf("port %d differs", p)
+		}
+	}
+}
+
+// TestRoundTripIdentity is the converter invariant: ToDesign(FromDesign(d))
+// reproduces d exactly — structurally and byte-for-byte through WriteDEF.
+func TestRoundTripIdentity(t *testing.T) {
+	d := genDesign(t, 0.02, 1)
+	c := FromDesign(d)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := c.ToDesign()
+	designsEqual(t, d, back)
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var w1, w2 bytes.Buffer
+	if err := lefdef.WriteDEF(&w1, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := lefdef.WriteDEF(&w2, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("DEF serialisation differs after round trip")
+	}
+}
+
+// TestHPWLAndMinorityMatch checks the SoA metric kernels agree exactly with
+// the netlist ones on the same placement.
+func TestHPWLAndMinorityMatch(t *testing.T) {
+	d := genDesign(t, 0.02, 2)
+	c := FromDesign(d)
+	if got, want := c.TotalHPWL(), d.TotalHPWL(); got != want {
+		t.Fatalf("TotalHPWL %d != %d", got, want)
+	}
+	for n := int32(0); n < int32(len(d.Nets)); n++ {
+		if got, want := c.NetHPWL(n), d.NetHPWL(n); got != want {
+			t.Fatalf("NetHPWL(%d) %d != %d", n, got, want)
+		}
+	}
+	if got, want := c.MinorityInstances(), d.MinorityInstances(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MinorityInstances differ: %d vs %d entries", len(got), len(want))
+	}
+	for i := int32(0); i < int32(len(d.Insts)); i++ {
+		in := d.Insts[i]
+		if c.InstWidth(i) != in.Width() || c.InstHeight(i) != in.Height() {
+			t.Fatalf("inst %d geometry differs", i)
+		}
+		if c.TrueHeight(i) != in.TrueHeight() {
+			t.Fatalf("inst %d true height differs", i)
+		}
+	}
+}
+
+// TestPinPosMatch checks every pin position agrees with netlist.PinPos.
+func TestPinPosMatch(t *testing.T) {
+	d := genDesign(t, 0.01, 3)
+	c := FromDesign(d)
+	for ni, nt := range d.Nets {
+		base := c.NetPinStart[ni]
+		for k, ref := range nt.Pins {
+			want := d.PinPos(ref)
+			x, y := c.RefPos(c.NetPinInst[base+int32(k)], c.NetPinPin[base+int32(k)])
+			if x != want.X || y != want.Y {
+				t.Fatalf("net %d pin %d: (%d,%d) != %v", ni, k, x, y, want)
+			}
+		}
+	}
+}
+
+// TestCSRQuickcheck validates the CSR invariants on many small random synth
+// designs: Validate passes, and the adjacency agrees ref-by-ref with the
+// pointer representation in both directions.
+func TestCSRQuickcheck(t *testing.T) {
+	specs := synth.TableII()
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	if testing.Short() {
+		n = 50
+	}
+	for it := 0; it < n; it++ {
+		tc := tech.Default()
+		lib := celllib.New(tc)
+		opt := synth.DefaultOptions()
+		opt.Seed = rng.Int63()
+		opt.Scale = 0.002 + rng.Float64()*0.01
+		spec := specs[rng.Intn(len(specs))]
+		d, err := synth.Generate(tc, lib, spec, opt)
+		if err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		c := FromDesign(d)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("it %d (%s seed %d): %v", it, spec.Name(), opt.Seed, err)
+		}
+		// Pin→net direction, slot by slot.
+		for i := int32(0); i < int32(len(d.Insts)); i++ {
+			s, e := c.InstPinStart[i], c.InstPinStart[i+1]
+			if int(e-s) != len(d.Insts[i].PinNets) {
+				t.Fatalf("it %d: inst %d pin count", it, i)
+			}
+			for p := s; p < e; p++ {
+				if c.PinNet[p] != d.Insts[i].PinNets[p-s] {
+					t.Fatalf("it %d: inst %d pin %d net mismatch", it, i, p-s)
+				}
+			}
+		}
+		// Net→pin direction, ref by ref.
+		for ni, nt := range d.Nets {
+			s, e := c.NetPinStart[ni], c.NetPinStart[ni+1]
+			if int(e-s) != len(nt.Pins) {
+				t.Fatalf("it %d: net %d ref count", it, ni)
+			}
+			for k := s; k < e; k++ {
+				ref := nt.Pins[k-s]
+				if c.NetPinInst[k] != ref.Inst || c.NetPinPin[k] != ref.Pin {
+					t.Fatalf("it %d: net %d ref %d mismatch", it, ni, k-s)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateCatchesCorruption checks Validate rejects broken adjacency.
+func TestValidateCatchesCorruption(t *testing.T) {
+	base := genDesign(t, 0.01, 4)
+	corrupt := []struct {
+		name string
+		mut  func(c *Compact)
+	}{
+		{"pin to wrong net", func(c *Compact) {
+			for p, n := range c.PinNet {
+				if n >= 0 {
+					c.PinNet[p] = (n + 1) % int32(c.NumNets())
+					return
+				}
+			}
+		}},
+		{"net ref to wrong pin", func(c *Compact) {
+			for k, inst := range c.NetPinInst {
+				if inst != PortInst {
+					c.NetPinPin[k]++
+					return
+				}
+			}
+		}},
+		{"non-monotone inst starts", func(c *Compact) {
+			c.InstPinStart[1] = c.InstPinStart[len(c.InstPinStart)-1] + 1
+		}},
+		{"net index out of range", func(c *Compact) {
+			c.PinNet[0] = int32(c.NumNets())
+		}},
+		{"port wrong net", func(c *Compact) {
+			if len(c.PortNet) > 0 && c.PortNet[0] >= 0 {
+				c.PortNet[0] = (c.PortNet[0] + 1) % int32(c.NumNets())
+			}
+		}},
+	}
+	for _, tc := range corrupt {
+		c := FromDesign(base)
+		// Deep-copy the mutable slices so cases stay independent.
+		c.PinNet = append([]int32(nil), c.PinNet...)
+		c.NetPinPin = append([]int32(nil), c.NetPinPin...)
+		c.InstPinStart = append([]int32(nil), c.InstPinStart...)
+		c.PortNet = append([]int32(nil), c.PortNet...)
+		tc.mut(c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%s: corruption not detected", tc.name)
+		}
+	}
+}
+
+// TestBuildRowListsAndOverlap exercises the index-linked row lists on a
+// synthetic single-height strip.
+func TestBuildRowListsAndOverlap(t *testing.T) {
+	d := genDesign(t, 0.01, 5)
+	c := FromDesign(d)
+	// Stack all cells in one row, left to right, no overlap.
+	x := int64(0)
+	for i := int32(0); i < int32(c.NumInsts()); i++ {
+		c.InstX[i], c.InstY[i] = x, 0
+		x += c.InstWidth(i)
+	}
+	rl, err := BuildRowLists(c, 1, func(i int32) int32 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rl.RowLen(0); got != c.NumInsts() {
+		t.Fatalf("row 0 has %d cells, want %d", got, c.NumInsts())
+	}
+	if err := rl.CheckNoOverlap(c); err != nil {
+		t.Fatal(err)
+	}
+	// Introduce one overlap; the walk must find it.
+	c.InstX[1] = c.InstX[0] + c.InstWidth(0) - 1
+	rl, err = BuildRowLists(c, 1, func(i int32) int32 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.CheckNoOverlap(c); err == nil {
+		t.Fatal("overlap not detected")
+	}
+}
+
+// TestBytesAccountsArrays sanity-checks the footprint estimate scales with
+// the design and stays far below the AoS pointer graph for large designs.
+func TestBytesAccountsArrays(t *testing.T) {
+	small := FromDesign(genDesign(t, 0.01, 6))
+	big := FromDesign(genDesign(t, 0.05, 6))
+	if small.Bytes() <= 0 || big.Bytes() <= small.Bytes() {
+		t.Fatalf("Bytes() not monotone: %d vs %d", small.Bytes(), big.Bytes())
+	}
+}

@@ -57,6 +57,17 @@ func (s Spec) Name() string {
 	return fmt.Sprintf("%s_%d", n, int(s.ClockPs))
 }
 
+// ScaleForCells returns the Options.Scale that makes this spec generate
+// approximately n instances. The generator scales the spec's cell count
+// linearly, so scale = n / Cells; million-cell mode is
+// ScaleForCells(1_000_000) on the largest Table II spec.
+func (s Spec) ScaleForCells(n int) float64 {
+	if n <= 0 || s.Cells <= 0 {
+		return 1
+	}
+	return float64(n) / float64(s.Cells)
+}
+
 // TableII returns the 26 testcase specifications of Table II.
 func TableII() []Spec {
 	return []Spec{
