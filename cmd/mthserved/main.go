@@ -38,24 +38,31 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mthplace/internal/fault"
 	"mthplace/internal/obs"
 	"mthplace/internal/server"
+	"mthplace/internal/server/worker"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for /debug/pprof/ and /metrics (empty = disabled)")
-	workers := flag.Int("workers", 2, "concurrent placement jobs (split across -backends lanes)")
+	workers := flag.Int("workers", 2, "concurrent placement jobs (split across -backends lanes; worker mode: execution slots)")
 	queue := flag.Int("queue", 16, "job queue depth beyond the workers (split across -backends lanes)")
-	backends := flag.Int("backends", 1, "execution lanes; jobs route to a lane by consistent hash of their instance keys")
+	backends := flag.Int("backends", 1, "local execution lanes; jobs route to a lane by consistent hash of their instance keys (defaults to 0 when -remote is set)")
+	workerMode := flag.Bool("worker", false, "run as an execution worker: serve the worker API (/worker/v1/) for a coordinator's -remote list instead of the job API")
+	remotes := flag.String("remote", "", "comma-separated worker base URLs (http://host:port) added as remote execution lanes")
+	lease := flag.Duration("lease", 0, "remote job lease duration; a worker silent this long has its jobs re-routed (0 = 15s default)")
+	probeInterval := flag.Duration("probe-interval", 0, "remote worker heartbeat cadence (0 = 2s default)")
 	cacheEntries := flag.Int("cache-entries", 512, "content-addressed solve-cache capacity in flow results (0 = cache off)")
 	poolJobs := flag.Int("pool-jobs", 0, "shared worker-pool bound for jobs without a private -jobs setting (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown drain budget for in-flight jobs")
@@ -73,10 +80,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *workerMode {
+		runWorker(lg, *addr, *workers, *poolJobs, *solver, *drain)
+		return
+	}
+
+	var remoteList []string
+	for _, r := range strings.Split(*remotes, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			remoteList = append(remoteList, r)
+		}
+	}
+	// -backends defaults to 1, but a coordinator with remote lanes should
+	// default to running nothing locally; only an explicit -backends wins.
+	backendsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "backends" {
+			backendsSet = true
+		}
+	})
+	localLanes := *backends
+	if len(remoteList) > 0 && !backendsSet {
+		localLanes = 0
+	}
+
 	srv, err := server.New(server.Options{
 		Workers:       *workers,
 		QueueDepth:    *queue,
-		Backends:      *backends,
+		Backends:      localLanes,
+		Remotes:       remoteList,
+		LeaseDuration: *lease,
+		ProbeInterval: *probeInterval,
 		CacheEntries:  *cacheEntries,
 		PoolJobs:      *poolJobs,
 		MaxRetries:    *retries,
@@ -134,6 +168,47 @@ func main() {
 			os.Exit(1)
 		}
 		lg.Info("mthserved: drained cleanly")
+	}
+}
+
+// runWorker serves the worker-mode API: /worker/v1/execute and
+// /worker/v1/ping for a coordinator, plus /healthz and /metrics for
+// operators. Shutdown is plain HTTP drain — in-flight jobs finish with
+// their requests; everything else (leases, re-routes, retries) is the
+// coordinator's problem, by design.
+func runWorker(lg *slog.Logger, addr string, slots, poolJobs int, solver string, drain time.Duration) {
+	h := worker.New(worker.Options{Slots: slots, PoolJobs: poolJobs, DefaultSolver: solver, Logger: lg})
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("GET /metrics", h.MetricsHandler())
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		lg.Info("mthserved: worker listening", "addr", addr, "slots", slots)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			lg.Error("mthserved: worker listener failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		lg.Info("mthserved: worker shutting down, finishing in-flight jobs")
+		drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			lg.Warn("mthserved: worker shutdown", "err", err)
+		}
 	}
 }
 

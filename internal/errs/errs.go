@@ -47,6 +47,14 @@ var (
 	// process survives. It is never retried: a panic means a bug or an
 	// injected chaos fault, not a recoverable condition.
 	ErrPanic = errors.New("internal panic")
+
+	// ErrUnavailable marks work that could not be placed on any live
+	// execution backend: the dispatch target refused the connection, its
+	// circuit breaker is open, or every lane in the ring is down. The HTTP
+	// layer maps it to 503 with a Retry-After hint; unlike ErrTransient it
+	// says nothing about whether an immediate retry on the *same* backend
+	// can help — the scheduler re-routes instead.
+	ErrUnavailable = errors.New("backend unavailable")
 )
 
 // FromContext translates ctx's termination cause into the canonical

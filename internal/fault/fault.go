@@ -47,6 +47,17 @@ const (
 	// KindLatency makes the point sleep for the rule's delay (bounded by
 	// the context's lifetime) and then proceed normally.
 	KindLatency
+	// KindRefuse models a connection refused at a network boundary: the
+	// dispatch must fail before any bytes reach the peer. At non-network
+	// points Inject treats it like KindError.
+	KindRefuse
+	// KindDrop models a connection dropped mid-body: the request reaches
+	// the peer (its side effects happen) but the response is truncated, so
+	// the caller sees an unexpected EOF. Network points only.
+	KindDrop
+	// KindCorrupt models a corrupted response: the request reaches the
+	// peer but the bytes that come back fail to parse. Network points only.
+	KindCorrupt
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +69,12 @@ func (k Kind) String() string {
 		return "panic"
 	case KindLatency:
 		return "latency"
+	case KindRefuse:
+		return "refuse"
+	case KindDrop:
+		return "drop"
+	case KindCorrupt:
+		return "corrupt"
 	default:
 		return "unknown"
 	}
@@ -280,6 +297,12 @@ func parseKind(s string) (Kind, error) {
 		return KindPanic, nil
 	case "latency":
 		return KindLatency, nil
+	case "refuse":
+		return KindRefuse, nil
+	case "drop":
+		return KindDrop, nil
+	case "corrupt":
+		return KindCorrupt, nil
 	default:
 		return 0, fmt.Errorf("unknown fault kind %q", s)
 	}
@@ -313,7 +336,9 @@ func from(ctx context.Context) *Plan {
 // name; the active plan (context-scoped first, then global) decides the
 // outcome: nil (proceed), an errs.ErrTransient-classed error, a sleep
 // (latency, bounded by ctx), or a panic. With no active plan the cost is
-// one atomic load.
+// one atomic load. The network kinds (refuse/drop/corrupt) degrade to a
+// transient error here — only InjectNet callers can simulate them
+// faithfully.
 func Inject(ctx context.Context, point string) error {
 	p := from(ctx)
 	if p == nil {
@@ -327,18 +352,50 @@ func Inject(ctx context.Context, point string) error {
 	case KindPanic:
 		panic(fmt.Sprintf("fault: injected panic at %s", point))
 	case KindLatency:
-		d := r.Delay
-		if d <= 0 {
-			d = DefaultLatency
-		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-		}
+		Sleep(ctx, r.Delay)
 		return nil
 	default:
 		return errs.Transient("fault: injected error at %s", point)
+	}
+}
+
+// InjectNet is the fault point for network boundaries (remote job
+// dispatch, heartbeat probes). Unlike Inject it hands the armed rule back
+// to the caller, because only the caller can simulate the network kinds
+// faithfully: refuse means "fail before any bytes are sent", drop means
+// "send the request, lose the response mid-body", corrupt means "send the
+// request, mangle the response bytes". A nil return means proceed
+// normally; panic and latency rules are executed here like Inject does
+// (latency returns the rule afterwards so callers can observe it).
+func InjectNet(ctx context.Context, point string) *Rule {
+	p := from(ctx)
+	if p == nil {
+		return nil
+	}
+	r := p.check(point)
+	if r == nil {
+		return nil
+	}
+	switch r.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	case KindLatency:
+		Sleep(ctx, r.Delay)
+	}
+	return r
+}
+
+// Sleep pauses for d (DefaultLatency when d <= 0), returning early if ctx
+// ends first. Shared by the latency kinds and callers simulating slow
+// networks.
+func Sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		d = DefaultLatency
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }

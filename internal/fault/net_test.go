@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mthplace/internal/errs"
+)
+
+// TestInjectNetHandsRuleToCaller verifies the network fault point's
+// contract: the armed rule comes back for the caller to simulate, and an
+// exact-hit rule fires once and only once.
+func TestInjectNetHandsRuleToCaller(t *testing.T) {
+	ctx := WithPlan(context.Background(), NewPlan(
+		Rule{Point: "net.dispatch", Kind: KindRefuse, Hit: 2},
+	))
+	if r := InjectNet(ctx, "net.dispatch"); r != nil {
+		t.Fatalf("hit 1 armed %v, want nil", r)
+	}
+	r := InjectNet(ctx, "net.dispatch")
+	if r == nil || r.Kind != KindRefuse {
+		t.Fatalf("hit 2 = %v, want a refuse rule", r)
+	}
+	if r := InjectNet(ctx, "net.dispatch"); r != nil {
+		t.Fatalf("hit 3 armed %v, want nil (exact-hit rule already spent)", r)
+	}
+}
+
+// TestInjectNetLatencySleepsThenReturnsRule verifies latency rules execute
+// their sleep inside InjectNet and still surface the rule so callers can
+// observe the injection.
+func TestInjectNetLatencySleepsThenReturnsRule(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	ctx := WithPlan(context.Background(), NewPlan(
+		Rule{Point: "net.ping", Kind: KindLatency, Delay: delay},
+	))
+	start := time.Now()
+	r := InjectNet(ctx, "net.ping")
+	if r == nil || r.Kind != KindLatency {
+		t.Fatalf("rule = %v, want latency", r)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("slept %v, want >= %v", took, delay)
+	}
+}
+
+// TestInjectDegradesNetworkKindsToTransient verifies the non-network fault
+// point cannot pretend to be a wire: refuse/drop/corrupt rules reaching
+// Inject turn into plain transient errors.
+func TestInjectDegradesNetworkKindsToTransient(t *testing.T) {
+	for _, k := range []Kind{KindRefuse, KindDrop, KindCorrupt} {
+		ctx := WithPlan(context.Background(), NewPlan(Rule{Point: "flow.solve", Kind: k}))
+		err := Inject(ctx, "flow.solve")
+		if err == nil {
+			t.Fatalf("%v: no error injected", k)
+		}
+		if !errors.Is(err, errs.ErrTransient) {
+			t.Fatalf("%v: error %v is not transient", k, err)
+		}
+	}
+}
+
+// TestParseSpecNetworkKinds verifies the env-var grammar accepts the wire
+// fault kinds, so real multi-process deployments can be chaos-tested via
+// MTHPLACE_FAULTS without a rebuild.
+func TestParseSpecNetworkKinds(t *testing.T) {
+	p, err := ParseSpec("remote.dispatch:refuse@1,remote.dispatch:drop@2,remote.dispatch:corrupt@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithPlan(context.Background(), p)
+	want := []Kind{KindRefuse, KindDrop, KindCorrupt}
+	for i, k := range want {
+		r := InjectNet(ctx, "remote.dispatch")
+		if r == nil || r.Kind != k {
+			t.Fatalf("hit %d = %v, want kind %v", i+1, r, k)
+		}
+	}
+	if r := InjectNet(ctx, "remote.dispatch"); r != nil {
+		t.Fatalf("hit 4 armed %v, want nil", r)
+	}
+}
+
+// TestInjectNetKindStrings pins the Stringer names the CI chaos scripts
+// grep for in logs.
+func TestInjectNetKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindRefuse:  "refuse",
+		KindDrop:    "drop",
+		KindCorrupt: "corrupt",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

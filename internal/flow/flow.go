@@ -62,6 +62,9 @@ var (
 	ErrCanceled   = errs.ErrCanceled
 	ErrTransient  = errs.ErrTransient
 	ErrPanic      = errs.ErrPanic
+	// ErrUnavailable — a backend (remote worker, open circuit) could not
+	// take the work at all; the scheduler re-routes this class.
+	ErrUnavailable = errs.ErrUnavailable
 )
 
 // Fault points at the runner's stage boundaries (see internal/fault and

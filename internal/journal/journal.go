@@ -30,13 +30,21 @@ import (
 const FileName = "jobs.jsonl"
 
 // Lifecycle events. Submitted carries the job request; Failed carries the
-// error string; the rest are bare transitions.
+// error string; Leased carries the owning backend and the lease deadline;
+// Rerouted carries the new backend; the rest are bare transitions. The
+// lease events are informational for replay — a job that was leased but
+// never reached a terminal event is still pending, exactly like a started
+// one — but they make the journal a complete audit trail: the chaos suite
+// proves exactly-once completion by counting terminal events per job.
 const (
-	EventSubmitted = "submitted"
-	EventStarted   = "started"
-	EventDone      = "done"
-	EventFailed    = "failed"
-	EventCanceled  = "canceled"
+	EventSubmitted    = "submitted"
+	EventStarted      = "started"
+	EventLeased       = "leased"
+	EventLeaseExpired = "lease_expired"
+	EventRerouted     = "rerouted"
+	EventDone         = "done"
+	EventFailed       = "failed"
+	EventCanceled     = "canceled"
 )
 
 // Entry is one journal line.
@@ -55,10 +63,13 @@ type Entry struct {
 	// Error is the failure message, set on EventFailed only.
 	Error string `json:"error,omitempty"`
 	// Backend names the scheduler backend the job was routed to, set on
-	// EventSubmitted when known. Informational: replay re-routes through the
-	// live ring rather than trusting a recorded lane that may no longer
-	// exist after a topology change.
+	// EventSubmitted, EventLeased and EventRerouted when known.
+	// Informational: replay re-routes through the live ring rather than
+	// trusting a recorded lane that may no longer exist after a topology
+	// change.
 	Backend string `json:"backend,omitempty"`
+	// Deadline is the lease expiry, set on EventLeased only.
+	Deadline *time.Time `json:"deadline,omitempty"`
 }
 
 // Journal appends entries to the file. Safe for concurrent use.

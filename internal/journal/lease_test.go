@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestLeaseDeadlineRoundTrip verifies a leased entry's deadline survives
+// the append/read cycle to the instant — the lease monitor's expiry math
+// depends on it.
+func TestLeaseDeadlineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second).Round(0)
+	err = j.Append(Entry{
+		Seq: 1, Job: "job-1", Event: EventLeased,
+		Backend: "remote-0", Deadline: &deadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, skipped, err := ReadAll(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadAll: err=%v skipped=%d", err, skipped)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Event != EventLeased || e.Backend != "remote-0" {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	if e.Deadline == nil || !e.Deadline.Equal(deadline) {
+		t.Fatalf("deadline = %v, want %v", e.Deadline, deadline)
+	}
+}
+
+// TestDeadlineOmittedWhenAbsent verifies non-lease events serialize with no
+// deadline key at all, keeping the journal grep-friendly.
+func TestDeadlineOmittedWhenAbsent(t *testing.T) {
+	raw, err := json.Marshal(Entry{Seq: 1, Job: "job-1", Event: EventStarted, Time: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["deadline"]; ok {
+		t.Fatalf("deadline key present on a non-lease event: %s", raw)
+	}
+}
+
+// TestPendingIgnoresLeaseEvents verifies the replay contract: lease,
+// lease-expiry and re-route events are an audit trail, not state
+// transitions. A job whose last word is any of them is still pending; only
+// a terminal event retires it.
+func TestPendingIgnoresLeaseEvents(t *testing.T) {
+	deadline := time.Now().Add(time.Second)
+	req := json.RawMessage(`{"testcase":"aes_300"}`)
+	entries := []Entry{
+		{Seq: 1, Job: "job-1", Event: EventSubmitted, Request: req, Backend: "remote-0"},
+		{Seq: 1, Job: "job-1", Event: EventStarted},
+		{Seq: 1, Job: "job-1", Event: EventLeased, Backend: "remote-0", Deadline: &deadline},
+		{Seq: 1, Job: "job-1", Event: EventLeaseExpired},
+		{Seq: 1, Job: "job-1", Event: EventRerouted, Backend: "remote-1"},
+		{Seq: 2, Job: "job-2", Event: EventSubmitted, Request: req},
+		{Seq: 2, Job: "job-2", Event: EventLeased, Backend: "remote-1", Deadline: &deadline},
+		{Seq: 2, Job: "job-2", Event: EventDone},
+	}
+	pending, maxSeq := Pending(entries)
+	if maxSeq != 2 {
+		t.Fatalf("maxSeq = %d, want 2", maxSeq)
+	}
+	if len(pending) != 1 || pending[0].ID != "job-1" {
+		t.Fatalf("pending = %+v, want exactly job-1 (leased/expired/rerouted are not terminal)", pending)
+	}
+}

@@ -139,6 +139,35 @@ func (r *ring) pick(key string) int {
 	return r.points[i].idx
 }
 
+// pickLive returns the backend index owning key among the lanes live
+// reports healthy, walking clockwise from the key's home point so a dead
+// lane's keyspace spills onto its ring successor (and comes back home when
+// the lane is readmitted). exclude skips one lane regardless of health —
+// re-routing a job away from the lane that just failed it. When no lane
+// qualifies, the unfiltered owner is returned with ok=false.
+func (r *ring) pickLive(key string, exclude int, live func(int) bool) (idx int, ok bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	seen := map[int]bool{}
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.idx] {
+			continue
+		}
+		seen[p.idx] = true
+		if p.idx != exclude && live(p.idx) {
+			return p.idx, true
+		}
+	}
+	return r.points[start].idx, false
+}
+
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(s))

@@ -244,6 +244,18 @@ type Job struct {
 	degraded  bool // some flow settled below the ILP-optimum rung
 	replayed  bool // re-queued from the journal after a crash
 	progress  JobProgress
+
+	// Remote-dispatch ownership. epoch counts claims: a re-routed job is
+	// claimed again on its new lane, and only the attempt holding the
+	// current epoch may terminalize the job — the exactly-once guard that
+	// resolves a re-route racing its original completion. finishing latches
+	// once the winning attempt starts committing its outcome, so the lease
+	// monitor can never requeue a job whose result is being stored.
+	epoch     int64
+	finishing bool
+	lease     time.Time // lease deadline; zero when not remotely leased
+	reroutes  int       // times the job moved lanes after dispatch failure or lease expiry
+	failCause error     // terminal error imposed by the lease monitor (overrides ctx errors)
 }
 
 // JobProgress is the live solver-progress snapshot of a running job, fed by
@@ -300,6 +312,8 @@ type JobView struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Replayed marks a job recovered from the journal after a crash.
 	Replayed bool `json:"replayed,omitempty"`
+	// Reroutes counts lane moves after dispatch failures or lease expiry.
+	Reroutes int `json:"reroutes,omitempty"`
 	// CacheHit marks a job served entirely from the solve cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Backend names the scheduler backend the job was routed to; empty for
@@ -337,6 +351,7 @@ func (j *Job) View() JobView {
 	v.Attempts = j.attempts
 	v.Degraded = j.degraded
 	v.Replayed = j.replayed
+	v.Reroutes = j.reroutes
 	v.CacheHit = j.cacheHit
 	v.Backend = j.backend
 	if j.progress.Events > 0 {
@@ -399,18 +414,127 @@ func (j *Job) requestCancel() bool {
 }
 
 // claim takes a queued job for a worker, attaching its cancel handle.
-// Returns false if the job was canceled while waiting in the queue — the
-// work-claiming handshake that makes cancel-while-queued race-free.
-func (j *Job) claim(cancel context.CancelFunc) bool {
+// ok is false if the job was canceled while waiting in the queue — the
+// work-claiming handshake that makes cancel-while-queued race-free. The
+// returned epoch identifies this attempt: after a re-route the job is
+// claimed again under a higher epoch, and only the holder of the current
+// epoch may terminalize the job (see beginFinish).
+func (j *Job) claim(cancel context.CancelFunc) (epoch int64, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
-		return false
+		return 0, false
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
 	j.cancel = cancel
+	j.epoch++
+	return j.epoch, true
+}
+
+// firstClaim reports whether epoch is the job's first claim — the one that
+// should journal EventStarted and bump the inflight accounting. Re-claims
+// after a re-route must not, or the started/finished counters drift.
+func firstClaim(epoch int64) bool { return epoch == 1 }
+
+// beginFinish claims the exclusive right to terminalize the job on behalf
+// of attempt epoch. It succeeds only when the job is still Running, the
+// epoch is current (the attempt was not re-routed away), and no other
+// finisher got here first; the finishing latch then blocks the lease
+// monitor from requeueing while the outcome is committed to the result
+// store. The winner must follow up with finish(). A false return means the
+// attempt's result must be discarded — some newer epoch owns the job.
+func (j *Job) beginFinish(epoch int64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.epoch != epoch || j.finishing {
+		return false
+	}
+	j.finishing = true
 	return true
+}
+
+// requeue moves a Running job back to Queued for re-dispatch on another
+// lane, invalidating attempt epoch. It fails when the epoch is stale, the
+// job already entered finishing, or the re-route budget (max) is spent.
+// The returned cancel handle (possibly nil) belongs to the abandoned
+// attempt; the caller cancels it *after* enqueueing so the old worker
+// unwinds without ever having owned a committable epoch.
+func (j *Job) requeue(epoch int64, max int) (cancel context.CancelFunc, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.epoch != epoch || j.finishing {
+		return nil, false
+	}
+	if j.reroutes >= max {
+		return nil, false
+	}
+	j.reroutes++
+	j.state = StateQueued
+	j.lease = time.Time{}
+	cancel = j.cancel
+	j.cancel = nil
+	return cancel, true
+}
+
+// setLease (re)arms the lease deadline for the attempt identified by epoch.
+// A stale epoch is ignored: the renewal loop of an abandoned attempt must
+// not extend the lease the new owner runs under.
+func (j *Job) setLease(epoch int64, deadline time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.epoch != epoch {
+		return false
+	}
+	j.lease = deadline
+	return true
+}
+
+// leaseExpired reports whether the job holds a lease that lapsed before
+// now, returning the epoch to invalidate. The finishing latch masks
+// expiry: a job whose result is mid-commit is no longer re-routable.
+func (j *Job) leaseExpired(now time.Time) (epoch int64, expired bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.finishing || j.lease.IsZero() || now.Before(j.lease) {
+		return 0, false
+	}
+	return j.epoch, true
+}
+
+// backendName returns the lane the job is currently routed to.
+func (j *Job) backendName() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.backend
+}
+
+// setBackendName records the lane the job moved to on a re-route.
+func (j *Job) setBackendName(name string) {
+	j.mu.Lock()
+	j.backend = name
+	j.mu.Unlock()
+}
+
+// setFailCause records the error the lease monitor wants the job to fail
+// with. The running attempt's unwind consumes it via takeFailCause, so an
+// "out of re-routes" job reports backend unavailability rather than the
+// context cancellation used to stop its zombie attempt.
+func (j *Job) setFailCause(err error) {
+	j.mu.Lock()
+	j.failCause = err
+	j.mu.Unlock()
+}
+
+// takeFailCause returns and clears the imposed failure cause, if any.
+func (j *Job) takeFailCause() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.failCause
+	j.failCause = nil
+	return err
 }
 
 // finish records the outcome. A cancellation error lands in StateCanceled,
@@ -423,6 +547,7 @@ func (j *Job) finish(err error) {
 	}
 	j.finished = time.Now()
 	j.err = err
+	j.lease = time.Time{}
 	switch {
 	case err == nil:
 		j.state = StateDone

@@ -1,0 +1,194 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mthplace/internal/fault"
+	"mthplace/internal/journal"
+)
+
+// netChaosSchedules is the seeded schedule count of the network chaos
+// suite. Every schedule is a pure function of its seed, so a failing seed
+// replays exactly with -run 'TestNetworkChaos/seed=N'.
+const netChaosSchedules = 250
+
+// netChaosDisruption is one thing that goes wrong during a schedule.
+type netChaosDisruption int
+
+const (
+	disruptNone        netChaosDisruption = iota
+	disruptKillWorker                     // a worker dies mid-load and stays dead
+	disruptPartition                      // a worker hangs (accepts, never answers), heals later
+	disruptRefuseFirst                    // the first k dispatches are refused at the network
+	disruptCorruptWire                    // the first k responses come back unparseable
+	disruptWorkerBusy                     // a worker 503s its first k dispatches
+	disruptCount
+)
+
+func (d netChaosDisruption) String() string {
+	return [...]string{"none", "kill", "partition", "refuse", "corrupt", "busy"}[d]
+}
+
+// TestNetworkChaos is the fabric acceptance suite: 250 seeded schedules,
+// each submitting a burst of jobs to a coordinator over two stub workers
+// while one disruption plays out. Whatever happens — a worker killed
+// mid-job, a partition that heals, refused connections, corrupted or
+// backpressured responses — the invariants must hold:
+//
+//   - no job lost: every submission reaches a terminal state;
+//   - exactly-once: the journal shows exactly one submitted and exactly
+//     one terminal event per job, and every completed job's metrics are
+//     byte-identical to an undisturbed run (the stub result is a pure
+//     function of the request, so a double execution with divergent
+//     outcomes cannot hide);
+//   - with a live worker remaining, every job actually completes.
+func TestNetworkChaos(t *testing.T) {
+	n := netChaosSchedules
+	if testing.Short() {
+		n = 40
+	}
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runNetChaosSchedule(t, int64(seed))
+		})
+	}
+}
+
+func runNetChaosSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	w0, w1 := newStubWorker(t), newStubWorker(t)
+	workers := []*stubWorker{w0, w1}
+	dir := t.TempDir()
+
+	opt := remoteOptions(w0.URL(), w1.URL())
+	opt.JournalDir = dir
+	opt.LeaseDuration = 50 * time.Millisecond
+	opt.MaxRetries = 2
+
+	disruption := netChaosDisruption(rng.Intn(int(disruptCount)))
+	victim := workers[rng.Intn(len(workers))]
+	k := 1 + rng.Intn(3)
+
+	// Wire-level fault plans are installed before the scheduler starts so
+	// the hit counters include every dispatch from the first job on.
+	switch disruption {
+	case disruptRefuseFirst:
+		rules := make([]fault.Rule, k)
+		for i := range rules {
+			rules[i] = fault.Rule{Point: FaultDispatch, Kind: fault.KindRefuse, Hit: i + 1}
+		}
+		t.Cleanup(fault.Install(fault.NewPlan(rules...)))
+	case disruptCorruptWire:
+		rules := make([]fault.Rule, k)
+		for i := range rules {
+			rules[i] = fault.Rule{Point: FaultDispatch, Kind: fault.KindCorrupt, Hit: i + 1}
+		}
+		t.Cleanup(fault.Install(fault.NewPlan(rules...)))
+	case disruptWorkerBusy:
+		victim.setBusy(k)
+	}
+
+	s := newSched(t, opt)
+
+	const jobs = 10
+	reqs := make([]JobRequest, jobs)
+	ids := make(map[string]string, jobs) // job ID -> expected terminal event
+	handles := make([]*Job, 0, jobs)
+	for i := range reqs {
+		reqs[i] = JobRequest{
+			Testcase: "aes_300",
+			Scale:    0.02,
+			Seed:     int64(1 + rng.Intn(1000)),
+			Solver:   "greedy",
+		}
+	}
+
+	// The mid-load disruptions arm after a few jobs are in flight.
+	switch disruption {
+	case disruptKillWorker:
+		go func() {
+			fault.Sleep(t.Context(), time.Duration(2+rng.Intn(10))*time.Millisecond)
+			victim.setMode(modeDead)
+		}()
+	case disruptPartition:
+		heal := time.Duration(60+rng.Intn(80)) * time.Millisecond
+		victim.setMode(modePartition)
+		go func() {
+			fault.Sleep(t.Context(), heal)
+			victim.setMode(modeOK)
+		}()
+	}
+
+	for i := range reqs {
+		jb, err := s.Submit(reqs[i])
+		if err != nil {
+			// Backpressure on submit is legal under chaos; a rejected job is
+			// not an accepted job and owes no terminal event.
+			continue
+		}
+		handles = append(handles, jb)
+		ids[jb.ID] = journal.EventDone
+	}
+	if len(handles) == 0 {
+		t.Fatal("chaos schedule rejected every submission")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, jb := range handles {
+		for {
+			st, err := jb.Snapshot()
+			if st.Terminal() {
+				if st != StateDone {
+					t.Errorf("disruption=%s: job %s finished %q (%v), want done (one worker stayed live)",
+						disruption, jb.ID, st, err)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("disruption=%s: job %s lost (stuck in %q)", disruption, jb.ID, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Completed jobs must carry the exact metrics an undisturbed run would
+	// have produced, whichever lane (or how many attempts) served them.
+	for _, jb := range handles {
+		st, _ := jb.Snapshot()
+		if st != StateDone {
+			continue
+		}
+		out, ok := s.Outcome(jb.ID)
+		if !ok {
+			t.Errorf("disruption=%s: done job %s stored no outcome", disruption, jb.ID)
+			continue
+		}
+		want := stubResult(jb.Request())
+		for id, m := range want.Metrics {
+			if out.Metrics[id] != m {
+				t.Errorf("disruption=%s: job %s flow %v metrics diverge from the undisturbed run:\n got %+v\nwant %+v",
+					disruption, jb.ID, id, out.Metrics[id], m)
+			}
+		}
+	}
+
+	// Drain the fabric before auditing: Snapshot() can observe a job
+	// terminal a beat before its journal append lands, and zombie attempts
+	// (epoch invalidated by a re-route) may still be unwinding. Shutdown
+	// joins every worker goroutine, so afterwards the journal is complete.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	auditJournal(t, dir, ids)
+	for id := range ids {
+		if _, ok := s.Outcome(id); !ok {
+			t.Errorf("disruption=%s: job %s has no stored outcome", disruption, id)
+		}
+	}
+}

@@ -59,10 +59,34 @@ type Options struct {
 	// across all backends (default 16); submissions beyond a backend's
 	// share get ErrQueueFull.
 	QueueDepth int
-	// Backends is the number of execution lanes jobs are consistent-hash
-	// routed across (default 1). More than one lane only pays off as the
-	// seam for multi-process scheduling; a single process wants 1.
+	// Backends is the number of in-process execution lanes jobs are
+	// consistent-hash routed across (default 1, or 0 when Remotes are
+	// configured — a pure coordinator runs nothing locally). Remote lanes
+	// are additional: the ring spans Backends + len(Remotes) lanes.
 	Backends int
+	// Remotes lists worker base URLs ("http://host:port"); each becomes a
+	// Remote lane dispatching jobs to a peer mthserved -worker process.
+	Remotes []string
+	// RemoteWorkers is the concurrent-dispatch complement per remote lane
+	// (default 2): how many jobs one worker is sent at a time.
+	RemoteWorkers int
+	// LeaseDuration bounds remote job ownership (default 15s): a dispatched
+	// job whose worker stops answering heartbeats for this long is
+	// re-routed to another lane.
+	LeaseDuration time.Duration
+	// RerouteMax bounds how many times one job may move lanes after
+	// dispatch failures or lease expiries (default 3); past it the job
+	// fails with errs.ErrUnavailable.
+	RerouteMax int
+	// ProbeInterval is the health-prober heartbeat cadence per remote lane
+	// (default 2s).
+	ProbeInterval time.Duration
+	// BreakerThreshold consecutive dispatch/probe failures open a remote
+	// lane's circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay (default 2×
+	// ProbeInterval).
+	BreakerCooldown time.Duration
 	// PoolJobs bounds the shared worker pool that jobs without a private
 	// Jobs setting draw from (default GOMAXPROCS).
 	PoolJobs int
@@ -99,7 +123,31 @@ func (o Options) withDefaults() Options {
 		o.QueueDepth = 16
 	}
 	if o.Backends <= 0 {
-		o.Backends = 1
+		// A coordinator with remote lanes defaults to running nothing
+		// locally; without remotes one local lane is the floor.
+		if len(o.Remotes) > 0 {
+			o.Backends = 0
+		} else {
+			o.Backends = 1
+		}
+	}
+	if o.RemoteWorkers <= 0 {
+		o.RemoteWorkers = 2
+	}
+	if o.LeaseDuration <= 0 {
+		o.LeaseDuration = 15 * time.Second
+	}
+	if o.RerouteMax <= 0 {
+		o.RerouteMax = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * o.ProbeInterval
 	}
 	if o.PoolJobs <= 0 {
 		o.PoolJobs = runtime.GOMAXPROCS(0)
@@ -140,9 +188,15 @@ type Scheduler struct {
 	mRetries  *obs.Counter
 	mPanics   *obs.Counter
 	mInflight *obs.Gauge
+	mReroutes *obs.Counter
+	mLeaseExp *obs.Counter
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
+
+	// Lease monitor lifetime (armed only when remote lanes exist).
+	leaseStop chan struct{}
+	leaseWG   sync.WaitGroup
 
 	mu        sync.Mutex // guards jobs/order, intake, and every Enqueue
 	jobs      map[string]*Job
@@ -188,6 +242,8 @@ func New(opt Options) (*Scheduler, error) {
 	s.mRetries = s.reg.Counter("job_retries", "Transient-failure re-executions.", nil)
 	s.mPanics = s.reg.Counter("job_panics", "Panics recovered at the worker boundary.", nil)
 	s.mInflight = s.reg.Gauge("jobs_inflight", "Jobs currently running (started minus finished).", nil)
+	s.mReroutes = s.reg.Counter("job_reroutes_total", "Jobs moved to another lane after a dispatch failure or lease expiry.", nil)
+	s.mLeaseExp = s.reg.Counter("lease_expirations_total", "Remote job leases that expired without a result.", nil)
 	s.execFn = s.execute
 
 	if s.cache = store.NewCache(opt.CacheEntries); s.cache != nil {
@@ -217,27 +273,72 @@ func New(opt Options) (*Scheduler, error) {
 		}
 	}
 
-	s.ring = newRing(opt.Backends)
-	// Replayed jobs must all fit ahead of live traffic, so each backend's
+	lanes := opt.Backends + len(opt.Remotes)
+	s.ring = newRing(lanes)
+	// Replayed jobs must all fit ahead of live traffic, so each lane's
 	// queue is sized past its configured share by however many of the
 	// journal's jobs route to it.
-	replayed, perBackend := s.prepareReplay(pending)
+	replayed, perLane := s.prepareReplay(pending, lanes)
 	for i := 0; i < opt.Backends; i++ {
 		s.backends = append(s.backends,
-			NewLocal(fmt.Sprintf("local-%d", i), share(opt.Workers, opt.Backends, i), share(opt.QueueDepth, opt.Backends, i)+perBackend[i]))
+			NewLocal(fmt.Sprintf("local-%d", i), share(opt.Workers, opt.Backends, i), share(opt.QueueDepth, lanes, i)+perLane[i]))
+	}
+	for ri, addr := range opt.Remotes {
+		i := opt.Backends + ri
+		name := fmt.Sprintf("remote-%d", ri)
+		labels := obs.Labels{"backend": name}
+		circuit := s.reg.Gauge("backend_circuit_state", "Remote lane circuit state (0 closed, 1 open, 2 half-open).", labels)
+		rtt := s.reg.Gauge("backend_heartbeat_rtt_seconds", "Last successful heartbeat round trip per remote lane.", labels)
+		fails := s.reg.Counter("dispatch_failures_total", "Transport-level dispatch failures per remote lane.", labels)
+		s.backends = append(s.backends, NewRemote(name, RemoteOptions{
+			Addr:              addr,
+			Dispatchers:       opt.RemoteWorkers,
+			Depth:             share(opt.QueueDepth, lanes, i) + perLane[i],
+			ProbeInterval:     opt.ProbeInterval,
+			BreakerThreshold:  opt.BreakerThreshold,
+			BreakerCooldown:   opt.BreakerCooldown,
+			OnCircuit:         func(st string) { circuit.Set(circuitValue(st)) },
+			OnRTT:             func(d time.Duration) { rtt.Set(d.Seconds()) },
+			OnDispatchFailure: func() { fails.Inc() },
+		}))
 	}
 	for _, rj := range replayed {
 		s.jobs[rj.job.ID] = rj.job
 		s.order = append(s.order, rj.job.ID)
 		if rj.backend >= 0 {
+			// The lane name is assigned from the live topology, never from
+			// the journal: the ring may have changed shape between crash
+			// and restart, and a recorded lane may no longer exist.
+			rj.job.backend = s.backends[rj.backend].Name()
 			// Cannot fail: the queue was sized for exactly these jobs.
 			_ = s.backends[rj.backend].Enqueue(rj.job)
 		}
 	}
 	for _, b := range s.backends {
-		b.Start(s.runJob)
+		b.Start(s.runnerFor(b))
+	}
+	if len(opt.Remotes) > 0 {
+		s.startLeaseLoop()
 	}
 	return s, nil
+}
+
+// circuitValue maps a circuit state to its gauge encoding.
+func circuitValue(state string) float64 {
+	switch state {
+	case CircuitOpen:
+		return 1
+	case CircuitHalfOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// runnerFor binds a lane to the job-lifecycle loop, so the loop knows
+// whether to execute in process or dispatch over the wire.
+func (s *Scheduler) runnerFor(b Backend) func(*Job) {
+	return func(jb *Job) { s.runJobOn(b, jb) }
 }
 
 // share splits total across n lanes as evenly as possible, never below 1:
@@ -260,12 +361,16 @@ type replayJob struct {
 	backend int
 }
 
-// prepareReplay rebuilds journaled jobs and routes them, returning the jobs
-// plus the per-backend count (to size the queues). A request that no longer
-// validates — possible only if the journal was edited or the format
-// drifted — is journaled as failed rather than wedging recovery.
-func (s *Scheduler) prepareReplay(pending []journal.PendingJob) ([]replayJob, []int) {
-	perBackend := make([]int, s.opt.Backends)
+// prepareReplay rebuilds journaled jobs and routes them through the live
+// ring of lanes lanes in total, returning the jobs plus the per-lane count
+// (to size the queues). Routing deliberately ignores whatever lane the journal
+// recorded: the topology may have changed between crash and restart (lanes
+// added, removed, or renamed), and the consistent hash over the current
+// ring is the only authority. A request that no longer validates —
+// possible only if the journal was edited or the format drifted — is
+// journaled as failed rather than wedging recovery.
+func (s *Scheduler) prepareReplay(pending []journal.PendingJob, lanes int) ([]replayJob, []int) {
+	perBackend := make([]int, lanes)
 	out := make([]replayJob, 0, len(pending))
 	for _, p := range pending {
 		jb := &Job{ID: p.ID, seqn: p.Seq, state: StateQueued, submitted: time.Now(), replayed: true}
@@ -286,7 +391,6 @@ func (s *Scheduler) prepareReplay(pending []journal.PendingJob) ([]replayJob, []
 			jb.keys = s.instanceKeys(&jb.req)
 			rj.backend = s.ring.pick(routingKey(jb.keys))
 			perBackend[rj.backend]++
-			jb.backend = fmt.Sprintf("local-%d", rj.backend)
 			s.log.Info("journal: re-queued job", "job", jb.ID, "testcase", jb.spec.Name())
 		}
 		out = append(out, rj)
@@ -354,6 +458,10 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	// The monitor must not re-route into lanes that just closed; its
+	// accepting check makes that impossible, and stopping it here (before
+	// waiting on the lanes) means no sweep outlives the scheduler.
+	s.stopLeaseLoop()
 
 	done := make(chan struct{})
 	go func() {
@@ -389,31 +497,50 @@ func (s *Scheduler) exec() ExecFunc {
 	return s.execFn
 }
 
-// runJob executes one job's flows sequentially on a shared Runner, exactly
-// like a direct flow.Runner caller would — which is what makes HTTP results
-// byte-identical to library results. Transient failures are retried with
-// exponential backoff; a panic anywhere under the job is converted to a
-// typed error so the daemon survives it.
-func (s *Scheduler) runJob(jb *Job) {
+// runJobOn executes one attempt of a job on lane b: in process for local
+// lanes (a shared Runner drives the flows, which is what makes HTTP results
+// byte-identical to library results), over the wire for remote lanes.
+// Transient failures are retried with exponential backoff on the same lane;
+// a remote attempt that is still failing with ErrUnavailable after its
+// retries is re-routed through the live ring instead of failing the job.
+// Every terminal effect is gated by beginFinish on the attempt's epoch, so
+// an attempt the lease monitor re-routed away commits nothing — the
+// exactly-once half of the lease protocol.
+func (s *Scheduler) runJobOn(b Backend, jb *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if jb.req.TimeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(jb.req.TimeoutMS)*time.Millisecond)
 	}
 	defer cancel()
-	if !jb.claim(cancel) {
+	epoch, ok := jb.claim(cancel)
+	if !ok {
 		return // canceled while queued
 	}
-	s.journal(jb, journal.EventStarted, nil)
-	s.stats.jobStarted()
-	s.mStarted.Inc()
-	s.log.Debug("job started", "job", jb.ID, "testcase", jb.spec.Name())
+	if firstClaim(epoch) {
+		s.journal(jb, journal.EventStarted, nil)
+		s.stats.jobStarted()
+		s.mStarted.Inc()
+	}
+	rb, remote := b.(*Remote)
+	if remote {
+		deadline := time.Now().Add(s.opt.LeaseDuration)
+		jb.setLease(epoch, deadline)
+		s.journalLeased(jb, b.Name(), deadline)
+		stopRenew := s.startLeaseRenewal(ctx, jb, epoch, rb)
+		defer stopRenew()
+	}
+	s.log.Debug("job started", "job", jb.ID, "testcase", jb.spec.Name(), "lane", b.Name())
 	start := time.Now()
 
 	var res *ExecResult
 	var err error
 	for attempt := 0; ; attempt++ {
 		jb.noteAttempt()
-		res, err = s.safeExec(ctx, jb)
+		if remote {
+			res, err = rb.Execute(ctx, jb)
+		} else {
+			res, err = s.safeExec(ctx, jb)
+		}
 		if err == nil {
 			err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
 		}
@@ -427,6 +554,18 @@ func (s *Scheduler) runJob(jb *Job) {
 		case <-time.After(backoff(s.opt.RetryBase, jb.ID, attempt)):
 		case <-ctx.Done():
 		}
+	}
+	if remote && err != nil && ctx.Err() == nil && errors.Is(err, errs.ErrUnavailable) {
+		// The lane, not the job, is the problem: move the job elsewhere.
+		if s.reroute(jb, epoch) {
+			return // a new attempt on another lane owns the job now
+		}
+	}
+	if !jb.beginFinish(epoch) {
+		return // re-routed away: a newer epoch owns the job, drop our result
+	}
+	if cause := jb.takeFailCause(); cause != nil && err != nil {
+		err = cause // the lease monitor's verdict, not our cancellation echo
 	}
 	degraded := false
 	if err == nil && res != nil && degradedResults(res.Metrics) {
@@ -532,34 +671,16 @@ func terminalEvent(jb *Job) string {
 	}
 }
 
-// execute is the production ExecFunc: it drives flow.Runner and digests
-// each flow's final placement.
+// execute is the production ExecFunc: it drives the shared RunRequest core
+// (also used verbatim by the worker-mode server) with this scheduler's
+// pool, solver default and latency stats.
 func (s *Scheduler) execute(ctx context.Context, jb *Job) (*ExecResult, error) {
 	// Solver progress (stage transitions, MILP incumbents, k-means
 	// iterations) streams into the job's live view; the job's logger is
 	// scoped with its ID so concurrent jobs' diagnostics stay attributable.
 	ctx = obs.WithProgress(ctx, jb.noteProgress)
 	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID))
-	cfg := jb.req.config(s.pool, s.opt.DefaultSolver)
-	r, err := flow.NewRunner(ctx, jb.spec, cfg)
-	if err != nil {
-		return nil, err
-	}
-	out := &ExecResult{
-		Metrics:    make(map[flow.ID]flow.Metrics, len(jb.flows)),
-		Placements: make(map[flow.ID]string, len(jb.flows)),
-	}
-	for _, id := range jb.flows {
-		t0 := time.Now()
-		res, err := r.Run(ctx, id, jb.req.Route)
-		if err != nil {
-			return nil, err
-		}
-		out.Metrics[id] = res.Metrics
-		out.Placements[id] = PlacementDigest(res.Design)
-		s.stats.recordFlow(id, time.Since(t0))
-	}
-	return out, nil
+	return RunRequest(ctx, jb.Request(), s.pool, s.opt.DefaultSolver, s.stats.recordFlow)
 }
 
 // PlacementDigest is the SHA-256 of the design's instance positions in
@@ -745,12 +866,22 @@ func (s *Scheduler) Accepting() bool {
 	return s.accepting
 }
 
-// BackendStat describes one execution lane for /stats.
+// BackendStat describes one execution lane for /stats. The remote-only
+// fields (Addr, Circuit, RTT, DispatchFailures) are omitted for local
+// lanes.
 type BackendStat struct {
 	Name     string `json:"name"`
 	Depth    int    `json:"depth"`
 	Capacity int    `json:"capacity"`
 	Workers  int    `json:"workers"`
+	// Addr is the remote worker's base URL.
+	Addr string `json:"addr,omitempty"`
+	// Circuit is the lane's breaker state: closed, open or half-open.
+	Circuit string `json:"circuit,omitempty"`
+	// HeartbeatRTTms is the last successful heartbeat round trip.
+	HeartbeatRTTms float64 `json:"heartbeat_rtt_ms,omitempty"`
+	// DispatchFailures counts transport-level dispatch failures.
+	DispatchFailures int64 `json:"dispatch_failures,omitempty"`
 }
 
 // CacheStat summarises the solve cache for /stats.
@@ -779,31 +910,38 @@ type StatsSnapshot struct {
 	Degraded      int64
 	Retries       int64
 	Panics        int64
-	FlowLatency   map[string]FlowLatency
-	Backends      []BackendStat
-	Cache         CacheStat
+	// Reroutes counts jobs moved to another lane after a dispatch failure
+	// or lease expiry; LeaseExpirations counts remote leases that lapsed.
+	Reroutes         int64
+	LeaseExpirations int64
+	FlowLatency      map[string]FlowLatency
+	Backends         []BackendStat
+	Cache            CacheStat
 }
 
 // Stats gathers the full observability snapshot.
 func (s *Scheduler) Stats() StatsSnapshot {
 	busy, util, perFlow := s.stats.snapshot()
 	degraded, retries, panics := s.stats.resilience()
+	reroutes, leaseExp := s.stats.faults()
 	started, finished, inflight := s.stats.inflight()
 	snap := StatsSnapshot{
-		UptimeSeconds: s.stats.uptime().Seconds(),
-		QueueCapacity: s.opt.QueueDepth,
-		Workers:       s.opt.Workers,
-		BusyWorkers:   busy,
-		Utilization:   util,
-		PoolJobs:      s.pool.Jobs(),
-		JobCounts:     map[State]int{},
-		Started:       started,
-		Finished:      finished,
-		Inflight:      inflight,
-		Degraded:      degraded,
-		Retries:       retries,
-		Panics:        panics,
-		FlowLatency:   perFlow,
+		UptimeSeconds:    s.stats.uptime().Seconds(),
+		QueueCapacity:    s.opt.QueueDepth,
+		Workers:          s.opt.Workers,
+		BusyWorkers:      busy,
+		Utilization:      util,
+		PoolJobs:         s.pool.Jobs(),
+		JobCounts:        map[State]int{},
+		Started:          started,
+		Finished:         finished,
+		Inflight:         inflight,
+		Degraded:         degraded,
+		Retries:          retries,
+		Panics:           panics,
+		Reroutes:         reroutes,
+		LeaseExpirations: leaseExp,
+		FlowLatency:      perFlow,
 	}
 	hits, misses := s.cache.Stats()
 	snap.Cache = CacheStat{
@@ -816,9 +954,16 @@ func (s *Scheduler) Stats() StatsSnapshot {
 	s.mu.Lock()
 	for _, b := range s.backends {
 		snap.QueueDepth += b.Depth()
-		snap.Backends = append(snap.Backends, BackendStat{
+		bs := BackendStat{
 			Name: b.Name(), Depth: b.Depth(), Capacity: b.Capacity(), Workers: b.Workers(),
-		})
+		}
+		if rb, ok := b.(*Remote); ok {
+			bs.Addr = rb.Addr()
+			bs.Circuit = rb.CircuitState()
+			bs.HeartbeatRTTms = float64(rb.LastRTT()) / float64(time.Millisecond)
+			bs.DispatchFailures = rb.DispatchFailures()
+		}
+		snap.Backends = append(snap.Backends, bs)
 	}
 	for _, id := range s.order {
 		st, _ := s.jobs[id].Snapshot()

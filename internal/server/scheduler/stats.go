@@ -68,6 +68,8 @@ type stats struct {
 	degraded  int64 // jobs that settled below the ILP-optimum rung
 	retries   int64 // transient-failure re-executions
 	panics    int64 // panics recovered at the worker boundary
+	reroutes  int64 // jobs moved to another lane after dispatch failure
+	leaseExp  int64 // remote leases that expired without a result
 }
 
 func newStats(workers int) *stats {
@@ -118,11 +120,30 @@ func (s *stats) jobPanicked() {
 	s.mu.Unlock()
 }
 
+func (s *stats) jobRerouted() {
+	s.mu.Lock()
+	s.reroutes++
+	s.mu.Unlock()
+}
+
+func (s *stats) leaseExpired() {
+	s.mu.Lock()
+	s.leaseExp++
+	s.mu.Unlock()
+}
+
 // resilience returns the degradation/retry/panic counters.
 func (s *stats) resilience() (degraded, retries, panics int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.degraded, s.retries, s.panics
+}
+
+// faults returns the remote-dispatch failure counters.
+func (s *stats) faults() (reroutes, leaseExp int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reroutes, s.leaseExp
 }
 
 func (s *stats) recordFlow(id flow.ID, d time.Duration) {

@@ -65,9 +65,24 @@ type Options struct {
 	// QueueDepth bounds the number of jobs waiting behind the workers
 	// (default 16); submissions beyond it get 429.
 	QueueDepth int
-	// Backends is the number of execution lanes jobs are consistent-hash
-	// routed across (default 1).
+	// Backends is the number of in-process execution lanes jobs are
+	// consistent-hash routed across (default 1, or 0 when Remotes are set).
 	Backends int
+	// Remotes lists worker base URLs; each becomes a remote lane
+	// dispatching to a peer mthserved -worker process.
+	Remotes []string
+	// RemoteWorkers is the concurrent-dispatch complement per remote lane.
+	RemoteWorkers int
+	// LeaseDuration bounds remote job ownership before re-routing.
+	LeaseDuration time.Duration
+	// RerouteMax bounds lane moves per job.
+	RerouteMax int
+	// ProbeInterval is the remote-lane heartbeat cadence.
+	ProbeInterval time.Duration
+	// BreakerThreshold and BreakerCooldown tune the per-lane circuit
+	// breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// PoolJobs bounds the shared worker pool that jobs without a private
 	// Jobs setting draw from (default GOMAXPROCS).
 	PoolJobs int
@@ -106,17 +121,24 @@ type Server struct {
 // Shutdown to stop it.
 func New(opt Options) (*Server, error) {
 	sched, err := scheduler.New(scheduler.Options{
-		Workers:        opt.Workers,
-		QueueDepth:     opt.QueueDepth,
-		Backends:       opt.Backends,
-		PoolJobs:       opt.PoolJobs,
-		MaxRetries:     opt.MaxRetries,
-		RetryBase:      opt.RetryBase,
-		JournalDir:     opt.JournalDir,
-		DefaultSolver:  opt.DefaultSolver,
-		CacheEntries:   opt.CacheEntries,
-		ResultCapacity: opt.ResultCapacity,
-		Logger:         opt.Logger,
+		Workers:          opt.Workers,
+		QueueDepth:       opt.QueueDepth,
+		Backends:         opt.Backends,
+		Remotes:          opt.Remotes,
+		RemoteWorkers:    opt.RemoteWorkers,
+		LeaseDuration:    opt.LeaseDuration,
+		RerouteMax:       opt.RerouteMax,
+		ProbeInterval:    opt.ProbeInterval,
+		BreakerThreshold: opt.BreakerThreshold,
+		BreakerCooldown:  opt.BreakerCooldown,
+		PoolJobs:         opt.PoolJobs,
+		MaxRetries:       opt.MaxRetries,
+		RetryBase:        opt.RetryBase,
+		JournalDir:       opt.JournalDir,
+		DefaultSolver:    opt.DefaultSolver,
+		CacheEntries:     opt.CacheEntries,
+		ResultCapacity:   opt.ResultCapacity,
+		Logger:           opt.Logger,
 	})
 	if err != nil {
 		return nil, err

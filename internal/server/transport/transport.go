@@ -102,6 +102,27 @@ func submitStatus(err error) int {
 	}
 }
 
+// RetryAfterSeconds is the hint sent with backpressure rejections (429
+// queue-full, 503 shutting-down): the smallest interval the header's
+// whole-seconds granularity can express. Clients with finer clocks may
+// treat it as an upper bound.
+const RetryAfterSeconds = 1
+
+// retryable reports whether a submit rejection is worth retrying as-is —
+// backpressure, not a request defect.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// applyRetryAfter stamps the Retry-After header on backpressure statuses,
+// so clients (pkg/mth among them) can pace resubmission instead of
+// hammering a full queue.
+func applyRetryAfter(w http.ResponseWriter, status int) {
+	if retryable(status) {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+	}
+}
+
 // applyCacheHeader folds the request's Cache-Control header into the job's
 // cache directive. The body field wins when both are present: it is the
 // more deliberate signal, and replays of journaled bodies must not depend
@@ -138,7 +159,9 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	applyCacheHeader(&req, r.Header.Get("Cache-Control"))
 	jb, err := a.sched.Submit(req)
 	if err != nil {
-		writeError(w, submitStatus(err), err.Error())
+		status := submitStatus(err)
+		applyRetryAfter(w, status)
+		writeError(w, status, err.Error())
 		return
 	}
 	view := jb.View()
@@ -203,6 +226,7 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	default:
 		status = http.StatusMultiStatus
 	}
+	applyRetryAfter(w, status)
 	writeJSON(w, status, map[string]any{
 		"jobs":     slots,
 		"accepted": accepted,
@@ -225,7 +249,8 @@ func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // errStatus maps a flow failure to its HTTP status: infeasible instances
 // are a client problem (422), deadline expiry is 504, client-requested
-// cancellation is 499, anything else is a 500.
+// cancellation is 499, a job no live backend would take is 503, anything
+// else is a 500.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, errs.ErrInfeasible):
@@ -234,6 +259,8 @@ func errStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, errs.ErrCanceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, errs.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -247,6 +274,7 @@ func (a *API) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	state, err := jb.Snapshot()
 	if !state.Terminal() {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll again later", state))
 		return
 	}
@@ -317,6 +345,8 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		"jobs_degraded":      snap.Degraded,
 		"job_retries":        snap.Retries,
 		"job_panics":         snap.Panics,
+		"job_reroutes":       snap.Reroutes,
+		"lease_expirations":  snap.LeaseExpirations,
 		"flow_latency":       snap.FlowLatency,
 		"backends":           snap.Backends,
 		"cache":              snap.Cache,

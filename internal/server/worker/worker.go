@@ -1,0 +1,173 @@
+// Package worker is the execution side of the multi-process job fabric: a
+// small HTTP API (mthserved -worker) that runs placement jobs dispatched
+// by a coordinator's Remote backend and answers its heartbeats.
+//
+// The API is deliberately tiny and synchronous. POST /worker/v1/execute
+// carries one scheduler.WireJob; the worker runs it to completion on the
+// request's own context — so the coordinator canceling or abandoning the
+// request cancels the job, which is the whole cancellation protocol — and
+// answers with a scheduler.WireResult. There is no worker-side queue, no
+// worker-side journal and no worker-side retry: the coordinator owns the
+// job lifecycle (leases, retries, re-routes, exactly-once commitment), and
+// the worker owns nothing but the flows it is currently running. A worker
+// at its concurrency limit answers 503 + Retry-After rather than queueing,
+// which keeps the coordinator's queue-depth accounting the only backlog in
+// the system.
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mthplace/internal/errs"
+	"mthplace/internal/obs"
+	"mthplace/internal/par"
+	"mthplace/internal/server/scheduler"
+)
+
+// maxBody bounds the execute request body; a WireJob is small, so anything
+// near this is garbage.
+const maxBody = 4 << 20
+
+// ExecFunc runs one dispatched request. Production uses
+// scheduler.RunRequest; tests swap in stubs via Handler.SetExec.
+type ExecFunc func(ctx context.Context, req scheduler.JobRequest) (*scheduler.ExecResult, error)
+
+// Options tunes a worker.
+type Options struct {
+	// Slots is the number of jobs run concurrently (default 2); dispatches
+	// beyond it get 503 + Retry-After.
+	Slots int
+	// PoolJobs bounds the shared solver pool jobs without a private Jobs
+	// setting draw from (default GOMAXPROCS).
+	PoolJobs int
+	// DefaultSolver is applied to requests that name none.
+	DefaultSolver string
+	// Logger receives per-job diagnostics. Nil discards them.
+	Logger *slog.Logger
+}
+
+// Handler serves the worker API.
+type Handler struct {
+	mux    *http.ServeMux
+	sem    chan struct{}
+	pool   *par.Pool
+	solver string
+	log    *slog.Logger
+	exec   ExecFunc
+
+	reg      *obs.Registry
+	mJobs    *obs.Counter
+	mErrors  *obs.Counter
+	mRefused *obs.Counter
+}
+
+// New builds a worker handler.
+func New(opt Options) *Handler {
+	if opt.Slots <= 0 {
+		opt.Slots = 2
+	}
+	if opt.PoolJobs <= 0 {
+		opt.PoolJobs = runtime.GOMAXPROCS(0)
+	}
+	if opt.Logger == nil {
+		opt.Logger = obs.Nop()
+	}
+	h := &Handler{
+		mux:    http.NewServeMux(),
+		sem:    make(chan struct{}, opt.Slots),
+		pool:   par.NewPool(opt.PoolJobs),
+		solver: opt.DefaultSolver,
+		log:    opt.Logger,
+		reg:    obs.NewRegistry(),
+	}
+	h.mJobs = h.reg.Counter("worker_jobs_total", "Jobs executed by this worker since start.", nil)
+	h.mErrors = h.reg.Counter("worker_job_errors_total", "Executed jobs that ended in an error.", nil)
+	h.mRefused = h.reg.Counter("worker_refused_total", "Dispatches refused because every slot was busy.", nil)
+	h.exec = func(ctx context.Context, req scheduler.JobRequest) (*scheduler.ExecResult, error) {
+		return scheduler.RunRequest(ctx, req, h.pool, h.solver, nil)
+	}
+	h.mux.HandleFunc("POST "+scheduler.WorkerExecutePath, h.handleExecute)
+	h.mux.HandleFunc("GET "+scheduler.WorkerPingPath, h.handlePing)
+	return h
+}
+
+// SetExec swaps the execution function. Test seam; call before serving.
+func (h *Handler) SetExec(fn ExecFunc) { h.exec = fn }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// MetricsHandler serves the worker's private metric registry.
+func (h *Handler) MetricsHandler() http.Handler { return h.reg.Handler() }
+
+func (h *Handler) handlePing(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var wj scheduler.WireJob
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err == nil {
+		err = json.Unmarshal(body, &wj)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad dispatch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	select {
+	case h.sem <- struct{}{}:
+		defer func() { <-h.sem }()
+	default:
+		// Full slots: refuse instead of queueing, so backlog lives only at
+		// the coordinator. Retry-After matches the transport's convention.
+		h.mRefused.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "worker at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	h.mJobs.Inc()
+	start := time.Now()
+	h.log.Info("worker: job accepted", "job", wj.ID, "testcase", wj.Req.Testcase)
+	res, err := h.safeExec(r.Context(), wj)
+	if err == nil {
+		err = errs.FromContext(r.Context())
+	}
+	out := scheduler.WireResult{}
+	if err != nil {
+		h.mErrors.Inc()
+		out.Error = err.Error()
+		out.Class = scheduler.ErrorClass(err)
+		h.log.Warn("worker: job failed", "job", wj.ID, "class", out.Class, "err", err, "dur", time.Since(start))
+	} else {
+		out.Metrics = res.Metrics
+		out.Placements = res.Placements
+		h.log.Info("worker: job done", "job", wj.ID, "dur", time.Since(start))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil && !errors.Is(err, context.Canceled) {
+		h.log.Warn("worker: response write failed", "job", wj.ID, "err", err)
+	}
+}
+
+// safeExec runs the job behind a recover boundary: a panicking job must
+// cost exactly one errored WireResult, never the worker process. The
+// coordinator rebuilds the panic class and refuses to retry it, same as a
+// local panic.
+func (h *Handler) safeExec(ctx context.Context, wj scheduler.WireJob) (res *scheduler.ExecResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = errs.FromPanic(rec, "worker: job %s", wj.ID)
+		}
+	}()
+	ctx = obs.WithLogger(ctx, h.log.With("job", wj.ID))
+	return h.exec(ctx, wj.Req)
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,10 +54,66 @@ type JobResult struct {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the service's Retry-After hint, when the response
+	// carried one (429 queue-full and 503 unavailable responses do). Zero
+	// means no hint.
+	RetryAfter time.Duration
+	// hasHint distinguishes an explicit "Retry-After: 0" from no header.
+	hasHint bool
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("mth: service returned %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the error is a back-pressure response (429 or
+// 503) that the same request may survive after the Retry-After delay.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// retryDelay is the pause before re-attempting a Retryable response: the
+// service's own hint when it sent one (floored so an explicit "0" cannot
+// busy-loop), else a conservative default.
+func (e *APIError) retryDelay() time.Duration {
+	const floor, fallback = 10 * time.Millisecond, 250 * time.Millisecond
+	if !e.hasHint {
+		return fallback
+	}
+	if e.RetryAfter < floor {
+		return floor
+	}
+	return e.RetryAfter
+}
+
+// parseRetryAfter reads an HTTP Retry-After header in its delta-seconds
+// form. ok is false for absent or unparseable values.
+func parseRetryAfter(h string) (d time.Duration, ok bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever first, returning
+// ctx's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Client talks to a placement service (cmd/mthserved) over its /v1 API.
@@ -143,7 +201,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if e.Error == "" {
 			e.Error = strings.TrimSpace(string(raw))
 		}
-		return &APIError{Status: resp.StatusCode, Message: e.Error}
+		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
+		apiErr.RetryAfter, apiErr.hasHint = parseRetryAfter(resp.Header.Get("Retry-After"))
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -154,11 +214,27 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
-// Submit enqueues one job and returns its accepted view.
+// submitAttempts bounds how many times Submit re-tries a back-pressure
+// response before surfacing it.
+const submitAttempts = 4
+
+// Submit enqueues one job and returns its accepted view. Queue-full (429)
+// and unavailable (503) responses are retried up to three times, honouring
+// the service's Retry-After hint; ctx bounds the whole attempt including
+// the sleeps between tries.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobView, error) {
 	var v JobView
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &v)
-	return v, err
+	for attempt := 1; ; attempt++ {
+		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &v)
+		var apiErr *APIError
+		if err == nil || attempt >= submitAttempts ||
+			!errors.As(err, &apiErr) || !apiErr.Retryable() {
+			return v, err
+		}
+		if serr := sleepCtx(ctx, apiErr.retryDelay()); serr != nil {
+			return JobView{}, serr
+		}
+	}
 }
 
 // BatchSlot is one element of a batch response: the accepted job's view, or
@@ -209,13 +285,22 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
 
 // Wait polls until the job reaches a terminal state and returns its result.
 // Cache hits return immediately on the first poll. The poll interval backs
-// off from 10ms to 1s; ctx bounds the whole wait.
+// off from 10ms to 1s; ctx bounds the whole wait. Back-pressure responses
+// (429/503) from a poll are treated as "still working": Wait sleeps the
+// service's Retry-After hint and polls again rather than aborting.
 func (c *Client) Wait(ctx context.Context, id string) (JobResult, error) {
 	interval := 10 * time.Millisecond
 	for {
 		v, err := c.Status(ctx, id)
 		if err != nil {
-			return JobResult{}, err
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || !apiErr.Retryable() {
+				return JobResult{}, err
+			}
+			if serr := sleepCtx(ctx, apiErr.retryDelay()); serr != nil {
+				return JobResult{}, serr
+			}
+			continue
 		}
 		if v.State.Terminal() {
 			if v.State != JobDone {
@@ -223,10 +308,8 @@ func (c *Client) Wait(ctx context.Context, id string) (JobResult, error) {
 			}
 			return c.Result(ctx, id)
 		}
-		select {
-		case <-ctx.Done():
-			return JobResult{}, ctx.Err()
-		case <-time.After(interval):
+		if err := sleepCtx(ctx, interval); err != nil {
+			return JobResult{}, err
 		}
 		if interval < time.Second {
 			interval *= 2

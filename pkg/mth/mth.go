@@ -85,6 +85,10 @@ var (
 	// ErrPanic marks a panic caught at the flow boundary and converted to
 	// an error; it is a bug report, never a retry candidate.
 	ErrPanic = flow.ErrPanic
+	// ErrUnavailable marks a backend (remote worker, open circuit) that
+	// could not take the work at all; the service answers 503 + Retry-After
+	// for this class and the client's Submit/Wait honour it.
+	ErrUnavailable = flow.ErrUnavailable
 )
 
 // Degradation policies for Config.Core.Solve.Degrade: the default anytime

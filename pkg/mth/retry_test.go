@@ -1,0 +1,168 @@
+package mth
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitRetriesBackpressureThenSucceeds verifies Submit re-tries 429
+// rejections, pacing on the Retry-After hint, and lands once the queue
+// opens. An explicit "0" hint must be floored, not busy-looped.
+func TestSubmitRetriesBackpressureThenSucceeds(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(JobView{ID: "job-1", State: JobQueued})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	start := time.Now()
+	v, err := c.Submit(context.Background(), JobRequest{Testcase: "aes_300"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if v.ID != "job-1" {
+		t.Fatalf("ID = %q, want job-1", v.ID)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	// Two sleeps at the 10ms floor; generous upper bound for slow machines.
+	if took := time.Since(start); took < 20*time.Millisecond {
+		t.Fatalf("retries took %v — the floor on Retry-After: 0 was not applied", took)
+	}
+}
+
+// TestSubmitGivesUpAfterBudget verifies persistent backpressure surfaces
+// as the final APIError rather than retrying forever.
+func TestSubmitGivesUpAfterBudget(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Submit(context.Background(), JobRequest{Testcase: "aes_300"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want final 429 APIError", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Fatalf("server saw %d attempts, want exactly the submit budget (4)", got)
+	}
+}
+
+// TestSubmitSleepHonorsContext verifies cancellation cuts a Retry-After
+// sleep short: a server advertising a long hint cannot pin a canceled
+// caller.
+func TestSubmitSleepHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := NewClient(srv.URL).Submit(ctx, JobRequest{Testcase: "aes_300"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Submit held for %v after cancellation", took)
+	}
+}
+
+// TestNonRetryableSubmitFailsFast verifies request defects (400) are never
+// retried — only backpressure is.
+func TestNonRetryableSubmitFailsFast(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no testcase"})
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Submit(context.Background(), JobRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (400 is not retryable)", got)
+	}
+}
+
+// TestWaitRidesOutBackpressure verifies a 503 on a status poll is treated
+// as "still working", not a terminal failure.
+func TestWaitRidesOutBackpressure(t *testing.T) {
+	var polls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/jobs/job-1" && polls.Add(1) <= 2:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "briefly overloaded"})
+		case r.URL.Path == "/v1/jobs/job-1":
+			json.NewEncoder(w).Encode(JobView{ID: "job-1", State: JobDone})
+		case r.URL.Path == "/v1/jobs/job-1/result":
+			json.NewEncoder(w).Encode(JobResult{ID: "job-1"})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	res, err := NewClient(srv.URL).Wait(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.ID != "job-1" {
+		t.Fatalf("result = %+v, want job-1", res)
+	}
+	if got := polls.Load(); got < 3 {
+		t.Fatalf("server saw %d polls, want >= 3 (two 503s then done)", got)
+	}
+}
+
+// TestParseRetryAfter pins the header grammar the client accepts.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"1", time.Second, true},
+		{"0", 0, true},
+		{" 2 ", 2 * time.Second, true},
+		{"-1", 0, false},
+		{"soon", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false}, // http-date form: unsupported, fall back
+	}
+	for _, tc := range cases {
+		d, ok := parseRetryAfter(tc.in)
+		if d != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, d, ok, tc.want, tc.ok)
+		}
+	}
+}
