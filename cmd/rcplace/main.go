@@ -90,8 +90,12 @@ func main() {
 	ctx = obs.WithLogger(ctx, lg)
 	var tracer *obs.Tracer
 	if *traceOut != "" {
-		tracer = obs.NewTracer()
+		// Same span schema as the distributed fabric: records carry trace and
+		// span IDs under a root span context, so a -trace file and a
+		// GET /v1/jobs/{id}/trace response are interchangeable artifacts.
+		tracer = obs.NewTracerFor("rcplace")
 		ctx = obs.WithTracer(ctx, tracer)
+		ctx = obs.WithSpanContext(ctx, obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()})
 	}
 	if *progress {
 		ctx = obs.WithProgress(ctx, func(e obs.Event) {

@@ -20,6 +20,7 @@ package flow
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"mthplace/internal/baseline"
@@ -262,7 +263,7 @@ func NewRunner(ctx context.Context, spec synth.Spec, cfg Config) (r *Runner, err
 	pool := cfg.EffectivePool()
 	ctx = par.WithPool(ctx, pool)
 	start := time.Now()
-	if err := stage(ctx, "parse", func() error {
+	if err := stage(ctx, "parse", func(ctx context.Context) error {
 		tc := tech.Default()
 		lib := celllib.New(tc)
 		if err := fault.Inject(ctx, PointParse); err != nil {
@@ -352,15 +353,20 @@ func (r *Runner) totalHPWL(d *netlist.Design) int64 {
 
 // stage runs fn under one stage's instrumentation: a progress event at
 // entry, a "flow.<name>" span (the same five boundaries the fault injector
-// arms), an mth_stage_seconds observation, and a debug log line. The
-// instrumentation is read-only — fn's result is returned untouched — and
-// with no sinks installed the cost is two context lookups plus two atomic
-// histogram updates per stage.
-func stage(ctx context.Context, name string, fn func() error) error {
+// arms), an mth_stage_seconds observation, a pprof "stage" label, and a
+// debug log line. The instrumentation is read-only — fn's result is
+// returned untouched — and with no sinks installed the cost is two context
+// lookups plus two atomic histogram updates per stage. fn receives a
+// context positioned inside the stage span, so solver-level spans (and any
+// remote dispatch) parent under the stage rather than beside it.
+func stage(ctx context.Context, name string, fn func(ctx context.Context) error) error {
 	obs.Emit(ctx, obs.Event{Source: "flow", Kind: "stage", Stage: name})
-	sp := obs.StartSpan(ctx, "flow."+name)
+	sctx, sp := obs.StartSpanCtx(ctx, "flow."+name)
 	start := time.Now()
-	err := fn()
+	var err error
+	pprof.Do(sctx, pprof.Labels("stage", name), func(sctx context.Context) {
+		err = fn(sctx)
+	})
 	dur := time.Since(start)
 	if err != nil {
 		sp.SetArg("error", err.Error())
@@ -457,7 +463,7 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		rapStart := time.Now()
 		var cl *core.Clusters
 		var model *core.Model
-		if err := stage(ctx, "cluster", func() error {
+		if err := stage(ctx, "cluster", func(ctx context.Context) error {
 			if err := fault.Inject(ctx, PointCluster); err != nil {
 				return fmt.Errorf("clustering: %w", err)
 			}
@@ -473,7 +479,7 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 			return nil, err
 		}
 		var ra *core.RowAssignment
-		if err := stage(ctx, "solve", func() error {
+		if err := stage(ctx, "solve", func(ctx context.Context) error {
 			if err := fault.Inject(ctx, PointSolve); err != nil {
 				return fmt.Errorf("row assignment: %w", err)
 			}
@@ -507,7 +513,7 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		// N_minR; recompute against this clone's identical placement to
 		// charge its runtime).
 		rapStart := time.Now()
-		if err := stage(ctx, "solve", func() error {
+		if err := stage(ctx, "solve", func(ctx context.Context) error {
 			if err := fault.Inject(ctx, PointSolve); err != nil {
 				return fmt.Errorf("baseline assignment: %w", err)
 			}
@@ -537,7 +543,7 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 		return nil, err
 	}
 	legalStart := time.Now()
-	if err := stage(ctx, "legalize", func() error {
+	if err := stage(ctx, "legalize", func(ctx context.Context) error {
 		if err := fault.Inject(ctx, PointLegalize); err != nil {
 			return fmt.Errorf("legalization: %w", err)
 		}
@@ -584,7 +590,7 @@ func (r *Runner) runConstraint(ctx context.Context, id ID, withRoute bool) (*Res
 // The route/STA/power substrates are fast relative to the solve stages, so
 // cancellation is only checked between them.
 func (r *Runner) routeAndSign(ctx context.Context, res *Result) error {
-	return stage(ctx, "route", func() error {
+	return stage(ctx, "route", func(ctx context.Context) error {
 		if err := errs.FromContext(ctx); err != nil {
 			return fmt.Errorf("route: %w", err)
 		}

@@ -1,0 +1,93 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mthplace/internal/obs"
+	"mthplace/internal/synth"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceSchemaGolden pins the span schema a local -trace run records: the
+// same trace_id/span_id/parent_id chain the distributed fabric merges, so an
+// rcplace -trace file and a GET /v1/jobs/{id}/trace response are one format.
+// The run is fully deterministic (fixed synth seed, baseline flow with no
+// solver-incumbent variability); trace and span IDs plus timestamps are
+// normalized before comparing against the golden file.
+func TestTraceSchemaGolden(t *testing.T) {
+	tr := obs.NewTracerFor("rcplace")
+	ctx := obs.WithTracer(t.Context(), tr)
+	// A fixed root span context stands in for rcplace's minted one.
+	root := obs.SpanContext{TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: "b7ad6b7169203331"}
+	ctx = obs.WithSpanContext(ctx, root)
+
+	r, err := NewRunner(ctx, synth.TableII()[0], testConfig(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, Flow2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := tr.Records()
+	if len(recs) == 0 {
+		t.Fatal("run recorded no spans")
+	}
+	// Normalize: span IDs become span-NN in first-appearance order, the
+	// trace ID becomes "trace", wall-clock fields become ordinals.
+	ids := map[string]string{root.SpanID: "root"}
+	alias := func(id string) string {
+		if id == "" {
+			return ""
+		}
+		if a, ok := ids[id]; ok {
+			return a
+		}
+		a := fmt.Sprintf("span-%02d", len(ids))
+		ids[id] = a
+		return a
+	}
+	for i := range recs {
+		if recs[i].TraceID != root.TraceID {
+			t.Errorf("record %q has trace %q, want the root's %q", recs[i].Name, recs[i].TraceID, root.TraceID)
+		}
+		recs[i].TraceID = "trace"
+		recs[i].SpanID = alias(recs[i].SpanID)
+		recs[i].Parent = alias(recs[i].Parent)
+		recs[i].StartUS = int64(i)
+		if recs[i].DurUS != 0 {
+			recs[i].DurUS = 1
+		}
+		delete(recs[i].Args, "error")
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(recs); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_schema.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace schema drifted from golden (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -70,6 +70,11 @@ type Entry struct {
 	Backend string `json:"backend,omitempty"`
 	// Deadline is the lease expiry, set on EventLeased only.
 	Deadline *time.Time `json:"deadline,omitempty"`
+	// Trace is the job's W3C traceparent, set on EventSubmitted when the
+	// job carries distributed trace context. Replay re-adopts it so a job
+	// recovered after a crash keeps the TraceID its client is watching;
+	// it also makes the journal greppable by trace ID.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Journal appends entries to the file. Safe for concurrent use.

@@ -226,7 +226,7 @@ func Solve(ctx context.Context, p *Problem, warmX []float64, opt Options) *Resul
 			sink(obs.Event{Source: "milp", Kind: "incumbent",
 				Objective: res.Obj, Gap: gap, Nodes: res.Nodes, ElapsedMS: elapsed})
 		}
-		tracer.Instant("milp.incumbent", map[string]any{
+		span.Instant("milp.incumbent", map[string]any{
 			"objective": res.Obj, "gap": gap, "nodes": res.Nodes,
 		})
 	}

@@ -32,11 +32,22 @@ func (l Labels) render() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		fmt.Fprintf(&b, "%s=\"%s\"", k, labelEscaper.Replace(l[k]))
 	}
 	b.WriteByte('}')
 	return b.String()
 }
+
+// labelEscaper escapes a label value per the Prometheus text exposition
+// format, which defines exactly three escapes inside a quoted label value:
+// backslash, double quote, and newline. Go's %q is not equivalent — it also
+// escapes tabs, non-printables, and non-ASCII, which scrapers read back as
+// literal backslash sequences.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text, where the format defines backslash and
+// newline escapes (quotes are legal raw).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
 
 // Counter is a monotonically increasing int64 metric.
 type Counter struct{ v atomic.Int64 }
@@ -244,7 +255,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 
 	var b strings.Builder
 	for _, f := range fams {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, helpEscaper.Replace(f.help), f.name, f.typ)
 		f.mu.Lock()
 		for _, key := range f.order {
 			switch s := f.series[key].(type) {
@@ -278,10 +289,11 @@ func writeHistogram(b *strings.Builder, name, key string, h *Histogram) {
 
 // spliceLabel adds one k="v" pair to a rendered label set.
 func spliceLabel(key, k, v string) string {
+	v = labelEscaper.Replace(v)
 	if key == "" {
-		return fmt.Sprintf("{%s=%q}", k, v)
+		return fmt.Sprintf("{%s=\"%s\"}", k, v)
 	}
-	return fmt.Sprintf("%s,%s=%q}", key[:len(key)-1], k, v)
+	return fmt.Sprintf("%s,%s=\"%s\"}", key[:len(key)-1], k, v)
 }
 
 // formatBound renders a bucket upper bound the way Prometheus does

@@ -174,3 +174,60 @@ func TestCanonicalHelpers(t *testing.T) {
 		t.Errorf("mth_stage_seconds histogram missing from Default:\n%s", out)
 	}
 }
+
+// TestLabelEscaping pins the exposition-format escaping contract for label
+// values: exactly backslash, double quote, and newline are escaped; every
+// other byte (tabs, unicode, control-adjacent printables) passes through
+// raw. Go's %q — the previous implementation — fails all four hostile rows.
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name string
+		val  string
+		want string // rendered label value between the quotes
+	}{
+		{"plain", "remote-0", `remote-0`},
+		{"backslash", `C:\lanes\0`, `C:\\lanes\\0`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"tab stays raw", "a\tb", "a\tb"},
+		{"unicode stays raw", "héllo→", "héllo→"},
+		{"mixed", "\\\"\n", `\\\"\n`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("m_total", "m", Labels{"backend": tc.val}).Inc()
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Fatal(err)
+			}
+			want := `m_total{backend="` + tc.want + `"} 1`
+			if !strings.Contains(buf.String(), want) {
+				t.Errorf("exposition missing %q:\n%s", want, buf.String())
+			}
+		})
+	}
+}
+
+// TestHelpAndHistogramLabelEscaping covers the other two rendering paths:
+// HELP text (backslash+newline escapes) and the le-label splice used by
+// histogram series.
+func TestHelpAndHistogramLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "first\nsecond \\ third", nil).Inc()
+	r.Histogram("lat_seconds", "lat", []float64{1}, Labels{"lane": "a\"b"}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP h_total first\nsecond \\ third`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{lane="a\"b",le="1"} 1`) {
+		t.Errorf("spliced le label lost series escaping:\n%s", out)
+	}
+	if strings.Contains(out, "\\t") {
+		t.Errorf("over-escaping detected (Go %%q artifacts):\n%s", out)
+	}
+}

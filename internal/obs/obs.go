@@ -36,6 +36,7 @@ const (
 	loggerKey ctxKey = iota
 	tracerKey
 	progressKey
+	spanCtxKey
 )
 
 // discardHandler drops every record. (slog.DiscardHandler exists only from

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"strings"
+)
+
+// SpanContext identifies a position in a distributed trace: the trace the
+// work belongs to and the span that is its parent on the far side of a
+// process boundary. It is the value serialized as a W3C traceparent header
+// (https://www.w3.org/TR/trace-context/) on the /v1 edge and inside
+// WireJob on the coordinator→worker hop.
+type SpanContext struct {
+	// TraceID is 32 lowercase hex characters shared by every span of one
+	// job, across every process that touched it.
+	TraceID string
+	// SpanID is 16 lowercase hex characters naming the current span — the
+	// parent of any span started under this context.
+	SpanID string
+}
+
+// Valid reports whether both IDs are well-formed and non-zero.
+func (sc SpanContext) Valid() bool {
+	return isHexID(sc.TraceID, 32) && isHexID(sc.SpanID, 16)
+}
+
+// Traceparent renders the context in W3C trace-context form:
+// "00-<trace-id>-<parent-id>-01". Invalid contexts render "".
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header. Per the spec, callers
+// treat ok=false (malformed, all-zero IDs, unknown version "ff") as "no
+// trace context" rather than an error: a bad header from a client must not
+// fail the request, only lose the client's correlation.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version, traceID, spanID := parts[0], parts[1], parts[2]
+	if len(version) != 2 || !isHexID(version, 2) || version == "ff" {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: traceID, SpanID: spanID}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// isHexID reports whether s is exactly n lowercase hex chars and not all
+// zeros (the spec's invalid sentinel).
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero || n == 2 // version "00" is legal; zero trace/span IDs are not
+}
+
+// NewTraceID returns a fresh random 32-hex-char trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a fresh random 16-hex-char span ID.
+func NewSpanID() string { return randHex(8) }
+
+// randHex returns 2n lowercase hex chars of randomness from math/rand/v2's
+// global ChaCha8 generator (itself seeded from OS entropy). Trace and span
+// IDs need uniqueness, not unpredictability — and crypto/rand costs a
+// syscall per read, which on sandboxed kernels runs four orders of
+// magnitude slower than ChaCha8 and shows up as whole-percent tracing
+// overhead in benchobs. The all-zero value (the spec's invalid sentinel)
+// is nudged to 1.
+func randHex(n int) string {
+	b := make([]byte, n)
+	zero := true
+	for i := 0; i < n; i += 8 {
+		v := rand.Uint64()
+		for j := i; j < i+8 && j < n; j++ {
+			b[j] = byte(v)
+			v >>= 8
+			if b[j] != 0 {
+				zero = false
+			}
+		}
+	}
+	if zero {
+		b[n-1] = 1
+	}
+	return hex.EncodeToString(b)
+}
+
+// WithSpanContext installs sc as the context's current trace position;
+// spans started under ctx parent under sc.SpanID and share sc.TraceID.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey, sc)
+}
+
+// SpanContextFrom returns the context's trace position, or the zero
+// SpanContext when none is installed.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey).(SpanContext)
+	return sc
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if !sc.Valid() {
+		t.Fatalf("fresh span context invalid: %+v", sc)
+	}
+	tp := sc.Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent = %q", tp)
+	}
+	back, ok := ParseTraceparent(tp)
+	if !ok || back != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", back, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-abc-def-01", // too short
+		"ff-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01", // forbidden version
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("b", 16) + "-01", // zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.Repeat("A", 32) + "-" + strings.Repeat("b", 16) + "-01", // uppercase hex
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("b", 16) + "-01", // non-hex
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted: %+v", s, sc)
+		}
+	}
+	// Future versions other than ff must parse (spec: forward compatible),
+	// and trailing fields beyond flags are tolerated.
+	good := "cc-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01-extra"
+	if _, ok := ParseTraceparent(good); !ok {
+		t.Errorf("ParseTraceparent(%q) rejected a forward-compatible header", good)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("span id %q duplicate or malformed at i=%d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSpanParenting checks the distributed-schema invariants: spans adopt
+// the context's TraceID, StartSpanCtx nests children under the started
+// span, and ctx-level instants parent under the current span.
+func TestSpanParenting(t *testing.T) {
+	tr := NewTracerFor("coordinator")
+	root := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx := WithSpanContext(WithTracer(context.Background(), tr), root)
+
+	dctx, dispatch := StartSpanCtx(ctx, "dispatch")
+	child := StartSpan(dctx, "flow.solve")
+	Instant(dctx, "retry", nil)
+	child.End()
+	dispatch.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d records, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		if r.TraceID != root.TraceID {
+			t.Errorf("record %q trace id %q, want %q", r.Name, r.TraceID, root.TraceID)
+		}
+		byName[r.Name] = r
+	}
+	d := byName["dispatch"]
+	if d.Parent != root.SpanID {
+		t.Errorf("dispatch parent %q, want root %q", d.Parent, root.SpanID)
+	}
+	if byName["flow.solve"].Parent != d.SpanID {
+		t.Errorf("flow.solve parent %q, want dispatch %q", byName["flow.solve"].Parent, d.SpanID)
+	}
+	inst := byName["retry"]
+	if inst.Kind != "instant" || inst.Parent != d.SpanID || inst.SpanID != "" {
+		t.Errorf("instant record %+v, want instant parented under dispatch", inst)
+	}
+	if d.Proc != "coordinator" {
+		t.Errorf("proc = %q", d.Proc)
+	}
+}
+
+// TestWriteChromeTraceMerge merges records from two processes and checks
+// the export: one pid row per proc, process_name metadata, timestamps
+// rebased on the earliest record, trace ids surfaced in args.
+func TestWriteChromeTraceMerge(t *testing.T) {
+	recs := []SpanRecord{
+		{TraceID: strings.Repeat("a", 32), SpanID: strings.Repeat("1", 16), Name: "job",
+			Proc: "coordinator", Kind: "span", StartUS: 1_000_000, DurUS: 500},
+		{TraceID: strings.Repeat("a", 32), SpanID: strings.Repeat("2", 16),
+			Parent: strings.Repeat("1", 16), Name: "flow.solve",
+			Proc: "remote-0", Kind: "span", StartUS: 1_000_100, DurUS: 300},
+		{TraceID: strings.Repeat("a", 32), Parent: strings.Repeat("1", 16),
+			Name: "reroute", Proc: "coordinator", Kind: "instant", StartUS: 1_000_200},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUS  int64          `json:"ts"`
+			PID   int            `json:"pid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Unit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	var meta, spans, instants int
+	pidName := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+			pidName[ev.PID], _ = ev.Args["name"].(string)
+		case "X":
+			spans++
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant scope = %q", ev.Scope)
+			}
+		}
+		if ev.Phase != "M" && ev.TsUS < 0 {
+			t.Errorf("event %q has negative ts %d", ev.Name, ev.TsUS)
+		}
+	}
+	if meta != 2 || spans != 2 || instants != 1 {
+		t.Fatalf("got %d metadata / %d spans / %d instants, want 2/2/1:\n%s",
+			meta, spans, instants, buf.String())
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "job" && ev.TsUS != 0 {
+			t.Errorf("earliest span not rebased to 0: ts=%d", ev.TsUS)
+		}
+		if ev.Name == "flow.solve" {
+			if pidName[ev.PID] != "remote-0" {
+				t.Errorf("flow.solve on pid %d (%q), want remote-0", ev.PID, pidName[ev.PID])
+			}
+			if ev.Args["parent_id"] != strings.Repeat("1", 16) {
+				t.Errorf("parent_id not surfaced in args: %+v", ev.Args)
+			}
+		}
+	}
+}

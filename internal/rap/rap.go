@@ -338,6 +338,7 @@ type search struct {
 	// Observability (read-only; identical search with or without sinks).
 	sink   func(obs.Event)
 	tracer *obs.Tracer
+	span   *obs.Span // the rap.bnb span; incumbent instants parent here
 	startT time.Time
 }
 
@@ -433,7 +434,7 @@ func (s *search) offerIncumbent(assign []int32, obj float64) {
 			s.sink(obs.Event{Source: "rap", Kind: "incumbent",
 				Objective: obj, Gap: -1, Nodes: s.nodes, ElapsedMS: elapsed})
 		}
-		s.tracer.Instant("rap.incumbent", map[string]any{
+		s.span.Instant("rap.incumbent", map[string]any{
 			"objective": obj, "nodes": s.nodes,
 		})
 	}
@@ -1072,6 +1073,7 @@ func solve(ctx context.Context, in *Instance, warm []int32, lam0 []float64, floo
 	s.tracer = obs.TracerFrom(ctx)
 	res := &Result{Status: milp.Limit, Bound: math.Inf(-1), Obj: math.Inf(1)}
 	span := obs.StartSpan(ctx, "rap.bnb")
+	s.span = span
 	defer func() {
 		span.SetArg("status", res.Status.String())
 		span.SetArg("nodes", res.Nodes)

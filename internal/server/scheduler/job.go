@@ -83,6 +83,13 @@ type JobRequest struct {
 	// Cache is the cache-control directive: "", "bypass", "no-store" or
 	// "off" (see the Cache* constants).
 	Cache string `json:"cache,omitempty"`
+	// Traceparent is the client's W3C trace context ("00-<trace>-<span>-01");
+	// the transport also maps the standard traceparent request header onto
+	// it. The job adopts the client's TraceID so its whole fabric timeline
+	// is joinable with the client's own tracing; an invalid value is ignored
+	// (a fresh TraceID is minted), never rejected. Not part of the cache
+	// identity: tracing is read-only with respect to placement.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // validate resolves the spec and flow list, returning a client error when
@@ -256,6 +263,86 @@ type Job struct {
 	lease     time.Time // lease deadline; zero when not remotely leased
 	reroutes  int       // times the job moved lanes after dispatch failure or lease expiry
 	failCause error     // terminal error imposed by the lease monitor (overrides ctx errors)
+
+	// Distributed-trace identity, fixed at submit (or journal replay).
+	// trace.SpanID is the job's root span; traceParent is the client's span
+	// ID when the submission carried a traceparent ("" otherwise).
+	trace       obs.SpanContext
+	traceParent string
+
+	// Inflight accounting latches. started/finished metrics must pair
+	// exactly once per job whatever path terminalizes it — first claim,
+	// rerouted re-claim, cancel-while-requeued, shutdown — or
+	// jobs_inflight drifts (see countStart/countFinish).
+	startCounted  bool
+	finishCounted bool
+	rootTraced    bool // the terminal "job" root span has been recorded
+}
+
+// initTrace fixes the job's trace identity: the TraceID is adopted from a
+// valid request traceparent (the client's trace) or minted fresh, and the
+// root span gets its own ID. Called once, before the job is visible.
+func (j *Job) initTrace() {
+	if sc, ok := obs.ParseTraceparent(j.req.Traceparent); ok {
+		j.trace = obs.SpanContext{TraceID: sc.TraceID, SpanID: obs.NewSpanID()}
+		j.traceParent = sc.SpanID
+		return
+	}
+	j.trace = obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}
+}
+
+// TraceID returns the job's distributed trace ID.
+func (j *Job) TraceID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace.TraceID
+}
+
+// rootSpan returns the job's root span context — the parent every dispatch
+// span (and scheduler instant event) nests under.
+func (j *Job) rootSpan() obs.SpanContext {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// countStart reports whether this call should count the job as started —
+// true exactly once, on the first claim (replayed or not).
+func (j *Job) countStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.startCounted {
+		return false
+	}
+	j.startCounted = true
+	return true
+}
+
+// countFinish reports whether this call should count the job as finished:
+// true exactly once, and only for jobs whose start was counted. Paired with
+// countStart it keeps started−finished (jobs_inflight) exact across every
+// terminal path, including a job canceled while sitting re-queued between
+// lanes — the path that previously leaked inflight forever.
+func (j *Job) countFinish() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.startCounted || j.finishCounted {
+		return false
+	}
+	j.finishCounted = true
+	return true
+}
+
+// markRootTraced latches the terminal root-span record: whichever terminal
+// path gets here first writes the single "job" span.
+func (j *Job) markRootTraced() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rootTraced {
+		return false
+	}
+	j.rootTraced = true
+	return true
 }
 
 // JobProgress is the live solver-progress snapshot of a running job, fed by
@@ -322,6 +409,9 @@ type JobView struct {
 	// Progress is the live solver-progress snapshot; present once the job
 	// has produced at least one observability event.
 	Progress *JobProgress `json:"progress,omitempty"`
+	// TraceID is the job's distributed trace ID — the key that joins this
+	// job's logs, metrics exemplars and GET /v1/jobs/{id}/trace timeline.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // View renders the job for the wire.
@@ -354,6 +444,7 @@ func (j *Job) View() JobView {
 	v.Reroutes = j.reroutes
 	v.CacheHit = j.cacheHit
 	v.Backend = j.backend
+	v.TraceID = j.trace.TraceID
 	if j.progress.Events > 0 {
 		p := j.progress
 		v.Progress = &p
@@ -492,6 +583,23 @@ func (j *Job) setLease(epoch int64, deadline time.Time) bool {
 	return true
 }
 
+// renewLease extends the lease, but only while it is still live. A lapsed
+// lease is gone — the monitor is entitled to re-route the job at any
+// moment — so a renewal landing after expiry must not resurrect it: a
+// partition that heals while the old attempt's response path is still dead
+// would otherwise keep the job leased (and the attempt hung) forever, with
+// every ping extending a lease the worker can no longer honor. Renewal has
+// to complete before the deadline, like any lease protocol.
+func (j *Job) renewLease(epoch int64, now, deadline time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.epoch != epoch || j.lease.IsZero() || now.After(j.lease) {
+		return false
+	}
+	j.lease = deadline
+	return true
+}
+
 // leaseExpired reports whether the job holds a lease that lapsed before
 // now, returning the epoch to invalidate. The finishing latch masks
 // expiry: a job whose result is mid-commit is no longer re-routable.
@@ -518,14 +626,25 @@ func (j *Job) setBackendName(name string) {
 	j.mu.Unlock()
 }
 
-// setFailCause records the error the lease monitor wants the job to fail
-// with. The running attempt's unwind consumes it via takeFailCause, so an
-// "out of re-routes" job reports backend unavailability rather than the
-// context cancellation used to stop its zombie attempt.
-func (j *Job) setFailCause(err error) {
+// condemn plants the error the lease monitor wants the job to fail with
+// and cancels the attempt's context — but only while attempt epoch still
+// owns the job. The running attempt's unwind consumes the cause via
+// takeFailCause, so an "out of re-routes" job reports backend
+// unavailability rather than the cancellation used to stop it. The epoch
+// guard matters: a sweep that lost the re-route race (the attempt's own
+// unwind, or another sweep, moved the job on between leaseExpired and
+// here) must not touch the job — an unguarded cancel could land on the
+// freshly re-queued job and kill it with no terminal journal event.
+func (j *Job) condemn(epoch int64, cause error) {
 	j.mu.Lock()
-	j.failCause = err
-	j.mu.Unlock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.epoch != epoch || j.finishing {
+		return
+	}
+	j.failCause = cause
+	if j.cancel != nil {
+		j.cancel()
+	}
 }
 
 // takeFailCause returns and clears the imposed failure cause, if any.

@@ -69,12 +69,12 @@ func (s *Scheduler) sweepLeases(now time.Time) {
 		s.stats.leaseExpired()
 		s.mLeaseExp.Inc()
 		s.journal(jb, journal.EventLeaseExpired, nil)
-		s.log.Warn("job lease expired", "job", jb.ID, "epoch", epoch)
+		s.traceInstant(jb, "lease_expired", map[string]any{"epoch": epoch, "backend": jb.backendName()})
+		s.log.Warn("job lease expired", "job", jb.ID, "trace_id", jb.TraceID(), "epoch", epoch)
 		if s.reroute(jb, epoch) {
 			continue
 		}
-		jb.setFailCause(fmt.Errorf("lease expired and no live backend would take the job: %w", errs.ErrUnavailable))
-		jb.requestCancel()
+		jb.condemn(epoch, fmt.Errorf("lease expired and no live backend would take the job: %w", errs.ErrUnavailable))
 	}
 }
 
@@ -88,9 +88,11 @@ func (s *Scheduler) journalLeased(jb *Job, backend string, deadline time.Time) {
 }
 
 // reroute moves a running job whose attempt (epoch) failed or timed out
-// onto another live lane. It returns false — leaving the job with its
-// current attempt — when intake is closed, the re-route budget is spent,
-// the attempt already began finishing, or no live lane has queue room.
+// onto another live lane, falling back to a fresh attempt on its own lane
+// when that lane is healthy and no other qualifies. It returns false —
+// leaving the job with its current attempt — when intake is closed, the
+// re-route budget is spent, the attempt already began finishing, or no
+// live lane (its own included) has queue room.
 // The old attempt's context is canceled only after the job is safely
 // enqueued elsewhere; by then the old epoch is stale, so whatever that
 // attempt still produces is discarded by beginFinish.
@@ -101,33 +103,49 @@ func (s *Scheduler) reroute(jb *Job, epoch int64) bool {
 		return false // shutdown: lanes are closing, nothing to re-route onto
 	}
 	from := s.laneIndex(jb.backendName())
-	idx, ok := s.ring.pickLive(routingKey(jb.keys), from, func(i int) bool {
+	hasRoom := func(i int) bool {
 		return s.laneHealthy(i) && s.backends[i].Depth() < s.backends[i].Capacity()
-	})
+	}
+	idx, ok := s.ring.pickLive(routingKey(jb.keys), from, hasRoom)
 	if !ok {
-		return false
+		// Nowhere else to go — but a lapsed lease does not indict the lane:
+		// a renewal can simply have missed its window (scheduler starvation,
+		// or a healed partition whose old response path is dead). A healthy
+		// current lane with queue room takes the job back as a fresh
+		// attempt — the new epoch invalidates the old one and its possibly
+		// hung dispatch is canceled below — rather than failing a job a
+		// live worker could run.
+		if from < 0 || !hasRoom(from) {
+			return false
+		}
+		idx = from
 	}
 	cancel, ok := jb.requeue(epoch, s.opt.RerouteMax)
 	if !ok {
 		return false
 	}
+	fromName := jb.backendName()
 	be := s.backends[idx]
 	jb.setBackendName(be.Name())
 	s.journalRerouted(jb, be.Name())
 	s.stats.jobRerouted()
 	s.mReroutes.Inc()
+	s.traceInstant(jb, "reroute", map[string]any{"from": fromName, "to": be.Name(), "epoch": epoch})
 	// Cannot fail: room was checked above and every Enqueue is under s.mu.
 	if err := be.Enqueue(jb); err != nil {
 		// Defensive: never strand a Queued job that sits in no queue.
 		jb.finish(fmt.Errorf("re-route enqueue to %s: %w: %w", be.Name(), err, errs.ErrUnavailable))
 		s.journal(jb, terminalEvent(jb), err)
-		s.stats.jobFinished(0)
-		s.mFinished.Inc()
+		if jb.countFinish() {
+			s.stats.jobFinished(0)
+			s.mFinished.Inc()
+		}
+		s.traceRoot(jb)
 	}
 	if cancel != nil {
 		cancel()
 	}
-	s.log.Info("job re-routed", "job", jb.ID, "to", be.Name())
+	s.log.Info("job re-routed", "job", jb.ID, "trace_id", jb.TraceID(), "to", be.Name())
 	return true
 }
 
@@ -162,8 +180,10 @@ func (s *Scheduler) laneHealthy(i int) bool {
 // startLeaseRenewal launches the per-attempt renewal loop: every third of
 // the lease duration it pings the worker and, on success, pushes the lease
 // deadline out. The returned stop function is deferred by the attempt; the
-// loop also exits when the attempt's context ends or when the renewal
-// races a re-route (setLease rejects the stale epoch).
+// loop also exits when the attempt's context ends, when the renewal races
+// a re-route (renewLease rejects the stale epoch), or when the lease
+// already lapsed (renewLease refuses to resurrect it — the monitor owns
+// an expired lease's fate).
 func (s *Scheduler) startLeaseRenewal(ctx context.Context, jb *Job, epoch int64, rb *Remote) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -181,8 +201,9 @@ func (s *Scheduler) startLeaseRenewal(ctx context.Context, jb *Job, epoch int64,
 				if rb.Ping(ctx) != nil {
 					continue // expiry is the monitor's call, not ours
 				}
-				if !jb.setLease(epoch, time.Now().Add(s.opt.LeaseDuration)) {
-					return // stale epoch: the job moved on
+				now := time.Now()
+				if !jb.renewLease(epoch, now, now.Add(s.opt.LeaseDuration)) {
+					return // lease lapsed or epoch stale: the job moved on
 				}
 			}
 		}

@@ -191,4 +191,36 @@ func runNetChaosSchedule(t *testing.T, seed int64) {
 			t.Errorf("disruption=%s: job %s has no stored outcome", disruption, id)
 		}
 	}
+
+	// Trace continuity: whatever the disruption did — kills, reroutes,
+	// partitions, zombie attempts — every completed job's merged timeline
+	// must have exactly one root span, no orphaned parents, and one reroute
+	// instant per counted reroute.
+	rerouteInstants := 0
+	for id := range ids {
+		recs := s.TraceRecords(id)
+		tt := topo(t, recs)
+		if len(tt.roots) != 1 {
+			t.Errorf("disruption=%s: job %s trace has %d root spans, want 1", disruption, id, len(tt.roots))
+		}
+		if len(tt.orphans) != 0 {
+			t.Errorf("disruption=%s: job %s trace has orphan spans: %+v", disruption, id, tt.orphans)
+		}
+		trace := ""
+		for _, r := range recs {
+			if trace == "" {
+				trace = r.TraceID
+			}
+			if r.TraceID != trace {
+				t.Errorf("disruption=%s: job %s mixes traces %q and %q", disruption, id, trace, r.TraceID)
+			}
+			if r.Name == "reroute" && r.Kind == "instant" {
+				rerouteInstants++
+			}
+		}
+	}
+	if got := s.Stats().Reroutes; int64(rerouteInstants) != got {
+		t.Errorf("disruption=%s: %d reroute instants in traces vs %d counted reroutes",
+			disruption, rerouteInstants, got)
+	}
 }

@@ -25,12 +25,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mthplace/internal/errs"
 	"mthplace/internal/fault"
+	"mthplace/internal/obs"
 )
 
 // Fault-point names at the remote-dispatch network boundary.
@@ -176,6 +178,11 @@ type RemoteOptions struct {
 	OnCircuit         func(string)
 	OnRTT             func(time.Duration)
 	OnDispatchFailure func()
+	// OnSpans receives each dispatched job's worker-side span records,
+	// already skew-corrected and lane-labelled. Called from dispatcher
+	// goroutines (WireResult piggyback) and the prober (stash drain), so the
+	// sink must be concurrency-safe. Optional.
+	OnSpans func(job string, spans []obs.SpanRecord)
 }
 
 // Remote is the HTTP-dispatch Backend.
@@ -192,6 +199,7 @@ type Remote struct {
 
 	rttNanos      atomic.Int64 // last successful heartbeat RTT
 	dispatchFails atomic.Int64
+	clockOffUS    atomic.Int64 // worker clock minus coordinator clock, micros
 }
 
 // NewRemote builds a remote lane. Call Start to begin dispatching.
@@ -280,6 +288,13 @@ func (r *Remote) LastRTT() time.Duration { return time.Duration(r.rttNanos.Load(
 // DispatchFailures returns the lane's transport-level failure count.
 func (r *Remote) DispatchFailures() int64 { return r.dispatchFails.Load() }
 
+// ClockOffset returns the estimated worker-minus-coordinator clock skew,
+// refreshed by each successful ping (0 before the first, or when the worker
+// predates the time header).
+func (r *Remote) ClockOffset() time.Duration {
+	return time.Duration(r.clockOffUS.Load()) * time.Microsecond
+}
+
 // probeLoop is the heartbeat: ping the worker every interval, feeding the
 // breaker. Success closes the circuit (readmission); failure counts toward
 // opening it even with no traffic, so a silently dead worker is ejected
@@ -297,6 +312,10 @@ func (r *Remote) probeLoop() {
 				r.br.failure()
 			} else {
 				r.br.success()
+				// A live worker may hold spans for jobs whose WireResult
+				// never reached us (leased-then-rerouted); collect them on
+				// the heartbeat so those timelines still merge.
+				r.drainSpans(r.ctx)
 			}
 		}
 	}
@@ -328,7 +347,65 @@ func (r *Remote) Ping(ctx context.Context) error {
 	if r.opt.OnRTT != nil {
 		r.opt.OnRTT(rtt)
 	}
+	if h := resp.Header.Get(WorkerTimeHeader); h != "" {
+		if workerUS, err := strconv.ParseInt(h, 10, 64); err == nil {
+			// The worker stamped its clock somewhere inside our round trip;
+			// assume the midpoint, so offset ≈ worker − (t0 + rtt/2). Good to
+			// within rtt/2, which is far below span durations on any fabric
+			// worth tracing.
+			r.clockOffUS.Store(workerUS - (t0.UnixMicro() + rtt.Microseconds()/2))
+		}
+	}
 	return nil
+}
+
+// drainSpans collects the worker's stashed span batches (jobs whose
+// WireResult never made it back) and hands them to the OnSpans sink.
+// Best-effort: a failed drain leaves the stash on the worker for the next
+// heartbeat.
+func (r *Remote) drainSpans(ctx context.Context) {
+	if r.opt.OnSpans == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opt.Addr+WorkerSpansPath, nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return
+	}
+	var batches []WireSpanBatch
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&batches); err != nil {
+		return
+	}
+	for _, b := range batches {
+		r.deliverSpans(b.Job, b.Spans)
+	}
+}
+
+// deliverSpans skew-corrects and lane-labels one job's worker records, then
+// hands them to the OnSpans sink. Worker timestamps are the worker's wall
+// clock; subtracting the heartbeat-estimated offset places them on the
+// coordinator's timeline so the merged trace doesn't show a solver starting
+// before its dispatch.
+func (r *Remote) deliverSpans(job string, spans []obs.SpanRecord) {
+	if r.opt.OnSpans == nil || len(spans) == 0 {
+		return
+	}
+	off := r.clockOffUS.Load()
+	for i := range spans {
+		spans[i].StartUS -= off
+		spans[i].Proc = r.name
+	}
+	r.opt.OnSpans(job, spans)
 }
 
 // unavailable wraps a dispatch failure so both classifications hold:
@@ -365,6 +442,9 @@ func (r *Remote) Execute(ctx context.Context, jb *Job) (*ExecResult, error) {
 		return nil, errs.FromContext(ctx)
 	}
 	r.br.success()
+	// Piggybacked spans are part of the job's story whether the attempt
+	// succeeded or the worker reported a typed failure.
+	r.deliverSpans(jb.ID, res.Spans)
 	if res.Error != "" {
 		return nil, errorFromClass(res.Class, res.Error)
 	}
@@ -382,7 +462,13 @@ func (r *Remote) dispatch(ctx context.Context, jb *Job) (*WireResult, error) {
 			return nil, r.unavailable("connection refused (injected)")
 		}
 	}
-	body, err := json.Marshal(WireJob{ID: jb.ID, Req: jb.Request()})
+	// The dispatch span's context rides the wire so the worker's spans
+	// parent under it and share the job's TraceID.
+	body, err := json.Marshal(WireJob{
+		ID:          jb.ID,
+		Req:         jb.Request(),
+		Traceparent: obs.SpanContextFrom(ctx).Traceparent(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dispatch to %s: encode: %w", r.name, err)
 	}

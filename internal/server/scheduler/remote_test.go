@@ -18,6 +18,7 @@ import (
 	"mthplace/internal/fault"
 	"mthplace/internal/flow"
 	"mthplace/internal/journal"
+	"mthplace/internal/obs"
 )
 
 // stubResult is the canned outcome a stub worker returns: a pure function
@@ -106,6 +107,7 @@ func (w *stubWorker) handlePing(rw http.ResponseWriter, _ *http.Request) {
 		http.Error(rw, "worker down", http.StatusInternalServerError)
 		return
 	}
+	rw.Header().Set(WorkerTimeHeader, fmt.Sprintf("%d", time.Now().UnixMicro()))
 	fmt.Fprintln(rw, "ok")
 }
 
@@ -157,6 +159,19 @@ func (w *stubWorker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 		res := stubResult(wj.Req)
 		out.Metrics = res.Metrics
 		out.Placements = res.Placements
+	}
+	// Like the real worker: a dispatch carrying trace context gets its
+	// solver-stage span back, parented under the coordinator's dispatch span.
+	if sc, ok := obs.ParseTraceparent(wj.Traceparent); ok {
+		out.Spans = []obs.SpanRecord{{
+			TraceID: sc.TraceID,
+			SpanID:  obs.NewSpanID(),
+			Parent:  sc.SpanID,
+			Name:    "worker.solve",
+			Kind:    "span",
+			StartUS: time.Now().UnixMicro(),
+			DurUS:   1,
+		}}
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(rw).Encode(out)
@@ -473,6 +488,33 @@ func auditJournal(t *testing.T, dir string, jobs map[string]string) {
 		if want != "" && lastTerminal[id] != want {
 			t.Errorf("journal: job %s terminal event = %q, want %q", id, lastTerminal[id], want)
 		}
+	}
+}
+
+// TestLapsedLeaseIsNotRenewable: a renewal landing after the lease
+// deadline must not resurrect the lease. Without this rule a partition
+// that heals while the old attempt's response path is still dead lets the
+// renewal loop's now-successful pings keep the job leased — and the
+// attempt hung — forever; with it, the lapsed lease stays expired for the
+// monitor to re-route.
+func TestLapsedLeaseIsNotRenewable(t *testing.T) {
+	jb := &Job{state: StateRunning, epoch: 3}
+	now := time.Now()
+	if !jb.setLease(3, now.Add(30*time.Millisecond)) {
+		t.Fatal("lease grant refused")
+	}
+	if !jb.renewLease(3, now, now.Add(60*time.Millisecond)) {
+		t.Error("live lease with the right epoch refused renewal")
+	}
+	if jb.renewLease(2, now, now.Add(time.Hour)) {
+		t.Error("stale epoch renewed the lease")
+	}
+	late := now.Add(time.Second)
+	if jb.renewLease(3, late, late.Add(time.Hour)) {
+		t.Error("lapsed lease was resurrected by a late renewal")
+	}
+	if _, expired := jb.leaseExpired(late); !expired {
+		t.Error("lease not reported expired after the refused renewal")
 	}
 }
 

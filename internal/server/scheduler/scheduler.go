@@ -25,6 +25,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -174,6 +175,7 @@ type Scheduler struct {
 
 	cache   *store.Cache // nil when caching is off
 	results *store.Results
+	traces  *store.Traces // per-job distributed span sets
 
 	backends []Backend
 	ring     *ring
@@ -227,6 +229,7 @@ func New(opt Options) (*Scheduler, error) {
 		stats:      newStats(opt.Workers),
 		log:        opt.Logger,
 		results:    store.NewResults(opt.ResultCapacity),
+		traces:     store.NewTraces(opt.ResultCapacity),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
@@ -300,7 +303,14 @@ func New(opt Options) (*Scheduler, error) {
 			OnCircuit:         func(st string) { circuit.Set(circuitValue(st)) },
 			OnRTT:             func(d time.Duration) { rtt.Set(d.Seconds()) },
 			OnDispatchFailure: func() { fails.Inc() },
+			OnSpans:           s.ingestWorkerSpans,
 		}))
+	}
+	// Pre-register each lane's RED series so a scrape shows the families
+	// (with zero values) before the first job lands.
+	for _, b := range s.backends {
+		s.laneRequests(b.Name(), "ok")
+		s.laneSeconds(b.Name())
 	}
 	for _, rj := range replayed {
 		s.jobs[rj.job.ID] = rj.job
@@ -380,12 +390,17 @@ func (s *Scheduler) prepareReplay(pending []journal.PendingJob, lanes int) ([]re
 		} else if jb.spec, jb.flows, err = jb.req.validate(); err != nil {
 			err = fmt.Errorf("journal replay: %w", err)
 		}
+		// The request JSON round-trips the client's traceparent, so a
+		// replayed job re-adopts the original trace: its post-crash timeline
+		// lands in the same distributed trace the client started.
+		jb.initTrace()
 		rj := replayJob{job: jb, backend: -1}
 		if err != nil {
 			jb.state = StateFailed
 			jb.err = err
 			jb.finished = time.Now()
 			_ = s.jrnl.Append(journal.Entry{Seq: p.Seq, Job: jb.ID, Event: journal.EventFailed, Error: err.Error()})
+			s.traceRoot(jb)
 			s.log.Warn("journal: replayed job failed validation", "job", jb.ID, "err", err)
 		} else {
 			jb.keys = s.instanceKeys(&jb.req)
@@ -455,6 +470,14 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		j.mu.Unlock()
 		if canceled {
 			s.journal(j, journal.EventCanceled, errs.ErrCanceled)
+			// A job that had started and was then re-queued (reroute, lease
+			// expiry) counted a start; going terminal here must count the
+			// finish or the inflight gauge leaks one forever.
+			if j.countFinish() {
+				s.stats.jobFinished(0)
+				s.mFinished.Inc()
+			}
+			s.traceRoot(j)
 		}
 	}
 	s.mu.Unlock()
@@ -516,8 +539,11 @@ func (s *Scheduler) runJobOn(b Backend, jb *Job) {
 	if !ok {
 		return // canceled while queued
 	}
+	log := s.log.With("job", jb.ID, "trace_id", jb.TraceID())
 	if firstClaim(epoch) {
 		s.journal(jb, journal.EventStarted, nil)
+	}
+	if jb.countStart() {
 		s.stats.jobStarted()
 		s.mStarted.Inc()
 	}
@@ -529,17 +555,34 @@ func (s *Scheduler) runJobOn(b Backend, jb *Job) {
 		stopRenew := s.startLeaseRenewal(ctx, jb, epoch, rb)
 		defer stopRenew()
 	}
-	s.log.Debug("job started", "job", jb.ID, "testcase", jb.spec.Name(), "lane", b.Name())
+	log.Debug("job started", "testcase", jb.spec.Name(), "lane", b.Name())
 	start := time.Now()
+
+	// This attempt's share of the distributed trace: a dispatch span under
+	// the job's root, with the attempt's flow/solver spans (local execution)
+	// or the WireJob traceparent (remote dispatch) nesting under it. The
+	// records are ingested on every exit path — a failed or re-routed
+	// attempt's timeline is part of the job's story.
+	tr := obs.NewTracerFor(procCoordinator)
+	tctx := obs.WithSpanContext(obs.WithTracer(ctx, tr), jb.rootSpan())
+	laneOutcome := "ok"
+	defer func() {
+		s.recordLaneAttempt(b.Name(), laneOutcome, time.Since(start))
+		s.ingestAttempt(jb, tr.Records())
+	}()
+	dctx, dsp := obs.StartSpanCtx(tctx, "dispatch")
+	dsp.SetArg("lane", b.Name())
+	dsp.SetArg("epoch", epoch)
+	defer dsp.End()
 
 	var res *ExecResult
 	var err error
 	for attempt := 0; ; attempt++ {
 		jb.noteAttempt()
 		if remote {
-			res, err = rb.Execute(ctx, jb)
+			res, err = rb.Execute(dctx, jb)
 		} else {
-			res, err = s.safeExec(ctx, jb)
+			res, err = s.safeExec(dctx, jb)
 		}
 		if err == nil {
 			err = errs.FromContext(ctx) // classify deadline vs cancel post-hoc
@@ -549,19 +592,25 @@ func (s *Scheduler) runJobOn(b Backend, jb *Job) {
 		}
 		s.stats.jobRetried()
 		s.mRetries.Inc()
-		s.log.Warn("job retrying after transient failure", "job", jb.ID, "attempt", attempt+1, "err", err)
+		obs.Instant(dctx, "retry", map[string]any{"attempt": attempt + 1, "err": err.Error()})
+		log.Warn("job retrying after transient failure", "attempt", attempt+1, "err", err)
 		select {
 		case <-time.After(backoff(s.opt.RetryBase, jb.ID, attempt)):
 		case <-ctx.Done():
 		}
 	}
+	if err != nil {
+		dsp.SetArg("error", err.Error())
+	}
 	if remote && err != nil && ctx.Err() == nil && errors.Is(err, errs.ErrUnavailable) {
 		// The lane, not the job, is the problem: move the job elsewhere.
 		if s.reroute(jb, epoch) {
+			laneOutcome = "rerouted"
 			return // a new attempt on another lane owns the job now
 		}
 	}
 	if !jb.beginFinish(epoch) {
+		laneOutcome = "rerouted"
 		return // re-routed away: a newer epoch owns the job, drop our result
 	}
 	if cause := jb.takeFailCause(); cause != nil && err != nil {
@@ -587,13 +636,18 @@ func (s *Scheduler) runJobOn(b Backend, jb *Job) {
 	}
 	jb.finish(err)
 	s.journal(jb, terminalEvent(jb), err)
-	s.stats.jobFinished(time.Since(start))
-	s.mFinished.Inc()
-	if err != nil {
-		s.log.Warn("job finished with error", "job", jb.ID, "state", terminalEvent(jb), "err", err, "dur", time.Since(start))
-	} else {
-		s.log.Info("job done", "job", jb.ID, "dur", time.Since(start))
+	if jb.countFinish() {
+		s.stats.jobFinished(time.Since(start))
+		s.mFinished.Inc()
 	}
+	if err != nil {
+		laneOutcome = "error"
+		log.Warn("job finished with error", "state", terminalEvent(jb), "err", err, "dur", time.Since(start))
+	} else {
+		log.Info("job done", "dur", time.Since(start))
+	}
+	dsp.End()
+	s.traceRoot(jb)
 }
 
 // safeExec runs the job's flows behind a recover boundary. The flow layer
@@ -677,10 +731,22 @@ func terminalEvent(jb *Job) string {
 func (s *Scheduler) execute(ctx context.Context, jb *Job) (*ExecResult, error) {
 	// Solver progress (stage transitions, MILP incumbents, k-means
 	// iterations) streams into the job's live view; the job's logger is
-	// scoped with its ID so concurrent jobs' diagnostics stay attributable.
+	// scoped with its ID and trace so concurrent jobs' diagnostics stay
+	// attributable and grep-able by trace ID across processes.
 	ctx = obs.WithProgress(ctx, jb.noteProgress)
-	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID))
-	return RunRequest(ctx, jb.Request(), s.pool, s.opt.DefaultSolver, s.stats.recordFlow)
+	ctx = obs.WithLogger(ctx, s.log.With("job", jb.ID, "trace_id", jb.TraceID()))
+	solver := jb.req.Solver
+	if solver == "" {
+		solver = s.opt.DefaultSolver
+	}
+	// Profiler labels make a CPU profile attributable the same way: samples
+	// under a hot solver goroutine carry the job and solver that ran it.
+	var res *ExecResult
+	var err error
+	pprof.Do(ctx, pprof.Labels("job", jb.ID, "solver", solver), func(ctx context.Context) {
+		res, err = RunRequest(ctx, jb.Request(), s.pool, s.opt.DefaultSolver, s.stats.recordFlow)
+	})
+	return res, err
 }
 
 // PlacementDigest is the SHA-256 of the design's instance positions in
@@ -749,6 +815,7 @@ func (s *Scheduler) submitLocked(req JobRequest) (*Job, error) {
 	for i, id := range ids {
 		jb.keys[i] = req.instance(id, s.opt.DefaultSolver).Key()
 	}
+	jb.initTrace()
 
 	// Cache fast path: when every flow of this instance is resident, the
 	// job never touches a queue — it is born terminal, with the cached
@@ -774,7 +841,9 @@ func (s *Scheduler) submitLocked(req JobRequest) (*Job, error) {
 			s.journal(jb, journal.EventDone, nil)
 			s.jobs[jb.ID] = jb
 			s.order = append(s.order, jb.ID)
-			s.log.Info("job served from cache", "job", jb.ID, "testcase", spec.Name())
+			s.traceInstant(jb, "cache_hit", map[string]any{"flows": len(ids)})
+			s.traceRoot(jb)
+			s.log.Info("job served from cache", "job", jb.ID, "trace_id", jb.TraceID(), "testcase", spec.Name())
 			return jb, nil
 		}
 	}
@@ -809,7 +878,7 @@ func (s *Scheduler) journalSubmit(jb *Job, req JobRequest, backend string) error
 	}
 	raw, err := json.Marshal(req)
 	if err == nil {
-		err = s.jrnl.Append(journal.Entry{Seq: jb.seqn, Job: jb.ID, Event: journal.EventSubmitted, Request: raw, Backend: backend})
+		err = s.jrnl.Append(journal.Entry{Seq: jb.seqn, Job: jb.ID, Event: journal.EventSubmitted, Request: raw, Backend: backend, Trace: jb.TraceID()})
 	}
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrJournal, err)
@@ -850,6 +919,15 @@ func (s *Scheduler) Cancel(id string) (jb *Job, ok bool) {
 	// worker to journal it; a running one is journaled when it unwinds.
 	if state, _ := jb.Snapshot(); ok && state.Terminal() {
 		s.journal(jb, journal.EventCanceled, errs.ErrCanceled)
+		// The queued job may still have counted a start on an earlier
+		// attempt (re-queued by reroute or lease expiry); settle the
+		// inflight accounting and close its timeline here, because no
+		// runJobOn will ever own it again.
+		if jb.countFinish() {
+			s.stats.jobFinished(0)
+			s.mFinished.Inc()
+		}
+		s.traceRoot(jb)
 	}
 	return jb, ok
 }

@@ -8,6 +8,7 @@ import (
 
 	"mthplace/internal/errs"
 	"mthplace/internal/flow"
+	"mthplace/internal/obs"
 	"mthplace/internal/par"
 )
 
@@ -18,9 +19,19 @@ const (
 	// and answers with a WireResult. Canceling the request cancels the job.
 	WorkerExecutePath = "/worker/v1/execute"
 	// WorkerPingPath is the heartbeat: 200 means the worker is alive and
-	// parsing requests, whatever its current load.
+	// parsing requests, whatever its current load. The response carries an
+	// X-Worker-Time-US header (worker wall clock, unix microseconds) the
+	// coordinator folds with the measured RTT into a clock-skew estimate.
 	WorkerPingPath = "/worker/v1/ping"
+	// WorkerSpansPath drains span batches for jobs whose WireResult never
+	// reached the coordinator — a leased-then-rerouted job's worker-side
+	// spans are stashed and collected here by the heartbeat prober.
+	WorkerSpansPath = "/worker/v1/spans"
 )
+
+// WorkerTimeHeader carries the worker's wall clock (unix microseconds) on
+// ping responses, the input to the coordinator's clock-skew correction.
+const WorkerTimeHeader = "X-Worker-Time-US"
 
 // WireJob is the dispatch body: the coordinator-assigned job ID (for log
 // correlation on the worker) plus the original request. The worker re-runs
@@ -29,6 +40,11 @@ const (
 type WireJob struct {
 	ID  string     `json:"id"`
 	Req JobRequest `json:"req"`
+	// Traceparent is the coordinator's dispatch-span context in W3C form;
+	// the worker re-extracts it so its solver-stage spans parent under the
+	// dispatch span and share the job's TraceID. Empty disables worker-side
+	// span collection (no trace context means nobody will merge them).
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // WireResult is the execute response. Exactly one of {Metrics+Placements,
@@ -41,6 +57,18 @@ type WireResult struct {
 	Placements map[flow.ID]string       `json:"placements,omitempty"`
 	Error      string                   `json:"error,omitempty"`
 	Class      string                   `json:"class,omitempty"`
+	// Spans piggybacks the worker's trace records for this execution —
+	// present on errored results too (a failed attempt's timeline is part
+	// of the job's story). Timestamps are the worker's clock; the
+	// coordinator skew-corrects them on ingest.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
+}
+
+// WireSpanBatch is one job's stashed span set, drained from
+// /worker/v1/spans when its WireResult never made it back.
+type WireSpanBatch struct {
+	Job   string           `json:"job"`
+	Spans []obs.SpanRecord `json:"spans"`
 }
 
 // Error-class wire names (WireResult.Class).

@@ -63,6 +63,7 @@ func (a *API) Handler() http.Handler {
 		mux.HandleFunc("GET "+prefix+"/jobs", a.handleList)
 		mux.HandleFunc("GET "+prefix+"/jobs/{id}", a.handleStatus)
 		mux.HandleFunc("GET "+prefix+"/jobs/{id}/result", a.handleResult)
+		mux.HandleFunc("GET "+prefix+"/jobs/{id}/trace", a.handleTrace)
 		mux.HandleFunc("POST "+prefix+"/jobs/{id}/cancel", a.handleCancel)
 		mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", a.handleCancel)
 	}
@@ -150,6 +151,20 @@ func decodeStrict(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+// applyTraceparent folds the W3C traceparent header into the job request,
+// so the job's distributed trace continues the client's. The body field
+// wins when both are present, for the same journaling reason as the cache
+// directive; a malformed header is ignored (tracing must never reject a
+// job).
+func applyTraceparent(req *scheduler.JobRequest, header string) {
+	if req.Traceparent != "" || header == "" {
+		return
+	}
+	if _, ok := obs.ParseTraceparent(header); ok {
+		req.Traceparent = header
+	}
+}
+
 func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req scheduler.JobRequest
 	if err := decodeStrict(r, &req); err != nil {
@@ -157,6 +172,7 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	applyCacheHeader(&req, r.Header.Get("Cache-Control"))
+	applyTraceparent(&req, r.Header.Get("traceparent"))
 	jb, err := a.sched.Submit(req)
 	if err != nil {
 		status := submitStatus(err)
@@ -203,8 +219,10 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	header := r.Header.Get("Cache-Control")
+	tp := r.Header.Get("traceparent")
 	for i := range req.Jobs {
 		applyCacheHeader(&req.Jobs[i], header)
+		applyTraceparent(&req.Jobs[i], tp)
 	}
 	items := a.sched.SubmitBatch(req.Jobs)
 	slots := make([]batchSlot, len(items))
@@ -245,6 +263,25 @@ func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, jb.View())
+}
+
+// handleTrace serves the job's merged multi-process timeline as Chrome
+// trace_event JSON (load it in chrome://tracing or Perfetto). 404 covers
+// both unknown jobs and evicted traces; an in-flight job serves whatever
+// records have landed so far.
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if a.sched.Job(id) == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	recs := a.sched.TraceRecords(id)
+	if len(recs) == 0 {
+		writeError(w, http.StatusNotFound, "no trace recorded for job (evicted or not yet started)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, recs)
 }
 
 // errStatus maps a flow failure to its HTTP status: infeasible instances

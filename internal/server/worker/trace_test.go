@@ -1,0 +1,191 @@
+package worker_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mthplace/internal/obs"
+	"mthplace/internal/server/scheduler"
+	"mthplace/internal/server/worker"
+)
+
+const workerTP = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+// TestWorkerTracedExecuteReturnsSpans: a dispatch carrying a traceparent
+// runs under a worker-local tracer, and the collected spans — the execute
+// span plus whatever the solve recorded — ride back on the WireResult,
+// correctly parented into the coordinator's trace.
+func TestWorkerTracedExecuteReturnsSpans(t *testing.T) {
+	_, srv := newWorkerServer(t, worker.Options{}, func(ctx context.Context, _ scheduler.JobRequest) (*scheduler.ExecResult, error) {
+		sp := obs.StartSpan(ctx, "flow.solve")
+		sp.End()
+		return &scheduler.ExecResult{}, nil
+	})
+
+	resp, raw := execute(t, srv, scheduler.WireJob{
+		ID:          "job-t",
+		Req:         scheduler.JobRequest{Testcase: "aes_300"},
+		Traceparent: workerTP,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, raw)
+	}
+	var wr scheduler.WireResult
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.SpanRecord{}
+	for _, r := range wr.Spans {
+		byName[r.Name] = r
+	}
+	exec, ok := byName["execute"]
+	if !ok {
+		t.Fatalf("no execute span in %+v", wr.Spans)
+	}
+	if exec.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("execute span trace = %q, want the dispatched one", exec.TraceID)
+	}
+	if exec.Parent != "b7ad6b7169203331" {
+		t.Errorf("execute span parent = %q, want the dispatch span %q", exec.Parent, "b7ad6b7169203331")
+	}
+	solve, ok := byName["flow.solve"]
+	if !ok {
+		t.Fatalf("solver span missing from %+v", wr.Spans)
+	}
+	if solve.Parent != exec.SpanID {
+		t.Errorf("solver span parent = %q, want execute span %q", solve.Parent, exec.SpanID)
+	}
+}
+
+// TestWorkerUntracedExecuteReturnsNoSpans: no traceparent, no tracer — a
+// plain dispatch must not pay for span collection or carry any back.
+func TestWorkerUntracedExecuteReturnsNoSpans(t *testing.T) {
+	_, srv := newWorkerServer(t, worker.Options{}, func(ctx context.Context, _ scheduler.JobRequest) (*scheduler.ExecResult, error) {
+		if obs.TracerFrom(ctx) != nil {
+			t.Error("untraced dispatch got a tracer")
+		}
+		return &scheduler.ExecResult{}, nil
+	})
+	_, raw := execute(t, srv, scheduler.WireJob{ID: "job-u", Req: scheduler.JobRequest{Testcase: "aes_300"}})
+	var wr scheduler.WireResult
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Spans) != 0 {
+		t.Fatalf("untraced execute returned spans: %+v", wr.Spans)
+	}
+}
+
+// TestWorkerPingCarriesClock: the ping response stamps the worker's clock
+// in X-Worker-Time-US, the input to the coordinator's skew correction.
+func TestWorkerPingCarriesClock(t *testing.T) {
+	_, srv := newWorkerServer(t, worker.Options{}, nil)
+	before := time.Now().UnixMicro()
+	resp, err := http.Get(srv.URL + scheduler.WorkerPingPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	after := time.Now().UnixMicro()
+	us, err := strconv.ParseInt(resp.Header.Get(scheduler.WorkerTimeHeader), 10, 64)
+	if err != nil {
+		t.Fatalf("bad %s header: %v", scheduler.WorkerTimeHeader, err)
+	}
+	if us < before || us > after {
+		t.Errorf("worker clock %d outside [%d, %d]", us, before, after)
+	}
+}
+
+// TestWorkerStashesSpansWhenResponseUndeliverable: when the coordinator
+// hangs up mid-execute (lease expired, job rerouted), the WireResult has
+// nowhere to go — the worker must stash the spans and surrender them to
+// the next GET /worker/v1/spans, exactly once.
+func TestWorkerStashesSpansWhenResponseUndeliverable(t *testing.T) {
+	started := make(chan struct{}, 1)
+	_, srv := newWorkerServer(t, worker.Options{}, func(ctx context.Context, _ scheduler.JobRequest) (*scheduler.ExecResult, error) {
+		started <- struct{}{}
+		<-ctx.Done() // runs until the client vanishes
+		return &scheduler.ExecResult{}, nil
+	})
+
+	body, _ := json.Marshal(scheduler.WireJob{
+		ID:          "job-s",
+		Req:         scheduler.JobRequest{Testcase: "aes_300"},
+		Traceparent: workerTP,
+	})
+	cctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, srv.URL+scheduler.WorkerExecutePath, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatch never reached exec")
+	}
+	cancel() // the "coordinator" hangs up; the handler finishes into the void
+	<-errc
+
+	// The handler unwinds asynchronously after the client is gone; poll the
+	// drain endpoint until the stashed batch appears.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + scheduler.WorkerSpansPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batches []scheduler.WireSpanBatch
+		err = json.NewDecoder(resp.Body).Decode(&batches)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batches) > 0 {
+			if batches[0].Job != "job-s" {
+				t.Fatalf("stashed batch for job %q, want job-s", batches[0].Job)
+			}
+			found := false
+			for _, r := range batches[0].Spans {
+				if r.Name == "execute" && r.TraceID == "0af7651916cd43dd8448eb211c80319c" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("stashed spans missing the execute span: %+v", batches[0].Spans)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stashed spans never appeared on the drain endpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The drain is a take: a second poll must come back empty.
+	resp, err := http.Get(srv.URL + scheduler.WorkerSpansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again []scheduler.WireSpanBatch
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(again) != 0 {
+		t.Fatalf("second drain returned %d batches, want 0", len(again))
+	}
+}

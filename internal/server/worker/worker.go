@@ -24,6 +24,8 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"mthplace/internal/errs"
@@ -67,6 +69,43 @@ type Handler struct {
 	mJobs    *obs.Counter
 	mErrors  *obs.Counter
 	mRefused *obs.Counter
+
+	stash spanRing // spans whose WireResult never reached the coordinator
+}
+
+// maxStashedBatches bounds the undelivered-span stash; a coordinator that
+// never drains (or never returns) must not grow worker memory without
+// bound, so the oldest batches are dropped first.
+const maxStashedBatches = 256
+
+// spanRing holds span batches for jobs whose execute response could not be
+// delivered — the coordinator went away mid-run (lease expiry, reroute,
+// crash). The prober drains it via GET /worker/v1/spans so those timelines
+// still reach the merged trace.
+type spanRing struct {
+	mu      sync.Mutex
+	batches []scheduler.WireSpanBatch
+}
+
+func (s *spanRing) put(job string, spans []obs.SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.batches) >= maxStashedBatches {
+		s.batches = s.batches[1:]
+	}
+	s.batches = append(s.batches, scheduler.WireSpanBatch{Job: job, Spans: spans})
+}
+
+// take removes and returns every stashed batch.
+func (s *spanRing) take() []scheduler.WireSpanBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.batches
+	s.batches = nil
+	return out
 }
 
 // New builds a worker handler.
@@ -96,6 +135,7 @@ func New(opt Options) *Handler {
 	}
 	h.mux.HandleFunc("POST "+scheduler.WorkerExecutePath, h.handleExecute)
 	h.mux.HandleFunc("GET "+scheduler.WorkerPingPath, h.handlePing)
+	h.mux.HandleFunc("GET "+scheduler.WorkerSpansPath, h.handleSpans)
 	return h
 }
 
@@ -109,8 +149,28 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 func (h *Handler) MetricsHandler() http.Handler { return h.reg.Handler() }
 
 func (h *Handler) handlePing(w http.ResponseWriter, _ *http.Request) {
+	// The clock stamp lets the coordinator estimate this worker's skew from
+	// the ping RTT, which is how worker span timestamps land correctly on
+	// the merged timeline.
+	w.Header().Set(scheduler.WorkerTimeHeader, fmt.Sprintf("%d", time.Now().UnixMicro()))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleSpans drains the undelivered-span stash to the coordinator's
+// prober. The response is a JSON array of WireSpanBatch.
+func (h *Handler) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	batches := h.stash.take()
+	if batches == nil {
+		batches = []scheduler.WireSpanBatch{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(batches); err != nil {
+		// The drain request died; put the batches back for the next one.
+		for _, b := range batches {
+			h.stash.put(b.Job, b.Spans)
+		}
+	}
 }
 
 func (h *Handler) handleExecute(w http.ResponseWriter, r *http.Request) {
@@ -136,8 +196,23 @@ func (h *Handler) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	h.mJobs.Inc()
 	start := time.Now()
-	h.log.Info("worker: job accepted", "job", wj.ID, "testcase", wj.Req.Testcase)
-	res, err := h.safeExec(r.Context(), wj)
+	log := h.log
+	ctx := r.Context()
+	// A dispatch carrying trace context gets a tracer: the execute span and
+	// the flow/solver spans underneath it parent into the coordinator's
+	// dispatch span and share the job's TraceID. No traceparent, no tracer —
+	// nobody would merge the records.
+	var tr *obs.Tracer
+	var esp *obs.Span
+	if sc, ok := obs.ParseTraceparent(wj.Traceparent); ok {
+		log = h.log.With("trace_id", sc.TraceID)
+		tr = obs.NewTracer() // Proc is stamped with the lane name on ingest
+		ctx = obs.WithTracer(obs.WithSpanContext(ctx, sc), tr)
+		ctx, esp = obs.StartSpanCtx(ctx, "execute")
+		esp.SetArg("job", wj.ID)
+	}
+	log.Info("worker: job accepted", "job", wj.ID, "testcase", wj.Req.Testcase)
+	res, err := h.safeExec(ctx, log, wj)
 	if err == nil {
 		err = errs.FromContext(r.Context())
 	}
@@ -146,15 +221,30 @@ func (h *Handler) handleExecute(w http.ResponseWriter, r *http.Request) {
 		h.mErrors.Inc()
 		out.Error = err.Error()
 		out.Class = scheduler.ErrorClass(err)
-		h.log.Warn("worker: job failed", "job", wj.ID, "class", out.Class, "err", err, "dur", time.Since(start))
+		log.Warn("worker: job failed", "job", wj.ID, "class", out.Class, "err", err, "dur", time.Since(start))
 	} else {
 		out.Metrics = res.Metrics
 		out.Placements = res.Placements
-		h.log.Info("worker: job done", "job", wj.ID, "dur", time.Since(start))
+		log.Info("worker: job done", "job", wj.ID, "dur", time.Since(start))
+	}
+	if tr != nil {
+		if err != nil {
+			esp.SetArg("error", out.Class)
+		}
+		esp.End()
+		out.Spans = tr.Records()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil && !errors.Is(err, context.Canceled) {
-		h.log.Warn("worker: response write failed", "job", wj.ID, "err", err)
+		log.Warn("worker: response write failed", "job", wj.ID, "err", err)
+	} else if err == nil && r.Context().Err() == nil {
+		return // delivered: the spans rode the WireResult
+	}
+	// The coordinator never saw this result (connection gone or context
+	// dead): stash the spans for the heartbeat drain so a rerouted job's
+	// worker-side timeline still reaches the merged trace.
+	if tr != nil {
+		h.stash.put(wj.ID, out.Spans)
 	}
 }
 
@@ -162,12 +252,21 @@ func (h *Handler) handleExecute(w http.ResponseWriter, r *http.Request) {
 // cost exactly one errored WireResult, never the worker process. The
 // coordinator rebuilds the panic class and refuses to retry it, same as a
 // local panic.
-func (h *Handler) safeExec(ctx context.Context, wj scheduler.WireJob) (res *scheduler.ExecResult, err error) {
+func (h *Handler) safeExec(ctx context.Context, log *slog.Logger, wj scheduler.WireJob) (res *scheduler.ExecResult, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = errs.FromPanic(rec, "worker: job %s", wj.ID)
 		}
 	}()
-	ctx = obs.WithLogger(ctx, h.log.With("job", wj.ID))
-	return h.exec(ctx, wj.Req)
+	ctx = obs.WithLogger(ctx, log.With("job", wj.ID))
+	solver := wj.Req.Solver
+	if solver == "" {
+		solver = h.solver
+	}
+	// Label the solver goroutines so a worker CPU profile attributes its
+	// samples to the job and solver that burned them.
+	pprof.Do(ctx, pprof.Labels("job", wj.ID, "solver", solver), func(ctx context.Context) {
+		res, err = h.exec(ctx, wj.Req)
+	})
+	return res, err
 }

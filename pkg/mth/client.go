@@ -124,6 +124,10 @@ type Client struct {
 	// cacheControl, when non-empty, is sent as the Cache-Control header on
 	// every submit (see the CacheBypass/CacheNoStore/CacheOff options).
 	cacheControl string
+	// traceparent, when non-empty, is sent as the W3C traceparent header on
+	// every submit, so the service's distributed traces continue this
+	// client's trace (see WithTraceparent).
+	traceparent string
 }
 
 // ClientOption customises a Client.
@@ -151,6 +155,14 @@ func WithCacheNoStore() ClientOption {
 // entirely (Cache-Control: no-cache, no-store).
 func WithCacheOff() ClientOption {
 	return func(c *Client) { c.cacheControl = "no-cache, no-store" }
+}
+
+// WithTraceparent stamps every submission with the given W3C traceparent
+// header ("00-<trace-id>-<span-id>-01"), making the caller's span the
+// parent of each job's distributed trace. The service ignores malformed
+// values, so passing through an upstream header verbatim is safe.
+func WithTraceparent(tp string) ClientOption {
+	return func(c *Client) { c.traceparent = tp }
 }
 
 // NewClient builds a client for the service at base (e.g.
@@ -182,6 +194,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		req.Header.Set("Content-Type", "application/json")
 		if c.cacheControl != "" {
 			req.Header.Set("Cache-Control", c.cacheControl)
+		}
+		if c.traceparent != "" {
+			req.Header.Set("traceparent", c.traceparent)
 		}
 	}
 	resp, err := c.hc.Do(req)
@@ -274,6 +289,37 @@ func (c *Client) Result(ctx context.Context, id string) (JobResult, error) {
 	var r JobResult
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &r)
 	return r, err
+}
+
+// Trace fetches a job's merged multi-process timeline as Chrome
+// trace_event JSON (raw bytes, ready to save and load in chrome://tracing
+// or Perfetto). The service answers 404 until the job has recorded at
+// least one span, or after the trace was evicted.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, fmt.Errorf("mth: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("mth: GET trace: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("mth: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(raw))
+		}
+		return nil, &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	return raw, nil
 }
 
 // Cancel requests cancellation of a queued or running job.
